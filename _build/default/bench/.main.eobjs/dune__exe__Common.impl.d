@@ -1,0 +1,1 @@
+bench/common.ml: Workload

@@ -1,0 +1,1 @@
+bench/experiments.ml: B1_none B2_debra B2_debra_plus B2_ebr Common List Machine Printf Reclaim Workload

@@ -1,0 +1,1 @@
+bench/fig2.ml: List Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Experiments Fig2 List Machine Micro Printf String Summary Term

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Common Hashtbl Instance List Measure Memory Printf Reclaim Runtime Staged Test Time Toolkit Workload

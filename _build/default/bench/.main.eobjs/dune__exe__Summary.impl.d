@@ -1,0 +1,1 @@
+bench/summary.ml: Common Experiments List Machine Printf String Workload

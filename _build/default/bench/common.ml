@@ -1,0 +1,3 @@
+(* The experiment matrix lives in the workload library so both this harness
+   and the bin/ CLI can use it; see Workload.Schemes. *)
+include Workload.Schemes

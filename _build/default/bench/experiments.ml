@@ -1,0 +1,279 @@
+(** The paper's experiments (§7), one function per table/figure.  See
+    DESIGN.md's per-experiment index and EXPERIMENTS.md for paper-vs-measured
+    results. *)
+
+open Common
+
+type scale = {
+  threads : int list;
+  duration : int;
+  big_range : int;  (* paper: 10^6 *)
+  small_range : int;  (* paper: 10^4 *)
+  sl_range : int;  (* paper: 2*10^5 *)
+}
+
+let quick_scale =
+  {
+    threads = [ 1; 2; 4; 8; 16 ];
+    duration = 1_200_000;
+    big_range = 100_000;
+    small_range = 10_000;
+    sl_range = 50_000;
+  }
+
+let full_scale =
+  {
+    threads = [ 1; 2; 3; 4; 6; 8; 10; 12; 14; 16 ];
+    duration = 6_000_000;
+    big_range = 1_000_000;
+    small_range = 10_000;
+    sl_range = 200_000;
+  }
+
+let base_cfg ?(machine = Machine.Config.intel_i7_4770)
+    ?(params = Reclaim.Intf.Params.default) ~scale ~range ~ins ~del n =
+  {
+    machine;
+    params;
+    duration = scale.duration;
+    n;
+    range;
+    ins;
+    del;
+    seed = 7;
+    capacity = range + 400_000;
+  }
+
+let mixes = [ (50, 50); (25, 25) ]
+
+(* Experiments 1-3 share the same six panels (Figs. 8 and 10). *)
+let throughput_experiment ~name ~note ~scale ~bst_runners ~sl_runners =
+  Printf.printf "\n===== %s =====\n%s\n" name note;
+  List.iter
+    (fun (ins, del) ->
+      run_panel
+        ~title:
+          (Printf.sprintf "%s / BST, key range [0,%d), %s (Mops/s)" name
+             scale.big_range (mix_name ins del))
+        ~runners:bst_runners ~threads:scale.threads
+        ~cfg_of:(base_cfg ~scale ~range:scale.big_range ~ins ~del);
+      run_panel
+        ~title:
+          (Printf.sprintf "%s / BST, key range [0,%d), %s (Mops/s)" name
+             scale.small_range (mix_name ins del))
+        ~runners:bst_runners ~threads:scale.threads
+        ~cfg_of:(base_cfg ~scale ~range:scale.small_range ~ins ~del);
+      run_panel
+        ~title:
+          (Printf.sprintf "%s / skip list, key range [0,%d), %s (Mops/s)" name
+             scale.sl_range (mix_name ins del))
+        ~runners:sl_runners ~threads:scale.threads
+        ~cfg_of:(base_cfg ~scale ~range:scale.sl_range ~ins ~del))
+    mixes
+
+let exp1 ~scale =
+  throughput_experiment ~name:"Experiment 1 (Fig. 8 left)"
+    ~note:
+      "Overhead of reclamation: schemes do all their work but records are \
+       never reused (bump allocator, no pool)."
+    ~scale ~bst_runners:bst_runners_exp1 ~sl_runners:skiplist_runners_exp1
+
+let exp2 ~scale =
+  throughput_experiment ~name:"Experiment 2 (Fig. 8 right)"
+    ~note:"Records are reclaimed and reused through the DEBRA pool."
+    ~scale ~bst_runners:bst_runners_exp2 ~sl_runners:skiplist_runners_exp2
+
+let exp3 ~scale =
+  throughput_experiment ~name:"Experiment 3 (Fig. 10)"
+    ~note:
+      "Same as Experiment 2, with a malloc-style allocator (uniform extra \
+       cost per allocation) instead of the preallocating bump allocator."
+    ~scale ~bst_runners:bst_runners_exp3 ~sl_runners:skiplist_runners_exp3
+
+(* Fig. 9 (left): Experiment 2 on the 64-context NUMA machine model. *)
+let exp2_t4 ~scale =
+  Printf.printf "\n===== Experiment 2 on Oracle T4-1 (Fig. 9 left) =====\n";
+  let threads = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let machine = Machine.Config.oracle_t4_1 in
+  List.iter
+    (fun (ins, del) ->
+      run_panel
+        ~title:
+          (Printf.sprintf
+             "T4-1 / BST, key range [0,%d), %s (Mops/s, 8 sockets x 8)"
+             scale.big_range (mix_name ins del))
+        ~runners:bst_runners_exp2 ~threads
+        ~cfg_of:(base_cfg ~machine ~scale ~range:scale.big_range ~ins ~del))
+    mixes
+
+(* Fig. 9 (right): memory allocated for records; BST 10^4, 50i-50d.  Past 8
+   processes the i7 model is oversubscribed, which is where DEBRA's epoch
+   stalls and DEBRA+'s neutralization pays off. *)
+let memfig ~scale =
+  Printf.printf "\n===== Memory figure (Fig. 9 right) =====\n";
+  Printf.printf
+    "Total memory allocated for records (bump-pointer movement), BST keys \
+     [0,%d), 50i-50d.\n\
+     Past 8 processes the machine is oversubscribed; the scheduling quantum \
+     is raised to a realistic multi-millisecond stall so a descheduled \
+     non-quiescent process blocks DEBRA's epoch for a long stretch, as on \
+     the paper's Linux testbed.\n"
+    scale.small_range;
+  let threads = [ 1; 2; 4; 8; 12; 16 ] in
+  let runners = bst_runners_exp2 in
+  let machine =
+    { Machine.Config.intel_i7_4770 with Machine.Config.quantum = 2_500_000 }
+  in
+  let scale = { scale with duration = max scale.duration 10_000_000 } in
+  let base_cfg ~scale ~range ~ins ~del n =
+    base_cfg ~machine ~scale ~range ~ins ~del n
+  in
+  let header =
+    "procs"
+    :: List.concat_map
+         (fun r ->
+           match r.rname with
+           | "none" -> [ r.rname ]
+           | "debra+" -> [ r.rname; "limbo"; "neutralized" ]
+           | _ -> [ r.rname; "limbo" ])
+         runners
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let cfg = base_cfg ~scale ~range:scale.small_range ~ins:50 ~del:50 n in
+        string_of_int n
+        :: List.concat_map
+             (fun r ->
+               let o = r.run cfg in
+               let mem =
+                 Workload.Report.fmt_bytes o.Workload.Trial.bytes_claimed_trial
+               in
+               let mem = if o.Workload.Trial.oom then mem ^ " (OOM)" else mem in
+               let limbo = string_of_int o.Workload.Trial.limbo in
+               match r.rname with
+               | "none" -> [ mem ]
+               | "debra+" ->
+                   [ mem; limbo; string_of_int o.Workload.Trial.neutralized ]
+               | _ -> [ mem; limbo ])
+             runners)
+      threads
+  in
+  Workload.Report.table
+    ~title:"Fig. 9 (right): memory allocated for records during the trial"
+    ~header ~rows
+
+(* Ablations for the design choices of §4 (not a paper figure; supports the
+   paper's design discussion). *)
+let ablate ~scale =
+  Printf.printf "\n===== Ablations (DEBRA design choices, paper §4) =====\n";
+  let p = Reclaim.Intf.Params.default in
+  let cfg_with params n =
+    {
+      (base_cfg ~scale ~range:scale.small_range ~ins:50 ~del:50 n) with
+      params;
+    }
+  in
+  let threads = [ 4; 8; 16 ] in
+  (* CHECK_THRESH sweep *)
+  let header = "procs" :: List.map (fun v -> Printf.sprintf "check=%d" v) [ 1; 4; 16; 64 ] in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun check_thresh ->
+               let params = { p with Reclaim.Intf.Params.check_thresh } in
+               let o = (List.nth bst_runners_exp2 1).run (cfg_with params n) in
+               Workload.Report.fmt_mops o.Workload.Trial.mops)
+             [ 1; 4; 16; 64 ])
+      threads
+  in
+  Workload.Report.table
+    ~title:"DEBRA: incremental announcement scanning (CHECK_THRESH), BST 10^4 50i-50d (Mops/s)"
+    ~header ~rows;
+  (* INCR_THRESH sweep *)
+  let values = [ 1; 10; 100; 1000 ] in
+  let header = "procs" :: List.map (fun v -> Printf.sprintf "incr=%d" v) values in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun incr_thresh ->
+               let params = { p with Reclaim.Intf.Params.incr_thresh } in
+               let o = (List.nth bst_runners_exp2 1).run (cfg_with params n) in
+               Workload.Report.fmt_mops o.Workload.Trial.mops)
+             values)
+      threads
+  in
+  Workload.Report.table
+    ~title:"DEBRA: epoch-advance throttling (INCR_THRESH), BST 10^4 50i-50d (Mops/s)"
+    ~header ~rows;
+  (* Block size sweep *)
+  let values = [ 16; 64; 256; 1024 ] in
+  let header = "procs" :: List.map (fun v -> Printf.sprintf "B=%d" v) values in
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun block_capacity ->
+               let params = { p with Reclaim.Intf.Params.block_capacity } in
+               let o = (List.nth bst_runners_exp2 1).run (cfg_with params n) in
+               Workload.Report.fmt_mops o.Workload.Trial.mops)
+             values)
+      threads
+  in
+  Workload.Report.table
+    ~title:"DEBRA: limbo-bag block size B, BST 10^4 50i-50d (Mops/s)" ~header
+    ~rows;
+  (* Announcement padding on the NUMA machine *)
+  let header = [ "procs"; "padded"; "unpadded" ] in
+  let rows =
+    List.map
+      (fun n ->
+        let run padded =
+          let params = { p with Reclaim.Intf.Params.padded_announcements = padded } in
+          let cfg =
+            {
+              (base_cfg ~machine:Machine.Config.oracle_t4_1 ~scale
+                 ~range:scale.small_range ~ins:25 ~del:25 n)
+              with
+              params;
+            }
+          in
+          (List.nth bst_runners_exp2 1).run cfg
+        in
+        [
+          string_of_int n;
+          Workload.Report.fmt_mops (run true).Workload.Trial.mops;
+          Workload.Report.fmt_mops (run false).Workload.Trial.mops;
+        ])
+      [ 16; 32; 64 ]
+  in
+  Workload.Report.table
+    ~title:
+      "DEBRA: padded vs unpadded announcements on the T4-1 model, BST 10^4 \
+       25i-25d-50s (Mops/s)"
+    ~header ~rows;
+  (* Every implemented scheme on one panel: reproduces the paper's §3
+     qualitative ranking (RC slowest, HP slow, epochs fast). *)
+  run_panel
+    ~title:
+      "Scheme zoo: every implemented reclaimer, BST 10^4 50i-50d (Mops/s)"
+    ~runners:bst_runners_zoo ~threads:scale.threads
+    ~cfg_of:(base_cfg ~scale ~range:scale.small_range ~ins:50 ~del:50);
+  (* Classical EBR vs DEBRA: what "distributing" EBR buys. *)
+  let runners =
+    [
+      B1_none.runner "none";
+      B2_ebr.runner "ebr";
+      B2_debra.runner "debra";
+      B2_debra_plus.runner "debra+";
+    ]
+  in
+  run_panel
+    ~title:"Classical EBR vs DEBRA (shared bags + full scans vs distributed), BST 10^4 50i-50d (Mops/s)"
+    ~runners ~threads:scale.threads
+    ~cfg_of:(base_cfg ~scale ~range:scale.small_range ~ins:50 ~del:50)

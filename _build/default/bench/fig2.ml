@@ -1,0 +1,202 @@
+(** Figure 2 of the paper: the summary table of reclamation schemes.  The
+    rows are properties; the data is static metadata carried alongside each
+    scheme implementation (or, for schemes the paper only surveys, taken
+    from its table). *)
+
+type scheme_row = {
+  id : string;
+  per_record : bool;  (* code modifications per accessed record *)
+  per_op : bool;  (* per operation *)
+  per_retire : bool;  (* per retired record *)
+  other_mods : string;
+  timing_assumptions : string;  (* "", "progress", "correctness" *)
+  fault_tolerant : bool;
+  termination : string;
+  retired_to_retired : bool;
+  implemented : bool;  (* implemented in this repository *)
+}
+
+let schemes =
+  [
+    {
+      id = "RC";
+      per_record = true;
+      per_op = false;
+      per_retire = true;
+      other_mods = "break pointer cycles";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "lock-free";
+      retired_to_retired = true;
+      implemented = true;
+    };
+    {
+      id = "HP";
+      per_record = true;
+      per_op = false;
+      per_retire = true;
+      other_mods = "recovery when protect fails";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "wait-free";
+      retired_to_retired = false;
+      implemented = true;
+    };
+    {
+      id = "B&C";
+      per_record = true;
+      per_op = false;
+      per_retire = true;
+      other_mods = "recovery code (a)+(b)";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "lock-free";
+      retired_to_retired = true;
+      implemented = false;
+    };
+    {
+      id = "TS";
+      per_record = false;
+      per_op = false;
+      per_retire = true;
+      other_mods = "";
+      timing_assumptions = "progress";
+      fault_tolerant = false;
+      termination = "blocking";
+      retired_to_retired = false;
+      implemented = true;
+    };
+    {
+      id = "ST";
+      per_record = true;
+      per_op = true;
+      per_retire = true;
+      other_mods = "transaction checkpoints every few lines";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "lock-free";
+      retired_to_retired = false;
+      implemented = true;
+    };
+    {
+      id = "EBR";
+      per_record = false;
+      per_op = true;
+      per_retire = true;
+      other_mods = "";
+      timing_assumptions = "";
+      fault_tolerant = false;
+      termination = "lock-free";
+      retired_to_retired = true;
+      implemented = true;
+    };
+    {
+      id = "QSBR";
+      per_record = false;
+      per_op = false;
+      per_retire = true;
+      other_mods = "identify quiescent points manually";
+      timing_assumptions = "";
+      fault_tolerant = false;
+      termination = "lock-free";
+      retired_to_retired = true;
+      implemented = true;
+    };
+    {
+      id = "DTA";
+      per_record = true;
+      per_op = false;
+      per_retire = true;
+      other_mods = "integrate with list synchronization (lists only)";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "lock-free";
+      retired_to_retired = false;
+      implemented = false;
+    };
+    {
+      id = "QS";
+      per_record = true;
+      per_op = true;
+      per_retire = true;
+      other_mods = "rooster processes";
+      timing_assumptions = "correctness";
+      fault_tolerant = false;
+      termination = "lock-free (rooster)";
+      retired_to_retired = false;
+      implemented = false;
+    };
+    {
+      id = "OA";
+      per_record = true;
+      per_op = true;
+      per_retire = true;
+      other_mods = "normalized form; instrument every read/write/CAS";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "lock-free";
+      retired_to_retired = true;
+      implemented = false;
+    };
+    {
+      id = "DEBRA";
+      per_record = false;
+      per_op = true;
+      per_retire = true;
+      other_mods = "";
+      timing_assumptions = "";
+      fault_tolerant = false;
+      termination = "wait-free";
+      retired_to_retired = true;
+      implemented = true;
+    };
+    {
+      id = "DEBRA+";
+      per_record = false;
+      per_op = true;
+      per_retire = true;
+      other_mods = "crash recovery code (trivial for many structures)";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "wait-free (signals)";
+      retired_to_retired = true;
+      implemented = true;
+    };
+  ]
+
+let yn b = if b then "yes" else ""
+
+let print () =
+  let header =
+    [
+      "scheme";
+      "per-record";
+      "per-op";
+      "per-retire";
+      "other changes";
+      "timing";
+      "fault-tol";
+      "termination";
+      "retired->retired";
+      "in repo";
+    ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.id;
+          yn s.per_record;
+          yn s.per_op;
+          yn s.per_retire;
+          s.other_mods;
+          s.timing_assumptions;
+          yn s.fault_tolerant;
+          s.termination;
+          yn s.retired_to_retired;
+          yn s.implemented;
+        ])
+      schemes
+  in
+  Workload.Report.table
+    ~title:"Figure 2: summary of memory reclamation schemes" ~header ~rows

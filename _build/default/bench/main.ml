@@ -1,0 +1,76 @@
+(** Benchmark harness entry point.
+
+    One argument per paper artifact:
+    - exp1     Fig. 8 (left): overhead of reclamation, no reuse
+    - exp2     Fig. 8 (right): reclaimed records reused through the pool
+    - exp2-t4  Fig. 9 (left): Experiment 2 on the 64-context NUMA model
+    - exp3     Fig. 10: malloc-style allocator
+    - memfig   Fig. 9 (right): memory allocated + neutralization counts
+    - schemes  Fig. 2: summary table of reclamation schemes
+    - summary  §7/§8 scalar claims, paper vs measured
+    - ablate   DEBRA design-choice ablations (§4)
+    - micro    Bechamel microbenchmarks of the Record Manager primitives
+    - all      everything above
+
+    [--full] uses the paper-scale key ranges and thread counts (slow); the
+    default "quick" scale shrinks the big key range and the grid. *)
+
+let known =
+  [
+    "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "schemes"; "summary";
+    "ablate"; "micro"; "all";
+  ]
+
+let run_one ~scale = function
+  | "exp1" -> Experiments.exp1 ~scale
+  | "exp2" -> Experiments.exp2 ~scale
+  | "exp2-t4" -> Experiments.exp2_t4 ~scale
+  | "exp3" -> Experiments.exp3 ~scale
+  | "memfig" -> Experiments.memfig ~scale
+  | "schemes" -> Fig2.print ()
+  | "summary" -> Summary.run ~scale
+  | "ablate" -> Experiments.ablate ~scale
+  | "micro" -> Micro.run ()
+  | name -> Printf.eprintf "unknown experiment %S\n" name
+
+let main experiments full =
+  let scale =
+    if full then Experiments.full_scale else Experiments.quick_scale
+  in
+  let experiments = if experiments = [] then [ "all" ] else experiments in
+  let experiments =
+    if List.mem "all" experiments then
+      [
+        "schemes"; "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "summary";
+        "ablate"; "micro";
+      ]
+    else experiments
+  in
+  Printf.printf
+    "DEBRA/DEBRA+ reproduction benchmark harness (%s scale)\n\
+     machine models: %s | %s\n\
+     %!"
+    (if full then "full" else "quick")
+    Machine.Config.intel_i7_4770.Machine.Config.name
+    Machine.Config.oracle_t4_1.Machine.Config.name;
+  List.iter (run_one ~scale) experiments
+
+open Cmdliner
+
+let experiments_arg =
+  let doc =
+    Printf.sprintf "Experiments to run: %s." (String.concat ", " known)
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let full_arg =
+  let doc = "Run at paper scale (large key ranges, dense thread grid)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let cmd =
+  let doc = "Reproduce the tables and figures of the DEBRA/DEBRA+ paper" in
+  Cmd.v
+    (Cmd.info "debra-bench" ~doc)
+    Term.(const main $ experiments_arg $ full_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,106 @@
+(** A command-line playground: run one trial of a chosen data structure
+    under a chosen reclamation scheme on a simulated machine, and print all
+    the metrics the library collects.
+
+    Examples:
+      dune exec bin/debra_demo.exe -- --ds bst --scheme debra+ --procs 16
+      dune exec bin/debra_demo.exe -- --ds skiplist --scheme stacktrack \
+        --machine t4 --procs 32 --range 200000 --ins 25 --del 25 *)
+
+open Cmdliner
+
+let run ds scheme variant procs range ins del duration machine seed =
+  let machine =
+    match machine with
+    | "t4" -> Machine.Config.oracle_t4_1
+    | "i7" -> Machine.Config.intel_i7_4770
+    | other -> failwith (Printf.sprintf "unknown machine %S (i7|t4)" other)
+  in
+  match Workload.Schemes.find_runner ~ds ~variant ~scheme with
+  | None ->
+      Printf.eprintf
+        "no runner for ds=%s variant=%s scheme=%s; known combinations:\n" ds
+        variant scheme;
+      List.iter
+        (fun ((d, v), rs) ->
+          Printf.eprintf "  --ds %s (variant %s): %s\n" d v
+            (String.concat ", "
+               (List.map (fun r -> r.Workload.Schemes.rname) rs)))
+        Workload.Schemes.by_name;
+      exit 1
+  | Some r ->
+      let cfg =
+        {
+          Workload.Schemes.machine;
+          params = Reclaim.Intf.Params.default;
+          duration;
+          n = procs;
+          range;
+          ins;
+          del;
+          seed;
+          capacity = range + 400_000;
+        }
+      in
+      let o = r.Workload.Schemes.run cfg in
+      let open Workload.Trial in
+      Printf.printf "data structure : %s (keys [1,%d], %d%%i/%d%%d/%d%%s)\n" ds
+        range ins del
+        (100 - ins - del);
+      Printf.printf "scheme         : %s\n" o.scheme;
+      Printf.printf "machine        : %s, %d processes\n"
+        machine.Machine.Config.name procs;
+      Printf.printf "operations     : %d in %d cycles -> %.2f Mops/s%s\n" o.ops
+        o.virtual_time o.mops
+        (if o.oom then "  [ARENA EXHAUSTED]" else "");
+      Printf.printf "memory         : %s allocated, %s peak live\n"
+        (Workload.Report.fmt_bytes o.bytes_claimed)
+        (Workload.Report.fmt_bytes o.bytes_peak);
+      Printf.printf "reclamation    : %d allocs, %d frees, %d in limbo\n"
+        o.allocs o.frees o.limbo;
+      Printf.printf "signals        : %d sent, %d neutralizations\n"
+        o.signals_sent o.neutralized;
+      (match o.cache with
+      | Some c ->
+          Printf.printf
+            "cache model    : %d L1 hits, %d LLC hits, %d memory, %d \
+             invalidations\n"
+            c.Machine.Cache.l1_hits c.Machine.Cache.llc_hits
+            c.Machine.Cache.mem_accesses c.Machine.Cache.invalidations
+      | None -> ())
+
+let term =
+  let ds =
+    Arg.(value & opt string "bst" & info [ "ds" ] ~doc:"bst | skiplist | list")
+  in
+  let scheme =
+    Arg.(
+      value & opt string "debra"
+      & info [ "scheme" ]
+          ~doc:"none | ebr | debra | debra+ | hp | stacktrack | threadscan")
+  in
+  let variant =
+    Arg.(
+      value & opt string "exp2"
+      & info [ "variant" ] ~doc:"exp1 (no reuse) | exp2 (pool) | exp3 (malloc)")
+  in
+  let procs = Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"processes") in
+  let range = Arg.(value & opt int 10_000 & info [ "range" ] ~doc:"key range") in
+  let ins = Arg.(value & opt int 50 & info [ "ins" ] ~doc:"insert %") in
+  let del = Arg.(value & opt int 50 & info [ "del" ] ~doc:"delete %") in
+  let duration =
+    Arg.(value & opt int 2_000_000 & info [ "duration" ] ~doc:"virtual cycles")
+  in
+  let machine = Arg.(value & opt string "i7" & info [ "machine" ] ~doc:"i7 | t4") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"workload seed") in
+  Term.(
+    const run $ ds $ scheme $ variant $ procs $ range $ ins $ del $ duration
+    $ machine $ seed)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "debra_demo"
+             ~doc:"Run one simulated trial of a reclamation scheme")
+          term))

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Alloc Array Debra Debra_plus Ds Intf List Memory Pool Printf Random Reclaim Record_manager Runtime Sim

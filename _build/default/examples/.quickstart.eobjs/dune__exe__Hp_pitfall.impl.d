@@ -1,0 +1,1 @@
+examples/hp_pitfall.ml: Alloc Array Debra Ds Hp Intf Memory Pool Printf Random Reclaim Record_manager Runtime Sim Workload

@@ -1,0 +1,1 @@
+examples/hp_pitfall.mli:

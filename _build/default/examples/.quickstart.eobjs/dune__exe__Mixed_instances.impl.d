@@ -1,0 +1,1 @@
+examples/mixed_instances.ml: Array Ds Memory Printf Random Reclaim Runtime Sim Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ds Memory Printf Random Reclaim Runtime Sim Workload

@@ -1,0 +1,1 @@
+examples/swap_reclaimer.ml: Alloc Array Debra Debra_plus Ds Ebr Hp Intf Memory None_reclaimer Pool Printf Qsbr Random Rc Reclaim Record_manager Runtime Sim Workload

@@ -1,0 +1,68 @@
+(* Why hazard pointers and the EFRB tree don't mix (paper §3).
+
+   Searches in the tree can traverse pointers out of retired nodes, so a
+   process cannot reliably tell whether a node it wants to protect is still
+   in the tree.  The evaluation's workaround — restart the whole operation
+   whenever a traversal meets a node whose parent is flagged or marked —
+   keeps HP safe but forfeits lock-freedom, and the restarts plus the
+   fence-per-node protocol cost roughly half the throughput.
+
+   This demo measures the same contended update-heavy workload under DEBRA
+   and under HP, and reports the fence count (one per newly reached node
+   under HP, none under epochs) alongside throughput.
+
+   Run with: dune exec examples/hp_pitfall.exe *)
+
+open Reclaim
+
+module Demo (RM : Intf.RECORD_MANAGER) = struct
+  module Tree = Ds.Efrb_bst.Make (RM)
+
+  let run () =
+    let nprocs = 8 in
+    let group = Runtime.Group.create ~seed:3 nprocs in
+    let heap = Memory.Heap.create () in
+    let env = Intf.Env.create group heap in
+    let rm = RM.create env in
+    let tree = Tree.create rm ~capacity:400_000 in
+    let ctx0 = Runtime.Group.ctx group 0 in
+    (* Small, hot tree: updates constantly flag nodes near the root. *)
+    for key = 1 to 32 do
+      ignore (Tree.insert tree ctx0 ~key ~value:key)
+    done;
+    Array.iter Runtime.Ctx.reset_stats group.Runtime.Group.ctxs;
+    let body pid () =
+      let ctx = Runtime.Group.ctx group pid in
+      let rng = Random.State.make [| 13; pid |] in
+      for _ = 1 to 3_000 do
+        let key = 1 + Random.State.int rng 32 in
+        if Random.State.bool rng then
+          ignore (Tree.insert tree ctx ~key ~value:key)
+        else ignore (Tree.delete tree ctx key)
+      done
+    in
+    let result = Sim.run group (Array.init nprocs body) in
+    Tree.check_invariants tree;
+    let ops = Runtime.Group.sum_stats group (fun s -> s.Runtime.Ctx.ops) in
+    let fences = Runtime.Group.sum_stats group (fun s -> s.Runtime.Ctx.fences) in
+    Printf.printf
+      "%-8s lock-free helping: %-3s  %8.2f Mops/s   %7d fences  (%.1f fences/op)\n"
+      RM.Reclaimer.name
+      (if RM.allows_retired_traversal then "yes" else "NO")
+      (Workload.Trial.mops_of ~ops ~virtual_time:result.Sim.virtual_time)
+      fences
+      (float_of_int fences /. float_of_int (max 1 ops))
+end
+
+module RM_debra = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Debra.Make)
+module RM_hp = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Hp.Make)
+module D_debra = Demo (RM_debra)
+module D_hp = Demo (RM_hp)
+
+let () =
+  print_endline
+    "Contended EFRB tree (32 keys, 8 processes, 100% updates): under HP,\n\
+     operations restart whenever they meet a flagged node and pay a fence\n\
+     per node reached; under DEBRA they help and sail through retired nodes.";
+  D_debra.run ();
+  D_hp.run ()

@@ -1,0 +1,83 @@
+(* The paper's fifth motivation for the Record Manager (§1): "if several
+   instances of a data structure are used for very different purposes (e.g.,
+   many small trees with strict memory footprint requirements and one large
+   tree with no such requirement), then it may be appropriate to use
+   different memory reclamation schemes for the different instances."
+
+   Here: one program holds
+   - a large BST under DEBRA (throughput-oriented; roomy limbo bags), and
+   - a small hash set under HP (strict footprint: at most nk + O(nk)
+     unreclaimed records, at the cost of a fence per node reached),
+   each with its own Record Manager, running on the same simulated machine.
+
+   Run with: dune exec examples/mixed_instances.exe *)
+
+module RM_throughput =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Debra.Make)
+module RM_footprint =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Hp.Make)
+
+module Big_tree = Ds.Efrb_bst.Make (RM_throughput)
+module Small_set = Ds.Hash_set_lf.Make (RM_footprint)
+
+let () =
+  let nprocs = 4 in
+  let group = Runtime.Group.create ~seed:5 nprocs in
+  (* Each instance gets its own heap and environment. *)
+  let heap_tree = Memory.Heap.create () in
+  let heap_set = Memory.Heap.create () in
+  let params_strict =
+    (* Small buffers: reclaim eagerly, keep the footprint tight. *)
+    { Reclaim.Intf.Params.default with Reclaim.Intf.Params.block_capacity = 16; hp_retire_factor = 1 }
+  in
+  let rm_tree =
+    RM_throughput.create (Reclaim.Intf.Env.create group heap_tree)
+  in
+  let rm_set =
+    RM_footprint.create
+      (Reclaim.Intf.Env.create ~params:params_strict group heap_set)
+  in
+  let tree = Big_tree.create rm_tree ~capacity:200_000 in
+  let set = Small_set.create rm_set ~buckets:16 ~capacity:20_000 in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  let rng0 = Random.State.make [| 1 |] in
+  for _ = 1 to 5_000 do
+    ignore
+      (Big_tree.insert tree ctx0 ~key:(1 + Random.State.int rng0 20_000) ~value:1)
+  done;
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    let rng = Random.State.make [| 9; pid |] in
+    for _ = 1 to 4_000 do
+      (* 80% of traffic goes to the big tree, 20% churns the small set. *)
+      if Random.State.int rng 5 > 0 then begin
+        let key = 1 + Random.State.int rng 20_000 in
+        if Random.State.bool rng then
+          ignore (Big_tree.insert tree ctx ~key ~value:key)
+        else ignore (Big_tree.delete tree ctx key)
+      end
+      else begin
+        let key = Random.State.int rng 64 in
+        if Random.State.bool rng then
+          ignore (Small_set.insert set ctx ~key ~value:key)
+        else ignore (Small_set.delete set ctx key)
+      end
+    done
+  in
+  let result = Sim.run group (Array.init nprocs body) in
+  Big_tree.check_invariants tree;
+  Small_set.check_invariants set;
+  let ops = Runtime.Group.sum_stats group (fun s -> s.Runtime.Ctx.ops) in
+  Printf.printf "%d operations in %d cycles (%.2f Mops/s)\n" ops
+    result.Sim.virtual_time
+    (Workload.Trial.mops_of ~ops ~virtual_time:result.Sim.virtual_time);
+  Printf.printf
+    "big tree  (%s):%7d keys,%7d records unreclaimed (roomy: throughput first)\n"
+    RM_throughput.scheme_name (Big_tree.size tree)
+    (RM_throughput.limbo_size rm_tree);
+  Printf.printf
+    "small set (%s):%7d keys,%7d records unreclaimed (tight: footprint first)\n"
+    RM_footprint.scheme_name (Small_set.size set)
+    (RM_footprint.limbo_size rm_set)

@@ -1,0 +1,1 @@
+lib/arena/arena.ml: Array Atomic Printf Ptr Runtime

@@ -1,0 +1,1 @@
+lib/arena/heap.ml: Arena Array Ptr

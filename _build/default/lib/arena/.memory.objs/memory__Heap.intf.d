@@ -1,0 +1,1 @@
+lib/arena/heap.mli: Arena Ptr Runtime

@@ -1,0 +1,1 @@
+lib/arena/ptr.ml: Format

@@ -1,0 +1,1 @@
+lib/arena/ptr.mli: Format

@@ -1,0 +1,28 @@
+(** A heap groups the arenas of one data structure instance so that
+    reclamation code can dispatch on a pointer's arena id.  Create one heap
+    per experiment/trial. *)
+
+type t
+
+val create : unit -> t
+
+(** [new_arena t ~name ~mut_fields ~const_fields ~capacity] creates an arena
+    registered in this heap (at most {!Ptr.max_arenas}). *)
+val new_arena :
+  t -> name:string -> mut_fields:int -> const_fields:int -> capacity:int -> Arena.t
+
+val arena_of : t -> Ptr.t -> Arena.t
+val arenas : t -> Arena.t list
+
+(** [release t ctx p ~recycle] frees [p] in its owning arena. *)
+val release : t -> Runtime.Ctx.t -> Ptr.t -> recycle:bool -> unit
+
+val set_checking : t -> bool -> unit
+
+(** Aggregated statistics over all arenas. *)
+
+val live_records : t -> int
+val bytes_claimed : t -> int
+val bytes_peak : t -> int
+val total_allocs : t -> int
+val total_frees : t -> int

@@ -1,0 +1,33 @@
+type t = int
+
+let gen_bits = 20
+let gen_mask = (1 lsl gen_bits) - 1
+let arena_bits = 4
+let max_arenas = 1 lsl arena_bits
+let arena_mask = max_arenas - 1
+
+let null = 0
+let is_null p = p land -2 = 0
+
+let make ~arena ~slot ~gen =
+  assert (arena >= 0 && arena < max_arenas);
+  assert (slot >= 0);
+  (((((slot + 1) lsl gen_bits) lor (gen land gen_mask)) lsl arena_bits)
+  lor arena)
+  lsl 1
+
+let mark p = p lor 1
+let unmark p = p land -2
+let is_marked p = p land 1 = 1
+
+let arena_id p = (p lsr 1) land arena_mask
+let gen p = (p lsr (1 + arena_bits)) land gen_mask
+let slot p = (p lsr (1 + arena_bits + gen_bits)) - 1
+
+let pp fmt p =
+  if is_null p then Format.fprintf fmt "null%s" (if is_marked p then "!" else "")
+  else
+    Format.fprintf fmt "a%d/s%d/g%d%s" (arena_id p) (slot p) (gen p)
+      (if is_marked p then "!" else "")
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,35 @@
+(** Tagged record pointers.
+
+    A pointer packs, into one immediate integer: a mark bit (used by
+    lock-free algorithms that mark a pointer before removing its target), the
+    owning arena's id within its heap, a 20-bit allocation generation, and
+    the slot index.  The generation tag is what lets the arena detect
+    use-after-free and ABA on reused slots: a freed slot's generation is
+    bumped, so any surviving pointer to the old incarnation no longer
+    validates.
+
+    Layout (bit 0 = LSB):  [ slot+1 | gen:20 | arena:4 | mark:1 ]. *)
+
+type t = int
+
+val null : t
+
+(** [is_null p] ignores the mark bit, so a marked null is still null. *)
+val is_null : t -> bool
+
+val make : arena:int -> slot:int -> gen:int -> t
+
+val mark : t -> t
+val unmark : t -> t
+val is_marked : t -> bool
+
+val arena_id : t -> int
+val slot : t -> int
+val gen : t -> int
+
+val gen_bits : int
+val gen_mask : int
+val max_arenas : int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

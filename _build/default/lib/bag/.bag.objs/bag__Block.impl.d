@@ -1,0 +1,1 @@
+lib/bag/block.ml: Array

@@ -1,0 +1,1 @@
+lib/bag/block_pool.ml: Block

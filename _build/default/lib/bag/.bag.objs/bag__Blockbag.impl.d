@@ -1,0 +1,1 @@
+lib/bag/blockbag.ml: Array Block Block_pool

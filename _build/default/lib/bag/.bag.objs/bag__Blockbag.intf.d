@@ -1,0 +1,1 @@
+lib/bag/blockbag.mli: Block Block_pool

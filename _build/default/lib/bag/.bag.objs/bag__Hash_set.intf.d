@@ -1,0 +1,1 @@
+lib/bag/hash_set.mli:

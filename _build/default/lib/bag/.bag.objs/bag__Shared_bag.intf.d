@@ -1,0 +1,1 @@
+lib/bag/shared_bag.mli: Block Runtime

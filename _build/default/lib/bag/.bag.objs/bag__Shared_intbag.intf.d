@@ -1,0 +1,1 @@
+lib/bag/shared_intbag.mli: Runtime

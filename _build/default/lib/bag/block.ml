@@ -1,0 +1,26 @@
+type t = { data : int array; mutable count : int; mutable next : t }
+
+let rec nil = { data = [||]; count = 0; next = nil }
+let is_nil b = b == nil
+
+let create cap =
+  assert (cap > 0);
+  { data = Array.make cap 0; count = 0; next = nil }
+
+let capacity b = Array.length b.data
+let is_full b = b.count = Array.length b.data
+let is_empty b = b.count = 0
+
+let push b x =
+  assert (not (is_full b));
+  b.data.(b.count) <- x;
+  b.count <- b.count + 1
+
+let pop b =
+  assert (not (is_empty b));
+  b.count <- b.count - 1;
+  b.data.(b.count)
+
+let chain_length b =
+  let rec go b acc = if is_nil b then acc else go b.next (acc + 1) in
+  go b 0

@@ -1,0 +1,23 @@
+(** Fixed-capacity blocks of record pointers: the unit of bulk transfer
+    between limbo bags, the object pool and the shared bag (paper §4,
+    "Block bags"). *)
+
+type t = {
+  data : int array;
+  mutable count : int;
+  mutable next : t;  (** [nil] terminates chains *)
+}
+
+(** Distinguished sentinel terminating block chains. *)
+val nil : t
+
+val is_nil : t -> bool
+val create : int -> t
+val capacity : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+val push : t -> int -> unit
+val pop : t -> int
+
+(** [chain_length b] counts blocks from [b] to [nil]. *)
+val chain_length : t -> int

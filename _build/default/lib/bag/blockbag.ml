@@ -1,0 +1,112 @@
+type t = { pool : Block_pool.t; mutable head : Block.t; mutable size : int }
+
+let create pool = { pool; head = Block_pool.get pool; size = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+let size_in_blocks t = Block.chain_length t.head
+
+let add t x =
+  if Block.is_full t.head then begin
+    let b = Block_pool.get t.pool in
+    b.Block.next <- t.head;
+    t.head <- b
+  end;
+  Block.push t.head x;
+  t.size <- t.size + 1
+
+let pop t =
+  if Block.is_empty t.head && not (Block.is_nil t.head.Block.next) then begin
+    let old = t.head in
+    t.head <- old.Block.next;
+    Block_pool.put t.pool old
+  end;
+  if Block.is_empty t.head then None
+  else begin
+    t.size <- t.size - 1;
+    Some (Block.pop t.head)
+  end
+
+let add_block t b =
+  assert (Block.is_full b);
+  b.Block.next <- t.head.Block.next;
+  t.head.Block.next <- b;
+  t.size <- t.size + b.Block.count
+
+let move_all_full_blocks t ~into =
+  let rec go b moved =
+    if Block.is_nil b then moved
+    else begin
+      let next = b.Block.next in
+      let n = b.Block.count in
+      b.Block.next <- Block.nil;
+      into b;
+      go next (moved + n)
+    end
+  in
+  let moved = go t.head.Block.next 0 in
+  t.head.Block.next <- Block.nil;
+  t.size <- t.size - moved;
+  moved
+
+let iter t f =
+  let rec go b =
+    if not (Block.is_nil b) then begin
+      for i = 0 to b.Block.count - 1 do
+        f b.Block.data.(i)
+      done;
+      go b.Block.next
+    end
+  in
+  go t.head
+
+type cursor = { mutable blk : Block.t; mutable idx : int }
+
+let skip_empty c =
+  while (not (Block.is_nil c.blk)) && c.idx >= c.blk.Block.count do
+    c.blk <- c.blk.Block.next;
+    c.idx <- 0
+  done
+
+let cursor t =
+  let c = { blk = t.head; idx = 0 } in
+  skip_empty c;
+  c
+
+let at_end c = Block.is_nil c.blk
+
+let get c =
+  assert (not (at_end c));
+  c.blk.Block.data.(c.idx)
+
+let set c v =
+  assert (not (at_end c));
+  c.blk.Block.data.(c.idx) <- v
+
+let advance c =
+  assert (not (at_end c));
+  c.idx <- c.idx + 1;
+  skip_empty c
+
+let swap c1 c2 =
+  let v1 = get c1 and v2 = get c2 in
+  set c1 v2;
+  set c2 v1
+
+let move_full_blocks_after t c ~into =
+  if at_end c then 0
+  else begin
+    let rec go b moved =
+      if Block.is_nil b then moved
+      else begin
+        let next = b.Block.next in
+        let n = b.Block.count in
+        b.Block.next <- Block.nil;
+        into b;
+        go next (moved + n)
+      end
+    in
+    let moved = go c.blk.Block.next 0 in
+    c.blk.Block.next <- Block.nil;
+    t.size <- t.size - moved;
+    moved
+  end

@@ -1,0 +1,46 @@
+(** A blockbag: a singly-linked list of blocks holding record pointers, with
+    O(1) add/remove and O(1)-per-block bulk transfer of full blocks
+    (paper §4).  Process-local; blocks are recycled through a {!Block_pool}.
+
+    Invariant: every block after the head is full. *)
+
+type t
+
+val create : Block_pool.t -> t
+val is_empty : t -> bool
+
+(** Number of records, O(1). *)
+val size : t -> int
+
+val size_in_blocks : t -> int
+
+val add : t -> int -> unit
+val pop : t -> int option
+
+(** [add_block t b] splices a full block into [t] (taking ownership). *)
+val add_block : t -> Block.t -> unit
+
+(** [move_all_full_blocks t ~into] detaches every full non-head block and
+    hands each to [into]; returns the number of records moved. *)
+val move_all_full_blocks : t -> into:(Block.t -> unit) -> int
+
+val iter : t -> (int -> unit) -> unit
+
+(** Cursors support DEBRA+'s partition step: records pointed to by hazard
+    pointers are swapped to the front of the bag, then all full blocks after
+    the cursor are transferred in bulk. *)
+
+type cursor
+
+val cursor : t -> cursor
+val at_end : cursor -> bool
+val get : cursor -> int
+val set : cursor -> int -> unit
+val advance : cursor -> unit
+
+(** [swap c1 c2] exchanges the records at two cursor positions. *)
+val swap : cursor -> cursor -> unit
+
+(** [move_full_blocks_after t c ~into] detaches all blocks strictly after
+    [c]'s block; returns the number of records moved. *)
+val move_full_blocks_after : t -> cursor -> into:(Block.t -> unit) -> int

@@ -1,0 +1,11 @@
+(** Process-local open-addressing hash set of pointers, used to scan hazard
+    pointers in expected O(1) per lookup (paper §3/§5).  [clear] is O(1)
+    via generation stamping, so one set can be reused across scans. *)
+
+type t
+
+val create : expected:int -> t
+val insert : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+val population : t -> int

@@ -1,0 +1,20 @@
+type node = Nil | Cons of Block.t * node
+type t = { head : node Runtime.Svar.t }
+
+let create () = { head = Runtime.Svar.make Nil }
+
+let rec push ctx t b =
+  let old = Runtime.Svar.get ctx t.head in
+  if not (Runtime.Svar.cas ctx t.head ~expect:old (Cons (b, old))) then
+    push ctx t b
+
+let rec pop ctx t =
+  match Runtime.Svar.get ctx t.head with
+  | Nil -> None
+  | Cons (b, rest) as old ->
+      if Runtime.Svar.cas ctx t.head ~expect:old rest then Some b
+      else pop ctx t
+
+let size_in_blocks t =
+  let rec go n acc = match n with Nil -> acc | Cons (_, r) -> go r (acc + 1) in
+  go (Runtime.Svar.peek t.head) 0

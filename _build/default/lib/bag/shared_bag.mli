@@ -1,0 +1,19 @@
+(** The lock-free shared bag of full blocks (paper §4, "Object pool").
+
+    Processes move whole blocks between their pool bags and this bag, which
+    keeps synchronization costs per record negligible.  Implemented as a
+    Treiber stack over immutable cons cells, so OCaml's GC rules out ABA on
+    the stack spine while block ownership transfers hand-over-hand. *)
+
+type t
+
+val create : unit -> t
+
+(** [push ctx t b] publishes full block [b] (takes ownership). *)
+val push : Runtime.Ctx.t -> t -> Block.t -> unit
+
+(** [pop ctx t] takes one full block, transferring ownership to the caller. *)
+val pop : Runtime.Ctx.t -> t -> Block.t option
+
+(** Uninstrumented size, for tests and reports (O(n)). *)
+val size_in_blocks : t -> int

@@ -1,0 +1,1 @@
+lib/ds/efrb_bst.ml: List Memory Reclaim Runtime

@@ -1,0 +1,1 @@
+lib/ds/efrb_bst.mli: Memory Reclaim Runtime

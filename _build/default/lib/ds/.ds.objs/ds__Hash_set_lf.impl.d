@@ -1,0 +1,1 @@
+lib/ds/hash_set_lf.ml: Array Hm_list List Reclaim

@@ -1,0 +1,1 @@
+lib/ds/hash_set_lf.mli: Hm_list Reclaim Runtime

@@ -1,0 +1,1 @@
+lib/ds/hm_list.ml: List Memory Reclaim Runtime

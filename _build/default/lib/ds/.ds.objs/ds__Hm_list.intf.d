@@ -1,0 +1,1 @@
+lib/ds/hm_list.mli: Memory Reclaim Runtime

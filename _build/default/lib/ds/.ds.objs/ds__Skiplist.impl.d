@@ -1,0 +1,1 @@
+lib/ds/skiplist.ml: Array List Memory Random Reclaim Runtime

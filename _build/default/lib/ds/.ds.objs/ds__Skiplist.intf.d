@@ -1,0 +1,1 @@
+lib/ds/skiplist.mli: Memory Reclaim Runtime

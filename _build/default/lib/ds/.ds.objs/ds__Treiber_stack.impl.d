@@ -1,0 +1,1 @@
+lib/ds/treiber_stack.ml: List Memory Reclaim Runtime

@@ -1,0 +1,530 @@
+(** Non-blocking external binary search tree in the style of Ellen,
+    Fatourou, Ruppert and van Breugel (PODC 2010) — the descriptor/flag/
+    mark/help machinery used by the paper's balanced BST, without the
+    rebalancing (uniform keys keep expected depth logarithmic; see
+    DESIGN.md).
+
+    Why this tree matters for the paper: searches can traverse pointers from
+    retired nodes to other retired nodes, which is exactly the pattern that
+    defeats plain hazard pointers (§3).  Under an HP-style reclaimer this
+    implementation uses the evaluation's workaround — validate that the
+    parent is unflagged and restart the whole operation on any suspicion —
+    which costs HP its lock-free progress, as the paper discusses.
+
+    Memory layout: three arenas (internal nodes, leaves, descriptors).  An
+    internal node's [update] word packs (state, descriptor slot+generation)
+    into one CASable integer; descriptors themselves are immutable once
+    published.  Descriptors are reclaimed by retire-on-overwrite: the
+    process whose CAS replaces the descriptor in an update word retires the
+    old one (each word value is CASed out at most once, so each descriptor
+    is retired exactly once, when the flag CAS or mark CAS that overwrites
+    it succeeds).
+
+    Each modify operation follows Fig. 5 of the paper: descriptors are
+    allocated in a quiescent preamble, the body RProtects every record its
+    help routine touches (then the descriptor last), and a [published] flag
+    — set atomically-with-the-CAS from the signal handler's perspective —
+    lets recovery decide between re-helping the published descriptor and
+    restarting. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  (* Internal node fields *)
+  let f_left = 0
+  let f_right = 1
+  let f_update = 2
+  let c_ikey = 0
+
+  (* Leaf fields *)
+  let c_key = 0
+  let c_value = 1
+
+  (* Descriptor (Info) fields *)
+  let c_tag = 0
+  let c_gp = 1
+  let c_p = 2
+  let c_l = 3
+  let c_new = 4
+  let c_pupdate = 5
+
+  let tag_iinfo = 1
+  let tag_dinfo = 2
+
+  (* Update-word states *)
+  let clean = 0
+  let iflag = 1
+  let dflag = 2
+  let mark = 3
+
+  let inf1 = max_int - 1
+  let inf2 = max_int
+
+  type t = {
+    rm : RM.t;
+    internal : Memory.Arena.t;
+    leaf : Memory.Arena.t;
+    info : Memory.Arena.t;
+    root : Memory.Ptr.t;
+  }
+
+  (* Update words pack (state, info slot+1, info generation).  Generation
+     bits make stale descriptors compare unequal, mirroring the tagged
+     pointers used everywhere else. *)
+
+  let pack_info t p =
+    if Memory.Ptr.is_null p then 0
+    else begin
+      assert (Memory.Ptr.arena_id p = Memory.Arena.heap_id t.info);
+      ((Memory.Ptr.slot p + 1) lsl Memory.Ptr.gen_bits) lor Memory.Ptr.gen p
+    end
+
+  let pack t ~state ~info = (pack_info t info lsl 2) lor state
+  let state_of w = w land 3
+
+  let info_of t w =
+    let body = w lsr 2 in
+    let slot1 = body lsr Memory.Ptr.gen_bits in
+    if slot1 = 0 then Memory.Ptr.null
+    else
+      Memory.Ptr.make
+        ~arena:(Memory.Arena.heap_id t.info)
+        ~slot:(slot1 - 1)
+        ~gen:(body land Memory.Ptr.gen_mask)
+
+  let create rm ~capacity =
+    let env = RM.env rm in
+    let heap = env.Reclaim.Intf.Env.heap in
+    let internal =
+      Memory.Heap.new_arena heap ~name:"bst.internal" ~mut_fields:3
+        ~const_fields:1 ~capacity:(capacity + 2)
+    in
+    let leaf =
+      Memory.Heap.new_arena heap ~name:"bst.leaf" ~mut_fields:0 ~const_fields:2
+        ~capacity:(capacity + 3)
+    in
+    let info =
+      Memory.Heap.new_arena heap ~name:"bst.info" ~mut_fields:0 ~const_fields:6
+        ~capacity:(capacity + 2)
+    in
+    let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
+    let t = { rm; internal; leaf; info; root = Memory.Ptr.null } in
+    let l1 = RM.alloc rm ctx leaf in
+    Memory.Arena.set_const ctx leaf l1 c_key inf1;
+    Memory.Arena.set_const ctx leaf l1 c_value 0;
+    let l2 = RM.alloc rm ctx leaf in
+    Memory.Arena.set_const ctx leaf l2 c_key inf2;
+    Memory.Arena.set_const ctx leaf l2 c_value 0;
+    let root = RM.alloc rm ctx internal in
+    Memory.Arena.set_const ctx internal root c_ikey inf2;
+    Memory.Arena.write ctx internal root f_left l1;
+    Memory.Arena.write ctx internal root f_right l2;
+    Memory.Arena.write ctx internal root f_update 0;
+    { t with root }
+
+  let is_leaf t p = Memory.Ptr.arena_id p = Memory.Arena.heap_id t.leaf
+
+  let key_of t ctx p =
+    if is_leaf t p then Memory.Arena.get_const ctx t.leaf p c_key
+    else Memory.Arena.get_const ctx t.internal p c_ikey
+
+  let update_of t ctx p = Memory.Arena.read ctx t.internal p f_update
+  let left_of t ctx p = Memory.Arena.read ctx t.internal p f_left
+  let right_of t ctx p = Memory.Arena.read ctx t.internal p f_right
+
+  exception Restart
+
+  (* HP-style validation for a traversal step: the child was re-read from an
+     unflagged parent.  Once a node is marked its update word never changes,
+     and nodes are marked before they are retired, so [Clean] at validation
+     time proves the child had not been retired when our announcement became
+     visible.  Anything other than Clean is "suspicious" and restarts the
+     operation — the paper's workaround, which forfeits lock-freedom. *)
+  let protect_child t ctx ~parent ~child =
+    RM.protect t.rm ctx child ~verify:(fun () ->
+        state_of (update_of t ctx parent) = clean
+        && (left_of t ctx parent = child || right_of t ctx parent = child))
+
+  type found = {
+    gp : Memory.Ptr.t;  (* null iff p is the root *)
+    p : Memory.Ptr.t;
+    l : Memory.Ptr.t;
+    pupdate : int;
+    gpupdate : int;
+  }
+
+  (* Search from the root.  Under HP, [gp], [p] and [l] are protected on
+     return; epoch schemes traverse (possibly retired) nodes freely. *)
+  let search t ctx key =
+    let unprotect_maybe p =
+      if (not (Memory.Ptr.is_null p)) && p <> t.root then
+        RM.unprotect t.rm ctx p
+    in
+    let rec step gp gpupdate p pupdate l =
+      if is_leaf t l then { gp; p; l; pupdate; gpupdate }
+      else begin
+        let gp' = p and gpupdate' = pupdate in
+        let p' = l in
+        let pupdate' = update_of t ctx p' in
+        let l' =
+          if key < key_of t ctx p' then left_of t ctx p'
+          else right_of t ctx p'
+        in
+        if not (protect_child t ctx ~parent:p' ~child:l') then raise Restart;
+        unprotect_maybe gp;
+        step gp' gpupdate' p' pupdate' l'
+      end
+    in
+    let rec from_root () =
+      let pupdate = update_of t ctx t.root in
+      let l =
+        if key < inf2 then left_of t ctx t.root else right_of t ctx t.root
+      in
+      if not (protect_child t ctx ~parent:t.root ~child:l) then begin
+        RM.unprotect_all t.rm ctx;
+        from_root ()
+      end
+      else
+        match step Memory.Ptr.null 0 t.root pupdate l with
+        | found -> found
+        | exception Restart ->
+            RM.unprotect_all t.rm ctx;
+            from_root ()
+    in
+    from_root ()
+
+  (* [cas_child parent old new_] replaces child [old] of [parent]; helpers
+     race benignly because each transition happens at most once. *)
+  let cas_child t ctx parent old new_ =
+    if left_of t ctx parent = old then
+      Memory.Arena.cas ctx t.internal parent f_left ~expect:old new_
+    else if right_of t ctx parent = old then
+      Memory.Arena.cas ctx t.internal parent f_right ~expect:old new_
+    else false
+
+  (* Retire the descriptor displaced by a successful update-word CAS. *)
+  let retire_overwritten t ctx ~old_word ~new_word =
+    let old_info = info_of t old_word and new_info = info_of t new_word in
+    if (not (Memory.Ptr.is_null old_info)) && old_info <> new_info then
+      RM.retire t.rm ctx old_info
+
+  (* Help routines.  [deep] tells whether we may recursively help unrelated
+     operations: true in operation bodies, false in neutralization recovery,
+     where only RProtected records may be touched. *)
+
+  let help_insert t ctx op =
+    let p = Memory.Arena.get_const ctx t.info op c_p in
+    let l = Memory.Arena.get_const ctx t.info op c_l in
+    let new_internal = Memory.Arena.get_const ctx t.info op c_new in
+    ignore (cas_child t ctx p l new_internal);
+    ignore
+      (Memory.Arena.cas ctx t.internal p f_update
+         ~expect:(pack t ~state:iflag ~info:op)
+         (pack t ~state:clean ~info:op))
+
+  let help_marked t ctx op =
+    let gp = Memory.Arena.get_const ctx t.info op c_gp in
+    let p = Memory.Arena.get_const ctx t.info op c_p in
+    let l = Memory.Arena.get_const ctx t.info op c_l in
+    let other =
+      if right_of t ctx p = l then left_of t ctx p else right_of t ctx p
+    in
+    if cas_child t ctx gp p other then begin
+      (* This process performed the removal: it retires both nodes. *)
+      RM.retire t.rm ctx p;
+      RM.retire t.rm ctx l
+    end;
+    ignore
+      (Memory.Arena.cas ctx t.internal gp f_update
+         ~expect:(pack t ~state:dflag ~info:op)
+         (pack t ~state:clean ~info:op))
+
+  let rec help_delete t ctx ~deep op =
+    let gp = Memory.Arena.get_const ctx t.info op c_gp in
+    let p = Memory.Arena.get_const ctx t.info op c_p in
+    let pupdate = Memory.Arena.get_const ctx t.info op c_pupdate in
+    let markw = pack t ~state:mark ~info:op in
+    let marked = Memory.Arena.cas ctx t.internal p f_update ~expect:pupdate markw in
+    if marked then retire_overwritten t ctx ~old_word:pupdate ~new_word:markw;
+    let current = update_of t ctx p in
+    if marked || current = markw then begin
+      help_marked t ctx op;
+      true
+    end
+    else begin
+      if deep then help t ctx current;
+      ignore
+        (Memory.Arena.cas ctx t.internal gp f_update
+           ~expect:(pack t ~state:dflag ~info:op)
+           (pack t ~state:clean ~info:op));
+      false
+    end
+
+  (* Dispatch on a flagged update word to help an unrelated operation.
+
+     Helping dereferences the other operation's descriptor and the records
+     it names — records that may already be retired.  Epoch-style schemes
+     make this safe (nothing a running operation can reach is freed), which
+     is why they suit this tree.  Under an HP-style scheme there is no
+     sound way to protect that chain (paper §3), so [help] does nothing and
+     the caller's retry loop spins until the operation's owner completes it
+     — the loss of lock-freedom the paper describes for HP. *)
+  and help t ctx w =
+    if RM.allows_retired_traversal then begin
+      let st = state_of w in
+      if st <> clean then begin
+        let op = info_of t w in
+        if st = iflag then help_insert t ctx op
+        else if st = mark then help_marked t ctx op
+        else ignore (help_delete t ctx ~deep:true op)
+      end
+    end
+
+  (* Operation shells (paper Fig. 5). *)
+
+  let finish_op t ctx =
+    RM.enter_qstate t.rm ctx;
+    if RM.supports_crash_recovery then RM.runprotect_all t.rm ctx;
+    RM.unprotect_all t.rm ctx;
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1
+
+  let contains t ctx key =
+    let r =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.runprotect_all t.rm ctx;
+          RM.unprotect_all t.rm ctx;
+          None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let { l; _ } = search t ctx key in
+          key_of t ctx l = key)
+    in
+    finish_op t ctx;
+    r
+
+  let get t ctx key =
+    let r =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.runprotect_all t.rm ctx;
+          RM.unprotect_all t.rm ctx;
+          None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let { l; _ } = search t ctx key in
+          if key_of t ctx l = key then
+            Some (Memory.Arena.get_const ctx t.leaf l c_value)
+          else None)
+    in
+    finish_op t ctx;
+    r
+
+  let rprotect_for_recovery t ctx ~records ~desc =
+    if RM.supports_crash_recovery then begin
+      List.iter
+        (fun r -> if not (Memory.Ptr.is_null r) then RM.rprotect t.rm ctx r)
+        records;
+      RM.rprotect t.rm ctx desc (* the descriptor last: it implies the rest *)
+    end
+
+  let insert t ctx ~key ~value =
+    assert (key < inf1);
+    (* Quiescent preamble: allocate the three records of an insertion. *)
+    let new_leaf = RM.alloc t.rm ctx t.leaf in
+    Memory.Arena.set_const ctx t.leaf new_leaf c_key key;
+    Memory.Arena.set_const ctx t.leaf new_leaf c_value value;
+    let new_internal = RM.alloc t.rm ctx t.internal in
+    let op = RM.alloc t.rm ctx t.info in
+    let published = ref false in
+    let result =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          if !published then begin
+            (* The descriptor is in the tree: finish our own operation using
+               only RProtected records, then report success. *)
+            help_insert t ctx op;
+            RM.runprotect_all t.rm ctx;
+            RM.unprotect_all t.rm ctx;
+            Some true
+          end
+          else begin
+            RM.runprotect_all t.rm ctx;
+            RM.unprotect_all t.rm ctx;
+            None
+          end)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let rec attempt () =
+            let { p; l; pupdate; _ } = search t ctx key in
+            if key_of t ctx l = key then false
+            else if state_of pupdate <> clean then begin
+              help t ctx pupdate;
+              RM.unprotect_all t.rm ctx;
+              attempt ()
+            end
+            else begin
+              let lkey = key_of t ctx l in
+              Memory.Arena.set_const ctx t.internal new_internal c_ikey
+                (max key lkey);
+              if key < lkey then begin
+                Memory.Arena.write ctx t.internal new_internal f_left new_leaf;
+                Memory.Arena.write ctx t.internal new_internal f_right l
+              end
+              else begin
+                Memory.Arena.write ctx t.internal new_internal f_left l;
+                Memory.Arena.write ctx t.internal new_internal f_right new_leaf
+              end;
+              Memory.Arena.write ctx t.internal new_internal f_update 0;
+              Memory.Arena.set_const ctx t.info op c_tag tag_iinfo;
+              Memory.Arena.set_const ctx t.info op c_gp Memory.Ptr.null;
+              Memory.Arena.set_const ctx t.info op c_p p;
+              Memory.Arena.set_const ctx t.info op c_l l;
+              Memory.Arena.set_const ctx t.info op c_new new_internal;
+              Memory.Arena.set_const ctx t.info op c_pupdate pupdate;
+              rprotect_for_recovery t ctx ~records:[ p; l ] ~desc:op;
+              let flagged = pack t ~state:iflag ~info:op in
+              if
+                Memory.Arena.cas ctx t.internal p f_update ~expect:pupdate
+                  flagged
+              then begin
+                published := true;
+                retire_overwritten t ctx ~old_word:pupdate ~new_word:flagged;
+                help_insert t ctx op;
+                true
+              end
+              else begin
+                help t ctx (update_of t ctx p);
+                if RM.supports_crash_recovery then RM.runprotect_all t.rm ctx;
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+            end
+          in
+          attempt ())
+    in
+    finish_op t ctx;
+    (* Quiescent postamble: an unsuccessful insert never published its
+       records — return them to the pool. *)
+    if not result then begin
+      RM.dealloc t.rm ctx new_leaf;
+      RM.dealloc t.rm ctx new_internal;
+      RM.dealloc t.rm ctx op
+    end;
+    result
+
+  type delete_outcome = Deleted | NotPresent | RetryOp
+
+  let delete t ctx key =
+    let rec op_loop () =
+      (* Quiescent preamble: a fresh descriptor per published attempt. *)
+      let op = RM.alloc t.rm ctx t.info in
+      let published = ref false in
+      let outcome =
+        RM.run_op t.rm ctx
+          ~recover:(fun () ->
+            if !published then begin
+              let finished = help_delete t ctx ~deep:false op in
+              RM.runprotect_all t.rm ctx;
+              RM.unprotect_all t.rm ctx;
+              Some (if finished then Deleted else RetryOp)
+            end
+            else begin
+              RM.runprotect_all t.rm ctx;
+              RM.unprotect_all t.rm ctx;
+              None
+            end)
+          (fun () ->
+            RM.leave_qstate t.rm ctx;
+            let rec attempt () =
+              let { gp; p; l; pupdate; gpupdate } = search t ctx key in
+              if key_of t ctx l <> key then NotPresent
+              else if state_of gpupdate <> clean then begin
+                help t ctx gpupdate;
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+              else if state_of pupdate <> clean then begin
+                help t ctx pupdate;
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+              else begin
+                Memory.Arena.set_const ctx t.info op c_tag tag_dinfo;
+                Memory.Arena.set_const ctx t.info op c_gp gp;
+                Memory.Arena.set_const ctx t.info op c_p p;
+                Memory.Arena.set_const ctx t.info op c_l l;
+                Memory.Arena.set_const ctx t.info op c_new Memory.Ptr.null;
+                Memory.Arena.set_const ctx t.info op c_pupdate pupdate;
+                rprotect_for_recovery t ctx ~records:[ gp; p; l ] ~desc:op;
+                let flagged = pack t ~state:dflag ~info:op in
+                if
+                  Memory.Arena.cas ctx t.internal gp f_update ~expect:gpupdate
+                    flagged
+                then begin
+                  published := true;
+                  retire_overwritten t ctx ~old_word:gpupdate ~new_word:flagged;
+                  if help_delete t ctx ~deep:true op then Deleted else RetryOp
+                end
+                else begin
+                  help t ctx (update_of t ctx gp);
+                  if RM.supports_crash_recovery then
+                    RM.runprotect_all t.rm ctx;
+                  RM.unprotect_all t.rm ctx;
+                  attempt ()
+                end
+              end
+            in
+            attempt ())
+      in
+      finish_op t ctx;
+      match outcome with
+      | Deleted -> true
+      | NotPresent ->
+          RM.dealloc t.rm ctx op;
+          false
+      | RetryOp -> op_loop ()
+    in
+    op_loop ()
+
+  (* Uninstrumented helpers for tests. *)
+
+  let to_list t =
+    let rec go acc p =
+      if is_leaf t p then
+        let k = Memory.Arena.peek_const t.leaf p c_key in
+        if k >= inf1 then acc else k :: acc
+      else
+        let acc = go acc (Memory.Arena.peek t.internal p f_left) in
+        go acc (Memory.Arena.peek t.internal p f_right)
+    in
+    List.rev (go [] t.root)
+
+  let size t = List.length (to_list t)
+
+  exception Broken of string
+
+  let check_invariants t =
+    (* BST order: every leaf key within (lo, hi]; reachable nodes valid.
+       The tree is unbalanced, so a path can legally be as long as the
+       number of internal nodes ever allocated; anything beyond that is a
+       cycle. *)
+    let max_depth = Memory.Arena.capacity t.internal + 2 in
+    let rec go p lo hi depth =
+      if depth > max_depth then raise (Broken "path longer than the arena: cycle");
+      if is_leaf t p then begin
+        if not (Memory.Arena.is_valid t.leaf p) then
+          raise (Broken "reachable freed leaf");
+        let k = Memory.Arena.peek_const t.leaf p c_key in
+        if not (k > lo && k <= hi) then raise (Broken "leaf out of range")
+      end
+      else begin
+        if not (Memory.Arena.is_valid t.internal p) then
+          raise (Broken "reachable freed internal node");
+        let k = Memory.Arena.peek_const t.internal p c_ikey in
+        if not (k > lo && k <= hi) then raise (Broken "internal out of range");
+        go (Memory.Arena.peek t.internal p f_left) lo (k - 1) (depth + 1);
+        go (Memory.Arena.peek t.internal p f_right) (k - 1) hi (depth + 1)
+      end
+    in
+    go t.root min_int max_int 0
+end

@@ -1,0 +1,67 @@
+(** Non-blocking external binary search tree (Ellen-Fatourou-Ruppert-van
+    Breugel style) over the Record Manager abstraction — the reproduction's
+    stand-in for the paper's balanced BST (see DESIGN.md and the
+    implementation header).
+
+    Keys must be below {!Make.inf1}; the two largest ints are sentinel
+    keys.  The tree is unbalanced: uniformly random keys give expected
+    logarithmic depth, sorted insertion degenerates to a list. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
+  (** Field indices and update-word states (exposed for tests). *)
+
+  val f_left : int
+  val f_right : int
+  val f_update : int
+  val c_ikey : int
+  val c_key : int
+  val c_value : int
+
+  val clean : int
+  val iflag : int
+  val dflag : int
+  val mark : int
+
+  val inf1 : int
+  val inf2 : int
+
+  type t = {
+    rm : RM.t;
+    internal : Memory.Arena.t;
+    leaf : Memory.Arena.t;
+    info : Memory.Arena.t;  (** operation descriptors *)
+    root : Memory.Ptr.t;
+  }
+
+  (** Update-word packing: (state, descriptor slot, descriptor generation)
+      in one CASable integer. *)
+
+  val pack : t -> state:int -> info:Memory.Ptr.t -> int
+  val state_of : int -> int
+  val info_of : t -> int -> Memory.Ptr.t
+
+  (** [create rm ~capacity] allocates the three arenas in [rm]'s heap and
+      builds the two-sentinel initial tree. *)
+  val create : RM.t -> capacity:int -> t
+
+  val is_leaf : t -> Memory.Ptr.t -> bool
+
+  (** Set operations (linearizable). *)
+
+  val contains : t -> Runtime.Ctx.t -> int -> bool
+  val get : t -> Runtime.Ctx.t -> int -> int option
+  val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
+  val delete : t -> Runtime.Ctx.t -> int -> bool
+
+  (** Uninstrumented inspection (quiescent callers only). *)
+
+  val to_list : t -> int list
+  val size : t -> int
+
+  exception Broken of string
+
+  (** [check_invariants t] walks the tree unsynchronized and raises
+      {!Broken} on BST-order violations, cycles, or reachable freed
+      records. *)
+  val check_invariants : t -> unit
+end

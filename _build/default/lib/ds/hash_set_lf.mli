@@ -1,0 +1,25 @@
+(** Lock-free closed-addressing hash set: a fixed array of Harris-Michael
+    bucket lists sharing one node arena and one Record Manager (the paper's
+    §1 many-small-instances scenario). *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
+  module Bucket : module type of Hm_list.Make (RM)
+
+  type t = { buckets : Bucket.t array; mask : int }
+
+  (** [create rm ~buckets ~capacity] makes a set with [buckets] (rounded up
+      to a power of two) bucket lists over a shared arena of [capacity]
+      records plus sentinels. *)
+  val create : RM.t -> buckets:int -> capacity:int -> t
+
+  val contains : t -> Runtime.Ctx.t -> int -> bool
+  val get : t -> Runtime.Ctx.t -> int -> int option
+  val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
+  val delete : t -> Runtime.Ctx.t -> int -> bool
+
+  (** Uninstrumented inspection (quiescent callers only). *)
+
+  val size : t -> int
+  val to_list : t -> int list
+  val check_invariants : t -> unit
+end

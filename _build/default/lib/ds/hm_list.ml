@@ -1,0 +1,242 @@
+(** Harris-Michael lock-free linked-list set, written once against the
+    Record Manager abstraction.
+
+    A node's [next] field carries the mark bit: a marked next pointer means
+    the node is logically deleted.  The process whose CAS physically unlinks
+    a node retires it with the Record Manager, which decides when it can be
+    reused.
+
+    Hazard-pointer discipline follows Michael's original algorithm: a newly
+    reached node is [protect]ed and then verified by re-reading the
+    predecessor's next pointer — sound here because nodes are retired only
+    after being unlinked, and the traversal restarts from the head on any
+    inconsistency.  Epoch-style reclaimers make [protect] free and let
+    traversals walk retired nodes.
+
+    Operations follow the paper's Fig. 5 shape: allocation in a quiescent
+    preamble, the body between [leave_qstate]/[enter_qstate].  Under DEBRA+
+    a neutralized operation simply restarts: every update is a single
+    published CAS, so there is no partial state to repair and no descriptor
+    to help. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  let f_next = 0 (* mutable: successor pointer; mark bit = logically deleted *)
+  let c_key = 0
+  let c_value = 1
+
+  type t = {
+    rm : RM.t;
+    arena : Memory.Arena.t;
+    head : Memory.Ptr.t;  (* sentinel, never retired *)
+  }
+
+  (* [create_in] builds a list whose nodes live in an existing arena, so
+     many lists (e.g. the buckets of a hash set) can share one arena and
+     one Record Manager. *)
+  let create_in arena rm =
+    let env = RM.env rm in
+    let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
+    let head = RM.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena head c_key min_int;
+    Memory.Arena.write ctx arena head f_next Memory.Ptr.null;
+    { rm; arena; head }
+
+  let node_arena rm ~capacity =
+    let env = RM.env rm in
+    Memory.Heap.new_arena env.Reclaim.Intf.Env.heap ~name:"hm_list.node"
+      ~mut_fields:1 ~const_fields:2 ~capacity:(capacity + 1)
+
+  let create rm ~capacity = create_in (node_arena rm ~capacity) rm
+
+  let arena t = t.arena
+  let key_of t ctx p = Memory.Arena.get_const ctx t.arena p c_key
+  let next_of t ctx p = Memory.Arena.read ctx t.arena p f_next
+
+  exception Restart
+
+  (* [find t ctx key] returns (prev, cur) with prev.next = cur, cur the
+     first node of key >= [key] (or null), and both protected (prev's
+     protection is skipped for the permanent head).  Marked nodes met along
+     the way are unlinked and retired. *)
+  let find t ctx key =
+    let rec from_head () =
+      match scan t.head (next_of t ctx t.head) with
+      | position -> position
+      | exception Restart ->
+          RM.unprotect_all t.rm ctx;
+          from_head ()
+    and scan prev cur =
+      if Memory.Ptr.is_null cur then (prev, cur)
+      else begin
+        let cur = Memory.Ptr.unmark cur in
+        let ok =
+          RM.protect t.rm ctx cur ~verify:(fun () -> next_of t ctx prev = cur)
+        in
+        if not ok then raise Restart;
+        let next = next_of t ctx cur in
+        if Memory.Ptr.is_marked next then begin
+          (* cur is logically deleted: unlink it. *)
+          let next = Memory.Ptr.unmark next in
+          if Memory.Arena.cas ctx t.arena prev f_next ~expect:cur next then begin
+            RM.retire t.rm ctx cur;
+            RM.unprotect t.rm ctx cur;
+            scan prev next
+          end
+          else raise Restart
+        end
+        else if key_of t ctx cur >= key then (prev, cur)
+        else begin
+          if prev <> t.head then RM.unprotect t.rm ctx prev;
+          scan cur next
+        end
+      end
+    in
+    from_head ()
+
+  (* Preamble/body/postamble shell shared by all operations. *)
+  let with_op t ctx body =
+    let result =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          (* Single-CAS updates leave nothing to help: clean up and restart. *)
+          RM.runprotect_all t.rm ctx;
+          RM.unprotect_all t.rm ctx;
+          None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let r = body () in
+          RM.enter_qstate t.rm ctx;
+          r)
+    in
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1;
+    result
+
+  let contains t ctx key =
+    with_op t ctx (fun () ->
+        let _, cur = find t ctx key in
+        (not (Memory.Ptr.is_null cur)) && key_of t ctx cur = key)
+
+  let get t ctx key =
+    with_op t ctx (fun () ->
+        let _, cur = find t ctx key in
+        if (not (Memory.Ptr.is_null cur)) && key_of t ctx cur = key then
+          Some (Memory.Arena.get_const ctx t.arena cur c_value)
+        else None)
+
+  let insert t ctx ~key ~value =
+    (* Quiescent preamble: allocate and initialize the candidate node; it
+       survives restarts and is released if the key turns out present. *)
+    let node = RM.alloc t.rm ctx t.arena in
+    Memory.Arena.set_const ctx t.arena node c_key key;
+    Memory.Arena.set_const ctx t.arena node c_value value;
+    let inserted =
+      with_op t ctx (fun () ->
+          let rec attempt () =
+            let prev, cur = find t ctx key in
+            if (not (Memory.Ptr.is_null cur)) && key_of t ctx cur = key then
+              false
+            else begin
+              Memory.Arena.write ctx t.arena node f_next cur;
+              if Memory.Arena.cas ctx t.arena prev f_next ~expect:cur node then
+                true
+              else begin
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+            end
+          in
+          attempt ())
+    in
+    if not inserted then RM.dealloc t.rm ctx node;
+    inserted
+
+  let delete t ctx key =
+    (* The mark CAS is the linearization point, but the operation keeps
+       accessing shared memory afterwards (the unlink attempt), so a
+       neutralization there must not restart the operation: [linearized]
+       plays the role of Fig. 5's descriptor check in recovery.  It is set
+       with no instrumented access (hence no neutralization point) between
+       the successful CAS and the assignment. *)
+    let linearized = ref false in
+    let result =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.runprotect_all t.rm ctx;
+          RM.unprotect_all t.rm ctx;
+          if !linearized then Some true else None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let rec attempt () =
+            let prev, cur = find t ctx key in
+            if Memory.Ptr.is_null cur || key_of t ctx cur <> key then false
+            else begin
+              let next = next_of t ctx cur in
+              if Memory.Ptr.is_marked next then begin
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+              else if
+                Memory.Arena.cas ctx t.arena cur f_next ~expect:next
+                  (Memory.Ptr.mark next)
+              then begin
+                linearized := true;
+                (* Logically deleted; unlink now or let a later find clean
+                   up. *)
+                if Memory.Arena.cas ctx t.arena prev f_next ~expect:cur next
+                then RM.retire t.rm ctx cur
+                else begin
+                  RM.unprotect_all t.rm ctx;
+                  ignore (find t ctx key)
+                end;
+                true
+              end
+              else begin
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+            end
+          in
+          let r = attempt () in
+          RM.enter_qstate t.rm ctx;
+          r)
+    in
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1;
+    result
+
+  (* Uninstrumented helpers for tests and invariant checks. *)
+
+  let to_list t =
+    let rec go acc p =
+      if Memory.Ptr.is_null p then List.rev acc
+      else
+        let p = Memory.Ptr.unmark p in
+        let key = Memory.Arena.peek_const t.arena p c_key in
+        let next = Memory.Arena.peek t.arena p f_next in
+        let acc = if Memory.Ptr.is_marked next then acc else key :: acc in
+        go acc next
+    in
+    go [] (Memory.Arena.peek t.arena t.head f_next)
+
+  let size t = List.length (to_list t)
+
+  exception Broken of string
+
+  let check_invariants t =
+    let rec go prev_key p n =
+      if n > Memory.Arena.capacity t.arena then
+        raise (Broken "cycle or overlong chain");
+      if not (Memory.Ptr.is_null p) then begin
+        let p = Memory.Ptr.unmark p in
+        if not (Memory.Arena.is_valid t.arena p) then
+          raise (Broken "reachable node is freed");
+        let key = Memory.Arena.peek_const t.arena p c_key in
+        let next = Memory.Arena.peek t.arena p f_next in
+        if not (Memory.Ptr.is_marked next) && key <= prev_key then
+          raise (Broken "keys not strictly increasing");
+        go (max key prev_key) next (n + 1)
+      end
+    in
+    go min_int (Memory.Arena.peek t.arena t.head f_next) 0
+end

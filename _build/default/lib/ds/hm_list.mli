@@ -1,0 +1,54 @@
+(** Harris-Michael lock-free linked-list set over the Record Manager
+    abstraction (see the implementation header for the algorithm notes).
+
+    All operations are linearizable.  Under schemes that support
+    neutralization (DEBRA+) every operation recovers per the paper's Fig. 5;
+    under HP-style schemes traversals validate each protection and restart
+    from the head on suspicion. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
+  (** Field indices of a node record (exposed for tests and fault
+      injection). *)
+
+  val f_next : int
+  val c_key : int
+  val c_value : int
+
+  type t = {
+    rm : RM.t;
+    arena : Memory.Arena.t;
+    head : Memory.Ptr.t;  (** sentinel node, never retired *)
+  }
+
+  (** [create rm ~capacity] allocates the node arena (capacity + sentinel)
+      in [rm]'s heap and returns an empty set. *)
+  val create : RM.t -> capacity:int -> t
+
+  (** [node_arena rm ~capacity] allocates an arena with this module's node
+      layout; [create_in arena rm] builds a list inside it.  Together they
+      let many lists (e.g. hash-set buckets) share one arena and one Record
+      Manager. *)
+
+  val node_arena : RM.t -> capacity:int -> Memory.Arena.t
+  val create_in : Memory.Arena.t -> RM.t -> t
+
+  val arena : t -> Memory.Arena.t
+
+  (** Set operations.  Keys are arbitrary ints above [min_int]. *)
+
+  val contains : t -> Runtime.Ctx.t -> int -> bool
+  val get : t -> Runtime.Ctx.t -> int -> int option
+  val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
+  val delete : t -> Runtime.Ctx.t -> int -> bool
+
+  (** Uninstrumented inspection (quiescent callers only). *)
+
+  val to_list : t -> int list
+  val size : t -> int
+
+  exception Broken of string
+
+  (** [check_invariants t] walks the list unsynchronized and raises
+      {!Broken} on unsorted keys, cycles, or reachable freed nodes. *)
+  val check_invariants : t -> unit
+end

@@ -1,0 +1,162 @@
+(** Michael-Scott lock-free FIFO queue over the Record Manager abstraction.
+
+    A dummy node anchors the queue; dequeue retires the old dummy.  HP
+    discipline follows Michael's original treatment: protect the observed
+    head (verify it is still the head — the dummy is retired only after the
+    head moves), then its successor (verify via the protected head's next
+    pointer). *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  let f_next = 0
+  let c_value = 0
+
+  type t = {
+    rm : RM.t;
+    arena : Memory.Arena.t;
+    head : int Runtime.Svar.t;  (* dummy node *)
+    tail : int Runtime.Svar.t;
+  }
+
+  let create rm ~capacity =
+    let env = RM.env rm in
+    let arena =
+      Memory.Heap.new_arena env.Reclaim.Intf.Env.heap ~name:"queue.node"
+        ~mut_fields:1 ~const_fields:1 ~capacity:(capacity + 1)
+    in
+    let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
+    let dummy = RM.alloc rm ctx arena in
+    Memory.Arena.write ctx arena dummy f_next Memory.Ptr.null;
+    { rm; arena; head = Runtime.Svar.make dummy; tail = Runtime.Svar.make dummy }
+
+  let finish_op _t ctx =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1
+
+  (* Fig. 5 recovery: the linearizing CAS (on the old tail's next pointer)
+     is followed by the tail swing, so a neutralized enqueue that already
+     linearized must report success — a lagging tail is repaired by other
+     operations' helping. *)
+  let enqueue t ctx value =
+    let node = RM.alloc t.rm ctx t.arena in
+    Memory.Arena.set_const ctx t.arena node c_value value;
+    Memory.Arena.write ctx t.arena node f_next Memory.Ptr.null;
+    let linearized = ref false in
+    RM.run_op t.rm ctx
+      ~recover:(fun () ->
+        RM.unprotect_all t.rm ctx;
+        if !linearized then Some () else None)
+      (fun () ->
+        RM.leave_qstate t.rm ctx;
+        let rec attempt () =
+      let tail = Runtime.Svar.get ctx t.tail in
+      if
+        not
+          (RM.protect t.rm ctx tail ~verify:(fun () ->
+               Runtime.Svar.get ctx t.tail = tail))
+      then attempt ()
+      else begin
+        let next = Memory.Arena.read ctx t.arena tail f_next in
+        if not (Memory.Ptr.is_null next) then begin
+          (* Help swing the lagging tail. *)
+          ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
+          RM.unprotect t.rm ctx tail;
+          attempt ()
+        end
+            else if
+              Memory.Arena.cas ctx t.arena tail f_next ~expect:Memory.Ptr.null
+                node
+            then begin
+              linearized := true;
+              ignore (Runtime.Svar.cas ctx t.tail ~expect:tail node);
+              RM.unprotect t.rm ctx tail
+            end
+            else begin
+              RM.unprotect t.rm ctx tail;
+              attempt ()
+            end
+          end
+        in
+        attempt ();
+        RM.enter_qstate t.rm ctx);
+    finish_op t ctx
+
+  (* Dequeue retires the old dummy after its linearizing CAS; as in the
+     stack, the only neutralization point after the CAS precedes the limbo
+     insertion, so recovery retires exactly once. *)
+  let dequeue t ctx =
+    let taken = ref None in
+    let r =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          match !taken with
+          | Some (node, v) ->
+              RM.retire t.rm ctx node;
+              Some (Some v)
+          | None -> None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let rec attempt () =
+      let head = Runtime.Svar.get ctx t.head in
+      if
+        not
+          (RM.protect t.rm ctx head ~verify:(fun () ->
+               Runtime.Svar.get ctx t.head = head))
+      then attempt ()
+      else begin
+        let tail = Runtime.Svar.get ctx t.tail in
+        let next = Memory.Arena.read ctx t.arena head f_next in
+        if Memory.Ptr.is_null next then begin
+          RM.unprotect t.rm ctx head;
+          None (* empty *)
+        end
+        else if
+          not
+            (RM.protect t.rm ctx next ~verify:(fun () ->
+                 Memory.Arena.read ctx t.arena head f_next = next))
+        then begin
+          RM.unprotect t.rm ctx head;
+          attempt ()
+        end
+        else if head = tail then begin
+          (* Tail is lagging: help it forward, then retry. *)
+          ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
+          RM.unprotect_all t.rm ctx;
+          attempt ()
+        end
+        else begin
+          let v = Memory.Arena.get_const ctx t.arena next c_value in
+          if Runtime.Svar.cas ctx t.head ~expect:head next then begin
+            taken := Some (head, v);
+            RM.retire t.rm ctx head;
+            RM.unprotect_all t.rm ctx;
+            Some v
+          end
+          else begin
+            RM.unprotect_all t.rm ctx;
+            attempt ()
+          end
+        end
+      end
+          in
+          let r = attempt () in
+          RM.enter_qstate t.rm ctx;
+          r)
+    in
+    finish_op t ctx;
+    r
+
+  (* Uninstrumented helpers. *)
+  let to_list t =
+    let rec go acc p =
+      if Memory.Ptr.is_null p then List.rev acc
+      else
+        go
+          (Memory.Arena.peek_const t.arena p c_value :: acc)
+          (Memory.Arena.peek t.arena p f_next)
+    in
+    (* Skip the dummy. *)
+    go [] (Memory.Arena.peek t.arena (Runtime.Svar.peek t.head) f_next)
+
+  let size t = List.length (to_list t)
+end

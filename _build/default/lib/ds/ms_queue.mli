@@ -1,0 +1,24 @@
+(** Michael-Scott lock-free FIFO queue over the Record Manager abstraction.
+    The dequeued dummy node is retired through the reclaimer; the lagging
+    tail is repaired by helping. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
+  val f_next : int
+  val c_value : int
+
+  type t = {
+    rm : RM.t;
+    arena : Memory.Arena.t;
+    head : int Runtime.Svar.t;  (** current dummy node *)
+    tail : int Runtime.Svar.t;
+  }
+
+  val create : RM.t -> capacity:int -> t
+  val enqueue : t -> Runtime.Ctx.t -> int -> unit
+  val dequeue : t -> Runtime.Ctx.t -> int option
+
+  (** Uninstrumented inspection (quiescent callers only). *)
+
+  val to_list : t -> int list
+  val size : t -> int
+end

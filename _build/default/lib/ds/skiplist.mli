@@ -1,0 +1,50 @@
+(** Lazy skip list: lock-based updates, lock-free wait-free searches — the
+    paper's second evaluation workload (see the implementation header).
+
+    Do not pair with DEBRA+ (neutralizing a lock holder leaves the lock
+    taken); the paper makes the same restriction.  HP-style schemes need
+    roughly [2 * max_level + 8] protection slots per process
+    ([Params.hp_slots]).  Keys must lie strictly between [min_int] and
+    [max_int] (the sentinel keys). *)
+
+val max_level : int
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
+  (** Field indices (exposed for tests and fault injection). *)
+
+  val c_key : int
+  val c_value : int
+  val c_top : int
+  val f_marked : int
+  val f_fully_linked : int
+  val f_lock : int
+  val f_next : int -> int
+
+  type t = {
+    rm : RM.t;
+    arena : Memory.Arena.t;
+    head : Memory.Ptr.t;
+    tail : Memory.Ptr.t;
+  }
+
+  val create : RM.t -> capacity:int -> t
+  val arena : t -> Memory.Arena.t
+
+  (** Set operations (linearizable). *)
+
+  val contains : t -> Runtime.Ctx.t -> int -> bool
+  val get : t -> Runtime.Ctx.t -> int -> int option
+  val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
+  val delete : t -> Runtime.Ctx.t -> int -> bool
+
+  (** Uninstrumented inspection (quiescent callers only). *)
+
+  val to_list : t -> int list
+  val size : t -> int
+
+  exception Broken of string
+
+  (** [check_invariants t] checks every level's list is sorted, towers
+      respect their heights, and no reachable node is freed. *)
+  val check_invariants : t -> unit
+end

@@ -1,0 +1,116 @@
+(** Treiber lock-free stack over the Record Manager abstraction.
+
+    The entry point is a single shared top pointer.  Because pointers carry
+    allocation generations, the classic Treiber ABA (pop reads top=A, A is
+    freed and reallocated as top again, stale CAS succeeds) is prevented for
+    any correct reclamation scheme and {e detected} for a broken one: a
+    stale CAS's expected pointer no longer matches after the slot's
+    generation is bumped.
+
+    HP discipline: protect the observed top and verify it is still the top;
+    nodes are retired only after being popped, so the verification is
+    sound. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  let f_next = 0
+  let c_value = 0
+
+  type t = {
+    rm : RM.t;
+    arena : Memory.Arena.t;
+    top : int Runtime.Svar.t;
+  }
+
+  let create rm ~capacity =
+    let env = RM.env rm in
+    let arena =
+      Memory.Heap.new_arena env.Reclaim.Intf.Env.heap ~name:"stack.node"
+        ~mut_fields:1 ~const_fields:1 ~capacity
+    in
+    { rm; arena; top = Runtime.Svar.make Memory.Ptr.null }
+
+  let finish_op _t ctx =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1
+
+  (* The publishing CAS is the last shared access of a push, so a
+     neutralized push can always restart. *)
+  let push t ctx value =
+    let node = RM.alloc t.rm ctx t.arena in
+    Memory.Arena.set_const ctx t.arena node c_value value;
+    RM.run_op t.rm ctx
+      ~recover:(fun () ->
+        RM.unprotect_all t.rm ctx;
+        None)
+      (fun () ->
+        RM.leave_qstate t.rm ctx;
+        let rec attempt () =
+          let top = Runtime.Svar.get ctx t.top in
+          Memory.Arena.write ctx t.arena node f_next top;
+          if not (Runtime.Svar.cas ctx t.top ~expect:top node) then attempt ()
+        in
+        attempt ();
+        RM.enter_qstate t.rm ctx);
+    finish_op t ctx
+
+  (* Pop retires the node after its linearizing CAS, so recovery must finish
+     that bookkeeping instead of restarting (cf. Fig. 5): [taken] holds the
+     popped node and its value once the CAS succeeded; the only
+     neutralization point after the CAS is inside [retire], before the node
+     enters the limbo bag, so retiring in recovery is exactly-once. *)
+  let pop t ctx =
+    let taken = ref None in
+    let r =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          match !taken with
+          | Some (node, v) ->
+              RM.retire t.rm ctx node;
+              Some (Some v)
+          | None -> None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let rec attempt () =
+            let top = Runtime.Svar.get ctx t.top in
+            if Memory.Ptr.is_null top then None
+            else if
+              not
+                (RM.protect t.rm ctx top ~verify:(fun () ->
+                     Runtime.Svar.get ctx t.top = top))
+            then attempt ()
+            else begin
+              let next = Memory.Arena.read ctx t.arena top f_next in
+              let v = Memory.Arena.get_const ctx t.arena top c_value in
+              if Runtime.Svar.cas ctx t.top ~expect:top next then begin
+                taken := Some (top, v);
+                RM.retire t.rm ctx top;
+                RM.unprotect t.rm ctx top;
+                Some v
+              end
+              else begin
+                RM.unprotect t.rm ctx top;
+                attempt ()
+              end
+            end
+          in
+          let r = attempt () in
+          RM.enter_qstate t.rm ctx;
+          r)
+    in
+    finish_op t ctx;
+    r
+
+  (* Uninstrumented helpers. *)
+  let to_list t =
+    let rec go acc p =
+      if Memory.Ptr.is_null p then List.rev acc
+      else
+        go
+          (Memory.Arena.peek_const t.arena p c_value :: acc)
+          (Memory.Arena.peek t.arena p f_next)
+    in
+    go [] (Runtime.Svar.peek t.top)
+
+  let size t = List.length (to_list t)
+end

@@ -1,0 +1,19 @@
+(** Treiber lock-free stack over the Record Manager abstraction.  ABA on
+    the top pointer is excluded by generation-tagged pointers for correct
+    schemes and detected (raised) for broken ones. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
+  val f_next : int
+  val c_value : int
+
+  type t = { rm : RM.t; arena : Memory.Arena.t; top : int Runtime.Svar.t }
+
+  val create : RM.t -> capacity:int -> t
+  val push : t -> Runtime.Ctx.t -> int -> unit
+  val pop : t -> Runtime.Ctx.t -> int option
+
+  (** Uninstrumented inspection (quiescent callers only). *)
+
+  val to_list : t -> int list
+  val size : t -> int
+end

@@ -1,0 +1,1 @@
+lib/htm/stm.ml: Array List Memory Runtime

@@ -1,0 +1,1 @@
+lib/htm/stm.mli: Memory Runtime

@@ -1,0 +1,192 @@
+type reason = [ `Conflict | `Capacity | `Freed ]
+
+type stats = {
+  mutable commits : int;
+  mutable aborts_conflict : int;
+  mutable aborts_capacity : int;
+  mutable aborts_freed : int;
+}
+
+exception Aborted of reason
+
+type t = {
+  heap : Memory.Heap.t;
+  clock : int Runtime.Svar.t;  (* even values *)
+  locks : Runtime.Shared_array.t option array;  (* per arena id, lazy *)
+  max_read_set : int;
+  max_write_set : int;
+  st : stats;
+}
+
+(* A read-set entry remembers the lock word observed before the data read;
+   a write-set entry buffers the value to apply at commit. *)
+type rentry = { r_aid : int; r_slot : int; r_lock : int }
+type wentry = { w_arena : Memory.Arena.t; w_ptr : Memory.Ptr.t; w_field : int; w_value : int }
+
+type txn = {
+  owner : t;
+  ctx : Runtime.Ctx.t;
+  rv : int;  (* read version *)
+  mutable rset : rentry list;
+  mutable rsize : int;
+  mutable wset : wentry list;
+  mutable wsize : int;
+}
+
+let create ?(max_read_set = 512) ?(max_write_set = 128) heap =
+  {
+    heap;
+    clock = Runtime.Svar.make 0;
+    locks = Array.make Memory.Ptr.max_arenas None;
+    max_read_set;
+    max_write_set;
+    st = { commits = 0; aborts_conflict = 0; aborts_capacity = 0; aborts_freed = 0 };
+  }
+
+let stats t = t.st
+let abort reason = raise (Aborted reason)
+
+let locks_of t aid =
+  match t.locks.(aid) with
+  | Some l -> l
+  | None ->
+      let arenas = Memory.Heap.arenas t.heap in
+      let arena =
+        List.find (fun a -> Memory.Arena.heap_id a = aid) arenas
+      in
+      let l = Runtime.Shared_array.create (Memory.Arena.capacity arena) in
+      t.locks.(aid) <- Some l;
+      l
+
+let is_locked l = l land 1 = 1
+let version_of l = l asr 1
+
+(* Transactional read: lock word, data, lock word again; validate against
+   the transaction's read version (TL2 invisible reads). *)
+let read txn arena p f =
+  let v_buffered =
+    List.find_opt
+      (fun w -> w.w_arena == arena && w.w_ptr = p && w.w_field = f)
+      txn.wset
+  in
+  match v_buffered with
+  | Some w -> w.w_value
+  | None ->
+      let t = txn.owner in
+      let aid = Memory.Arena.heap_id arena in
+      let locks = locks_of t aid in
+      let slot = Memory.Ptr.slot p in
+      let l1 = Runtime.Shared_array.get txn.ctx locks slot in
+      if is_locked l1 || version_of l1 > txn.rv then abort `Conflict;
+      let value =
+        match Memory.Arena.read_opt txn.ctx arena p f with
+        | Some v -> v
+        | None -> abort `Freed
+      in
+      let l2 = Runtime.Shared_array.get txn.ctx locks slot in
+      if l2 <> l1 then abort `Conflict;
+      if txn.rsize >= t.max_read_set then abort `Capacity;
+      txn.rset <- { r_aid = aid; r_slot = slot; r_lock = l1 } :: txn.rset;
+      txn.rsize <- txn.rsize + 1;
+      value
+
+let read_const txn arena p f =
+  match
+    (Memory.Arena.is_valid arena p, Memory.Arena.get_const txn.ctx arena p f)
+  with
+  | true, v -> v
+  | false, _ | (exception Memory.Arena.Use_after_free _) -> abort `Freed
+
+let write txn arena p f v =
+  let t = txn.owner in
+  if txn.wsize >= t.max_write_set then abort `Capacity;
+  txn.wset <-
+    { w_arena = arena; w_ptr = p; w_field = f; w_value = v }
+    :: List.filter
+         (fun w -> not (w.w_arena == arena && w.w_ptr = p && w.w_field = f))
+         txn.wset;
+  txn.wsize <- txn.wsize + 1
+
+(* Commit: lock every written slot, validate the read set, apply, release
+   with the new version. *)
+let commit txn =
+  let t = txn.owner in
+  let ctx = txn.ctx in
+  let wslots =
+    List.sort_uniq compare
+      (List.map
+         (fun w -> (Memory.Arena.heap_id w.w_arena, Memory.Ptr.slot w.w_ptr))
+         txn.wset)
+  in
+  let locked = ref [] in
+  let release_locked () =
+    List.iter
+      (fun (aid, slot, old) ->
+        Runtime.Shared_array.set ctx (locks_of t aid) slot old)
+      !locked
+  in
+  let try_lock (aid, slot) =
+    let locks = locks_of t aid in
+    let l = Runtime.Shared_array.get ctx locks slot in
+    if is_locked l || not (Runtime.Shared_array.cas ctx locks slot ~expect:l (l lor 1))
+    then begin
+      release_locked ();
+      abort `Conflict
+    end
+    else locked := (aid, slot, l) :: !locked
+  in
+  List.iter try_lock wslots;
+  (* Validate writes target live records. *)
+  List.iter
+    (fun w ->
+      if not (Memory.Arena.is_valid w.w_arena w.w_ptr) then begin
+        release_locked ();
+        abort `Freed
+      end)
+    txn.wset;
+  (* Validate the read set: still the observed version, or locked by us. *)
+  let own (aid, slot) = List.exists (fun (a, s, _) -> a = aid && s = slot) !locked in
+  List.iter
+    (fun r ->
+      let cur = Runtime.Shared_array.get ctx (locks_of t r.r_aid) r.r_slot in
+      let ok = cur = r.r_lock || (cur = r.r_lock lor 1 && own (r.r_aid, r.r_slot)) in
+      if not ok then begin
+        release_locked ();
+        abort `Conflict
+      end)
+    txn.rset;
+  let wv = 2 + Runtime.Svar.faa ctx t.clock 2 in
+  (* Apply buffered writes (oldest first so later writes win).  A target can
+     in principle be freed between validation and this write by a process
+     that ignores our slot locks; skip such writes — the record is gone and
+     nothing can observe the missing store. *)
+  List.iter
+    (fun w ->
+      try Memory.Arena.write ctx w.w_arena w.w_ptr w.w_field w.w_value
+      with Memory.Arena.Use_after_free _ -> ())
+    (List.rev txn.wset);
+  List.iter
+    (fun (aid, slot, _) ->
+      Runtime.Shared_array.set ctx (locks_of t aid) slot wv)
+    !locked
+
+let attempt t ctx body =
+  Runtime.Ctx.work ctx 30 (* transaction begin, as priced for HTM *);
+  let txn =
+    { owner = t; ctx; rv = Runtime.Svar.get ctx t.clock; rset = []; rsize = 0; wset = []; wsize = 0 }
+  in
+  match
+    let v = body txn in
+    commit txn;
+    v
+  with
+  | v ->
+      Runtime.Ctx.work ctx 30 (* commit *);
+      t.st.commits <- t.st.commits + 1;
+      Ok v
+  | exception Aborted r ->
+      (match r with
+      | `Conflict -> t.st.aborts_conflict <- t.st.aborts_conflict + 1
+      | `Capacity -> t.st.aborts_capacity <- t.st.aborts_capacity + 1
+      | `Freed -> t.st.aborts_freed <- t.st.aborts_freed + 1);
+      Error r

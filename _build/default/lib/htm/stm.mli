@@ -1,0 +1,44 @@
+(** Best-effort software transactions over arena records: the stand-in for
+    the hardware transactional memory that StackTrack relies on (DESIGN.md
+    §2).
+
+    The implementation is TL2-flavoured: a global version clock, one
+    versioned lock word per record slot, invisible reads validated against
+    the clock, buffered writes applied under per-slot locks at commit.
+
+    Like best-effort HTM, transactions give no progress guarantee: they
+    abort on conflict, on capacity (bounded read/write sets), and — the
+    property StackTrack exploits — whenever they touch a record that has
+    been freed ([`Freed]), instead of crashing.  Callers must provide a
+    fallback path. *)
+
+type reason = [ `Conflict | `Capacity | `Freed ]
+
+type stats = {
+  mutable commits : int;
+  mutable aborts_conflict : int;
+  mutable aborts_capacity : int;
+  mutable aborts_freed : int;
+}
+
+type t
+
+val create : ?max_read_set:int -> ?max_write_set:int -> Memory.Heap.t -> t
+val stats : t -> stats
+
+type txn
+
+(** [attempt t ctx body] runs [body] as one transaction attempt; [Error r]
+    means it aborted (already rolled back) for reason [r].  Transactions do
+    not nest. *)
+val attempt : t -> Runtime.Ctx.t -> (txn -> 'a) -> ('a, reason) result
+
+(** [read txn arena p f] reads a mutable field transactionally.
+    [read_const] reads an immutable field (validated, not tracked). *)
+
+val read : txn -> Memory.Arena.t -> Memory.Ptr.t -> int -> int
+val read_const : txn -> Memory.Arena.t -> Memory.Ptr.t -> int -> int
+val write : txn -> Memory.Arena.t -> Memory.Ptr.t -> int -> int -> unit
+
+(** [abort reason] aborts the current transaction explicitly. *)
+val abort : reason -> 'a

@@ -1,0 +1,16 @@
+(** Small fixed-capacity bit sets used to track which caches hold a line. *)
+
+type t
+
+val create : int -> t
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+(** [iter f t] applies [f] to each member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [any_other t i] is [true] iff some member other than [i] is set. *)
+val any_other : t -> int -> bool

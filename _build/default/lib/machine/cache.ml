@@ -1,0 +1,118 @@
+type stats = {
+  mutable l1_hits : int;
+  mutable llc_hits : int;
+  mutable mem_accesses : int;
+  mutable invalidations : int;
+}
+
+type entry = { l1h : Bitset.t; llch : Bitset.t }
+
+type t = {
+  cfg : Config.t;
+  l1 : Lru.t array;  (* indexed by hardware context *)
+  llc : Lru.t array;  (* indexed by socket *)
+  dir : (int, entry) Hashtbl.t;
+  st : stats;
+}
+
+let stats t = t.st
+
+let entry t line =
+  match Hashtbl.find_opt t.dir line with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          l1h = Bitset.create (Config.contexts t.cfg);
+          llch = Bitset.create t.cfg.Config.sockets;
+        }
+      in
+      Hashtbl.add t.dir line e;
+      e
+
+let create cfg =
+  let n = Config.contexts cfg in
+  let t =
+    {
+      cfg;
+      l1 = Array.make n (Lru.create ~cap:1 ~on_evict:ignore);
+      llc = Array.make cfg.Config.sockets (Lru.create ~cap:1 ~on_evict:ignore);
+      dir = Hashtbl.create 4096;
+      st = { l1_hits = 0; llc_hits = 0; mem_accesses = 0; invalidations = 0 };
+    }
+  in
+  for c = 0 to n - 1 do
+    t.l1.(c) <-
+      Lru.create ~cap:cfg.Config.l1_lines ~on_evict:(fun line ->
+          Bitset.clear (entry t line).l1h c)
+  done;
+  for s = 0 to cfg.Config.sockets - 1 do
+    t.llc.(s) <-
+      Lru.create ~cap:cfg.Config.llc_lines ~on_evict:(fun line ->
+          Bitset.clear (entry t line).llch s)
+  done;
+  t
+
+(* Bring [line] into context [c]'s caches and return the load cost. *)
+let load t c line =
+  let s = Config.socket_of_context t.cfg c in
+  let e = entry t line in
+  if Lru.mem t.l1.(c) line then begin
+    Lru.touch t.l1.(c) line;
+    t.st.l1_hits <- t.st.l1_hits + 1;
+    t.cfg.Config.l1_hit
+  end
+  else if Lru.mem t.llc.(s) line then begin
+    Lru.touch t.llc.(s) line;
+    Lru.touch t.l1.(c) line;
+    Bitset.set e.l1h c;
+    t.st.llc_hits <- t.st.llc_hits + 1;
+    t.cfg.Config.llc_hit
+  end
+  else begin
+    Lru.touch t.llc.(s) line;
+    Bitset.set e.llch s;
+    Lru.touch t.l1.(c) line;
+    Bitset.set e.l1h c;
+    t.st.mem_accesses <- t.st.mem_accesses + 1;
+    t.cfg.Config.mem_access
+  end
+
+let read t c line = load t c line
+
+let write t c line =
+  let s = Config.socket_of_context t.cfg c in
+  let e = entry t line in
+  (* Invalidate every other private copy, and the LLC copies of other
+     sockets.  The writer's own socket's LLC copy is updated in place. *)
+  let invalidated = ref false in
+  Bitset.iter
+    (fun c' ->
+      if c' <> c then begin
+        Lru.remove t.l1.(c') line;
+        invalidated := true
+      end)
+    e.l1h;
+  Bitset.iter (fun c' -> if c' <> c then Bitset.clear e.l1h c') e.l1h;
+  Bitset.iter
+    (fun s' ->
+      if s' <> s then begin
+        Lru.remove t.llc.(s') line;
+        invalidated := true
+      end)
+    e.llch;
+  Bitset.iter (fun s' -> if s' <> s then Bitset.clear e.llch s') e.llch;
+  let base = load t c line in
+  if !invalidated then begin
+    t.st.invalidations <- t.st.invalidations + 1;
+    base + t.cfg.Config.invalidation
+  end
+  else base
+
+let access t ~context kind ~line =
+  match (kind : Runtime.Ctx.access_kind) with
+  | Read -> read t context line
+  | Write -> write t context line
+  | Cas -> write t context line + t.cfg.Config.cas_extra
+  | Fence -> t.cfg.Config.fence
+  | Work c -> c

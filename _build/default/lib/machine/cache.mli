@@ -1,0 +1,25 @@
+(** The MESI/NUMA cost model from the paper's Model section.
+
+    Reads load a line in shared mode: many private caches may hold it.
+    Writes load in exclusive mode: they invalidate the line in all other
+    contexts' private caches and in the last-level caches of {e other}
+    sockets, but only update (without invalidating) the shared LLC copy of
+    the writer's own socket.  A context that lost its copy pays a last-level
+    or memory miss on its next access. *)
+
+type stats = {
+  mutable l1_hits : int;
+  mutable llc_hits : int;
+  mutable mem_accesses : int;
+  mutable invalidations : int;
+}
+
+type t
+
+val create : Config.t -> t
+val stats : t -> stats
+
+(** [access t ~context kind ~line] simulates one access by hardware context
+    [context] and returns its cost in cycles.  [Work]/[Fence] kinds are
+    priced directly from the configuration. *)
+val access : t -> context:int -> Runtime.Ctx.access_kind -> line:int -> int

@@ -1,0 +1,69 @@
+type t = {
+  name : string;
+  sockets : int;
+  contexts_per_socket : int;
+  l1_lines : int;
+  llc_lines : int;
+  l1_hit : int;
+  llc_hit : int;
+  mem_access : int;
+  invalidation : int;
+  cas_extra : int;
+  fence : int;
+  ctx_switch : int;
+  quantum : int;
+}
+
+let contexts t = t.sockets * t.contexts_per_socket
+let socket_of_context t c = c / t.contexts_per_socket
+
+let intel_i7_4770 =
+  {
+    name = "Intel i7-4770 (4 cores, 8 threads, 1 socket)";
+    sockets = 1;
+    contexts_per_socket = 8;
+    l1_lines = 512 (* 32 KB *);
+    llc_lines = 131_072 (* 8 MB *);
+    l1_hit = 4;
+    llc_hit = 35;
+    mem_access = 200;
+    invalidation = 40;
+    cas_extra = 15;
+    fence = 50;
+    ctx_switch = 4_000;
+    quantum = 400_000;
+  }
+
+let oracle_t4_1 =
+  {
+    name = "Oracle T4-1 (64 hardware contexts, modelled as 8 sockets x 8)";
+    sockets = 8;
+    contexts_per_socket = 8;
+    l1_lines = 256;
+    llc_lines = 16_384;
+    l1_hit = 5;
+    llc_hit = 45;
+    mem_access = 350;
+    invalidation = 80;
+    cas_extra = 25;
+    fence = 60;
+    ctx_switch = 6_000;
+    quantum = 400_000;
+  }
+
+let tiny ?(contexts = 2) () =
+  {
+    name = Printf.sprintf "tiny-%d" contexts;
+    sockets = 1;
+    contexts_per_socket = contexts;
+    l1_lines = 16;
+    llc_lines = 64;
+    l1_hit = 1;
+    llc_hit = 10;
+    mem_access = 100;
+    invalidation = 20;
+    cas_extra = 5;
+    fence = 30;
+    ctx_switch = 500;
+    quantum = 10_000;
+  }

@@ -1,0 +1,38 @@
+(** Machine descriptions for the simulator.
+
+    The cost parameters implement the Model section of the paper: a MESI-like
+    protocol where reads load lines in shared mode, writes load in exclusive
+    mode and invalidate other caches, processes on one socket share a
+    last-level cache, and a write by a process does not invalidate the LLC
+    copy of processes on the same socket. *)
+
+type t = {
+  name : string;
+  sockets : int;
+  contexts_per_socket : int;  (** hardware threads per socket *)
+  l1_lines : int;  (** private cache capacity, in lines, per context *)
+  llc_lines : int;  (** last-level cache capacity, in lines, per socket *)
+  l1_hit : int;  (** cycles for a private-cache hit *)
+  llc_hit : int;  (** cycles for a last-level-cache hit *)
+  mem_access : int;  (** cycles for a main-memory access *)
+  invalidation : int;  (** extra cycles when a write invalidates remote copies *)
+  cas_extra : int;  (** extra cycles for a read-modify-write *)
+  fence : int;  (** cycles for a full memory barrier *)
+  ctx_switch : int;  (** cycles charged when the scheduler switches processes *)
+  quantum : int;  (** scheduling quantum, in cycles *)
+}
+
+val contexts : t -> int
+val socket_of_context : t -> int -> int
+
+(** The paper's primary machine: Intel i7-4770, 4 cores / 8 hardware threads,
+    one socket, 8 MB LLC. *)
+val intel_i7_4770 : t
+
+(** The paper's NUMA machine: Oracle T4-1, 64 hardware contexts.  Modelled as
+    8 sockets of 8 contexts to exercise the cross-socket invalidation costs
+    the paper discusses. *)
+val oracle_t4_1 : t
+
+(** A small deterministic machine for unit tests. *)
+val tiny : ?contexts:int -> unit -> t

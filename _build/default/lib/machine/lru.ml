@@ -1,0 +1,62 @@
+(* Intrusive doubly-linked list threaded through a hash table: O(1) touch,
+   remove and eviction. *)
+
+type node = { line : int; mutable prev : node option; mutable next : node option }
+
+type t = {
+  cap : int;
+  on_evict : int -> unit;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+}
+
+let create ~cap ~on_evict =
+  assert (cap > 0);
+  { cap; on_evict; table = Hashtbl.create (2 * cap); head = None; tail = None }
+
+let mem t line = Hashtbl.mem t.table line
+let size t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.line;
+      t.on_evict n.line
+
+let touch t line =
+  match Hashtbl.find_opt t.table line with
+  | Some n ->
+      unlink t n;
+      push_front t n
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let n = { line; prev = None; next = None } in
+      Hashtbl.add t.table line n;
+      push_front t n
+
+let remove t line =
+  match Hashtbl.find_opt t.table line with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table line
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,19 @@
+(** Fixed-capacity fully-associative LRU cache of line ids, with an eviction
+    callback so the coherence directory stays consistent. *)
+
+type t
+
+val create : cap:int -> on_evict:(int -> unit) -> t
+val mem : t -> int -> bool
+
+(** [touch t line] inserts [line] (evicting the least recently used line if
+    at capacity) or refreshes its recency. *)
+val touch : t -> int -> unit
+
+(** [remove t line] drops [line] without invoking the eviction callback
+    (used for coherence invalidations, which update the directory
+    themselves). *)
+val remove : t -> int -> unit
+
+val size : t -> int
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/reclaim/alloc.ml: Intf Memory Runtime

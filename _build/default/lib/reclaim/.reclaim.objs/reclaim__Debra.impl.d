@@ -1,0 +1,1 @@
+lib/reclaim/debra.ml: Array Bag Intf Memory Runtime

@@ -1,0 +1,1 @@
+lib/reclaim/debra_plus.ml: Array Bag Intf Memory Runtime Scan_util

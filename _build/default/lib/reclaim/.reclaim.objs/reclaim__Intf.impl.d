@@ -1,0 +1,1 @@
+lib/reclaim/intf.ml: Array Bag Memory Runtime

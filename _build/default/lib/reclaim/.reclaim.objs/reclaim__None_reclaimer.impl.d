@@ -1,0 +1,1 @@
+lib/reclaim/none_reclaimer.ml: Intf Runtime

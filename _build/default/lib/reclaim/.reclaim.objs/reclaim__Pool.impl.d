@@ -1,0 +1,1 @@
+lib/reclaim/pool.ml: Array Bag Intf Memory Runtime

@@ -1,0 +1,1 @@
+lib/reclaim/qsbr.ml: Array Bag Intf List Memory Runtime

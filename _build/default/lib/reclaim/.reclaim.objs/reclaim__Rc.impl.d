@@ -1,0 +1,1 @@
+lib/reclaim/rc.ml: Array Bag Intf List Memory Option Runtime

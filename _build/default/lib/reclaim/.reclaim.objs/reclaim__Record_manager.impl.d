@@ -1,0 +1,1 @@
+lib/reclaim/record_manager.ml: Intf Printf Runtime

@@ -1,0 +1,1 @@
+lib/reclaim/scan_util.ml: Bag Memory Runtime

@@ -1,0 +1,1 @@
+lib/reclaim/stacktrack.ml: Array Bag Intf Memory Runtime Scan_util

@@ -1,0 +1,1 @@
+lib/reclaim/threadscan.ml: Array Bag Intf Memory Runtime Scan_util

@@ -1,0 +1,220 @@
+(** DEBRA+: fault-tolerant distributed epoch-based reclamation (paper §5,
+    Fig. 6).
+
+    DEBRA+ extends DEBRA with {e neutralizing}: a process that lags the
+    epoch while its peers' limbo bags grow is sent a (simulated POSIX)
+    signal.  Its handler — installed on the process context at [create] —
+    checks the quiescent bit: a quiescent process ignores the signal, a
+    non-quiescent one enters a quiescent state and aborts its operation by
+    raising {!Runtime.Ctx.Neutralized} (the [siglongjmp]).  The operation
+    wrapper then runs recovery code (see {!Record_manager}).
+
+    Because recovery must still access the operation's descriptor (and the
+    records its help routine touches), DEBRA+ adds a limited form of hazard
+    pointers: [rprotect]ed records are excluded from reclamation by swapping
+    them to the front of the limbo bag before the full blocks behind them
+    are transferred to the pool — expected amortized O(1) per record.
+
+    The number of records waiting to be freed is O(n(nm + c)): once a
+    process' current bag exceeds the suspect threshold it neutralizes every
+    laggard, so the epoch keeps advancing even across crashes. *)
+
+type local = {
+  bags : Bag.Blockbag.t array array;  (* [arena][epoch slot] *)
+  mutable index : int;
+  mutable check_next : int;
+  mutable ops_since_check : int;
+  mutable ann : int;
+}
+
+module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
+  module Pool = P
+
+  type t = {
+    env : Intf.Env.t;
+    pool : P.t;
+    epoch : int Runtime.Svar.t;
+    announce : Runtime.Shared_array.t;
+    locals : local array;
+    rp_rows : Runtime.Shared_array.t array;  (* RProtected[pid] *)
+    rp_count : Runtime.Shared_array.t;  (* published row sizes, padded *)
+    scanning : Bag.Hash_set.t array;  (* per-process scratch for scans *)
+    scan_threshold : int;  (* blocks *)
+  }
+
+  let name = "debra+"
+  let supports_crash_recovery = true
+  let allows_retired_traversal = true
+  let sandboxed = false
+
+  let epoch_of ann = ann land lnot 1
+  let quiescent_bit ann = ann land 1 = 1
+  let is_quiescent t ctx = quiescent_bit t.locals.(ctx.Runtime.Ctx.pid).ann
+
+  let enter_qstate t ctx =
+    let pid = ctx.Runtime.Ctx.pid in
+    let l = t.locals.(pid) in
+    l.ann <- l.ann lor 1;
+    Runtime.Shared_array.set ctx t.announce pid l.ann
+
+  let create env pool =
+    let n = Intf.Env.nprocs env in
+    let params = env.Intf.Env.params in
+    let arenas = Memory.Ptr.max_arenas in
+    let k = params.Intf.Params.hp_slots in
+    let b = params.Intf.Params.block_capacity in
+    let announce =
+      Runtime.Shared_array.create ~padded:params.Intf.Params.padded_announcements
+        n
+    in
+    for pid = 0 to n - 1 do
+      Runtime.Shared_array.poke announce pid 1
+    done;
+    let t =
+      {
+        env;
+        pool;
+        epoch = Runtime.Svar.make 2;
+        announce;
+        locals =
+          Array.init n (fun pid ->
+              {
+                bags =
+                  Array.init arenas (fun _ ->
+                      Array.init 3 (fun _ ->
+                          Bag.Blockbag.create env.Intf.Env.block_pools.(pid)));
+                index = 0;
+                check_next = 0;
+                ops_since_check = 0;
+                ann = 1;
+              });
+        rp_rows = Array.init n (fun _ -> Runtime.Shared_array.create k);
+        rp_count = Runtime.Shared_array.create ~padded:true n;
+        scanning = Array.init n (fun _ -> Bag.Hash_set.create ~expected:(n * k));
+        scan_threshold =
+          ((n * k) + b - 1) / b + params.Intf.Params.scan_blocks_slack;
+      }
+    in
+    (* Install the signal handler on every process context. *)
+    Array.iter
+      (fun ctx ->
+        ctx.Runtime.Ctx.handler <-
+          (fun ctx ->
+            if is_quiescent t ctx then
+              ctx.Runtime.Ctx.stats.Runtime.Ctx.signals_ignored <-
+                ctx.Runtime.Ctx.stats.Runtime.Ctx.signals_ignored + 1
+            else begin
+              enter_qstate t ctx;
+              ctx.Runtime.Ctx.stats.Runtime.Ctx.neutralized <-
+                ctx.Runtime.Ctx.stats.Runtime.Ctx.neutralized + 1;
+              raise Runtime.Ctx.Neutralized
+            end))
+      env.Intf.Env.group.Runtime.Group.ctxs;
+    t
+
+  let current_blocks l =
+    Array.fold_left
+      (fun acc triple -> acc + Bag.Blockbag.size_in_blocks triple.(l.index))
+      0 l.bags
+
+  (* Limited hazard pointers for recovery (single-writer rows). *)
+
+  let rprotect t ctx p =
+    let pid = ctx.Runtime.Ctx.pid in
+    let c = Runtime.Shared_array.peek t.rp_count pid in
+    if c >= Runtime.Shared_array.length t.rp_rows.(pid) then
+      invalid_arg "Debra_plus.rprotect: out of RProtect slots (raise hp_slots)";
+    Runtime.Shared_array.set ctx t.rp_rows.(pid) c (Memory.Ptr.unmark p);
+    Runtime.Shared_array.set ctx t.rp_count pid (c + 1);
+    Runtime.Ctx.fence ctx
+
+  let runprotect_all t ctx =
+    Runtime.Shared_array.set ctx t.rp_count ctx.Runtime.Ctx.pid 0
+
+  let is_rprotected t ctx p =
+    let pid = ctx.Runtime.Ctx.pid in
+    let c = Runtime.Shared_array.get ctx t.rp_count pid in
+    let p = Memory.Ptr.unmark p in
+    let rec go i =
+      if i >= c then false
+      else if Runtime.Shared_array.get ctx t.rp_rows.(pid) i = p then true
+      else go (i + 1)
+    in
+    go 0
+
+  (* Rotate limbo bags; when the freshly-rotated current bag is big enough
+     to amortize a full RProtect scan, partition out the protected records
+     and bulk-transfer the full blocks behind them. *)
+  let rotate_and_reclaim t ctx l =
+    l.index <- (l.index + 1) mod 3;
+    if current_blocks l >= t.scan_threshold then begin
+      let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+      Scan_util.collect_announcements ctx ~into:scanning
+        ~nprocs:(Intf.Env.nprocs t.env)
+        ~row:(fun other -> t.rp_rows.(other))
+        ~count:(fun ctx other -> Runtime.Shared_array.get ctx t.rp_count other);
+      Array.iter
+        (fun triple ->
+          ignore
+            (Scan_util.partition_and_release ctx triple.(l.index)
+               ~protected:scanning ~release_block:(fun b ->
+                 P.release_block t.pool ctx b)))
+        l.bags
+    end
+
+  let suspect_neutralized t ctx l other =
+    current_blocks l >= t.env.Intf.Env.params.Intf.Params.suspect_blocks
+    && Runtime.Group.send_signal t.env.Intf.Env.group ~from:ctx ~target:other
+
+  let leave_qstate t ctx =
+    let pid = ctx.Runtime.Ctx.pid in
+    let n = Intf.Env.nprocs t.env in
+    let l = t.locals.(pid) in
+    let params = t.env.Intf.Env.params in
+    let read_epoch = Runtime.Svar.get ctx t.epoch in
+    if epoch_of l.ann <> read_epoch then begin
+      l.ops_since_check <- 0;
+      l.check_next <- 0;
+      rotate_and_reclaim t ctx l
+    end;
+    l.ops_since_check <- l.ops_since_check + 1;
+    if l.ops_since_check >= params.Intf.Params.check_thresh then begin
+      l.ops_since_check <- 0;
+      let other = l.check_next mod n in
+      let a = Runtime.Shared_array.get ctx t.announce other in
+      if
+        epoch_of a = read_epoch || quiescent_bit a
+        || (other <> pid && suspect_neutralized t ctx l other)
+      then begin
+        l.check_next <- l.check_next + 1;
+        if l.check_next >= n && l.check_next >= params.Intf.Params.incr_thresh
+        then
+          ignore
+            (Runtime.Svar.cas ctx t.epoch ~expect:read_epoch (read_epoch + 2))
+      end
+    end;
+    l.ann <- read_epoch;
+    Runtime.Shared_array.set ctx t.announce pid read_epoch
+
+  let protect _t _ctx _p ~verify:_ = true
+  let unprotect _t _ctx _p = ()
+  let unprotect_all _t _ctx = ()
+  let is_protected _t _ctx _p = true
+
+  let retire t ctx p =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    Runtime.Ctx.work ctx 2;
+    let p = Memory.Ptr.unmark p in
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p).(l.index) p
+
+  let limbo_size t =
+    Array.fold_left
+      (fun acc l ->
+        Array.fold_left
+          (fun acc triple ->
+            Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc triple)
+          acc l.bags)
+      0 t.locals
+end

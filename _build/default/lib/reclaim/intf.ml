@@ -1,0 +1,223 @@
+(** Component signatures of the Record Manager abstraction (paper §6).
+
+    A Record Manager is assembled from three interchangeable components:
+
+    - an {b Allocator} decides how records are obtained from and returned to
+      the memory system (bump region vs. malloc-style free list);
+    - a {b Pool} decides when reclaimed records are handed back to the
+      Allocator and whether allocation can bypass it (per-process pool bags
+      plus a shared bag of full blocks);
+    - a {b Reclaimer} is given retired records and decides when they can
+      safely be handed to the Pool (DEBRA, DEBRA+, EBR, HP, ...).
+
+    Components are OCaml functors — the analogue of the paper's C++
+    templates: a data structure is written once against
+    {!module-type:RECORD_MANAGER} and a scheme is swapped by changing a
+    single functor application. *)
+
+module Params = struct
+  type t = {
+    block_capacity : int;  (** records per block (the paper's B = 256) *)
+    check_thresh : int;
+        (** leaveQstate calls between announcement checks (CHECK_THRESH) *)
+    incr_thresh : int;
+        (** min leaveQstate calls before an epoch CAS (INCR_THRESH) *)
+    pool_cap_blocks : int;
+        (** pool-bag blocks kept locally before spilling to the shared bag *)
+    hp_slots : int;  (** hazard pointers per process (k) *)
+    hp_retire_factor : int;
+        (** HP scan threshold = factor * n * k records (Θ(nk) slack) *)
+    suspect_blocks : int;
+        (** DEBRA+: limbo blocks before a lagging process is neutralized *)
+    scan_blocks_slack : int;
+        (** DEBRA+: extra blocks beyond nk records before a scan pays off *)
+    ts_buffer_blocks : int;  (** ThreadScan: delete-buffer blocks before a scan *)
+    st_segment_accesses : int;
+        (** StackTrack: records reached per transactional segment *)
+    padded_announcements : bool;  (** pad per-process announcements (NUMA opt) *)
+    malloc_cost : int;  (** extra cycles charged per malloc-style (de)alloc *)
+  }
+
+  let default =
+    {
+      block_capacity = 256;
+      check_thresh = 1;
+      incr_thresh = 100;
+      pool_cap_blocks = 32;
+      hp_slots = 8;
+      hp_retire_factor = 2;
+      suspect_blocks = 4;
+      scan_blocks_slack = 1;
+      ts_buffer_blocks = 4;
+      st_segment_accesses = 8;
+      padded_announcements = true;
+      malloc_cost = 120;
+    }
+end
+
+module Env = struct
+  (** Shared environment handed to every component: the process group, the
+      heap of arenas, and the per-process block pools that all local
+      blockbags of a process share (paper §4). *)
+  type t = {
+    group : Runtime.Group.t;
+    heap : Memory.Heap.t;
+    block_pools : Bag.Block_pool.t array;
+    params : Params.t;
+  }
+
+  let create ?(params = Params.default) group heap =
+    let n = Runtime.Group.nprocs group in
+    {
+      group;
+      heap;
+      block_pools =
+        Array.init n (fun _ ->
+            Bag.Block_pool.create ~block_capacity:params.Params.block_capacity ());
+      params;
+    }
+
+  let nprocs t = Runtime.Group.nprocs t.group
+end
+
+module type ALLOCATOR = sig
+  type t
+
+  val name : string
+  val create : Env.t -> t
+
+  (** [allocate t ctx arena] returns a fresh, unpublished record. *)
+  val allocate : t -> Runtime.Ctx.t -> Memory.Arena.t -> Memory.Ptr.t
+
+  (** [deallocate t ctx p] returns a safely-freed record to the memory
+      system. *)
+  val deallocate : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+end
+
+module type POOL = sig
+  module Alloc : ALLOCATOR
+
+  type t
+
+  val name : string
+  val create : Env.t -> Alloc.t -> t
+  val allocate : t -> Runtime.Ctx.t -> Memory.Arena.t -> Memory.Ptr.t
+
+  (** [release t ctx p] accepts one record that is now safe to reuse. *)
+  val release : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+
+  (** [release_block t ctx b] accepts a full block of safe records, taking
+      ownership of the block. *)
+  val release_block : t -> Runtime.Ctx.t -> Bag.Block.t -> unit
+end
+
+module type MAKE_POOL = functor (A : ALLOCATOR) -> POOL with module Alloc = A
+
+module type RECLAIMER = sig
+  module Pool : POOL
+
+  type t
+
+  val name : string
+  val create : Env.t -> Pool.t -> t
+
+  (** Statically [true] only for schemes with neutralization-based recovery
+      (DEBRA+); lets data structures skip recovery bookkeeping for the
+      others, as the paper's [supportsCrashRecovery] template predicate
+      does. *)
+  val supports_crash_recovery : bool
+
+  (** [true] when a search may follow a pointer out of a retired record into
+      another retired record (epoch-style schemes).  HP-style schemes return
+      [false] and rely on [protect]'s verification. *)
+  val allows_retired_traversal : bool
+
+  (** [true] for schemes that sandbox accesses to reclaimed memory
+      (StackTrack's HTM, Optimistic Access): the data structure must treat
+      {!Memory.Arena.Use_after_free} as a transaction abort and retry,
+      instead of a fatal error. *)
+  val sandboxed : bool
+
+  val leave_qstate : t -> Runtime.Ctx.t -> unit
+  val enter_qstate : t -> Runtime.Ctx.t -> unit
+  val is_quiescent : t -> Runtime.Ctx.t -> bool
+
+  (** [protect t ctx p ~verify] must be called before accessing fields of
+      [p].  Epoch-style schemes return [true] immediately; HP-style schemes
+      announce [p], fence, and run [verify] to check that [p] is still not
+      retired, releasing the announcement when it fails. *)
+  val protect :
+    t -> Runtime.Ctx.t -> Memory.Ptr.t -> verify:(unit -> bool) -> bool
+
+  val unprotect : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+
+  (** [unprotect_all t ctx] releases every protection of this process; used
+      by operations that restart from scratch. *)
+  val unprotect_all : t -> Runtime.Ctx.t -> unit
+
+  val is_protected : t -> Runtime.Ctx.t -> Memory.Ptr.t -> bool
+
+  (** [retire t ctx p] is invoked each time a record is removed from the
+      data structure. *)
+  val retire : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+
+  (** Recovery-support announcements (DEBRA+ §5); no-ops elsewhere. *)
+
+  val rprotect : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+  val runprotect_all : t -> Runtime.Ctx.t -> unit
+  val is_rprotected : t -> Runtime.Ctx.t -> Memory.Ptr.t -> bool
+
+  (** Records retired but not yet handed to the pool, across all processes
+      (uninstrumented; used by the memory experiments and bound tests). *)
+  val limbo_size : t -> int
+end
+
+module type MAKE_RECLAIMER = functor (P : POOL) -> RECLAIMER with module Pool = P
+
+(** The assembled interface a data structure programs against. *)
+module type RECORD_MANAGER = sig
+  module Alloc : ALLOCATOR
+  module Pool : POOL with module Alloc = Alloc
+  module Reclaimer : RECLAIMER with module Pool = Pool
+
+  type t
+
+  val scheme_name : string
+  val create : Env.t -> t
+  val env : t -> Env.t
+
+  val alloc : t -> Runtime.Ctx.t -> Memory.Arena.t -> Memory.Ptr.t
+
+  (** [dealloc t ctx p] returns a record that was allocated but {e never
+      published} in the data structure (e.g. an insert that lost its race)
+      straight to the pool: no grace period is needed because no other
+      process can have seen it. *)
+  val dealloc : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+
+  val supports_crash_recovery : bool
+  val allows_retired_traversal : bool
+  val sandboxed : bool
+  val leave_qstate : t -> Runtime.Ctx.t -> unit
+  val enter_qstate : t -> Runtime.Ctx.t -> unit
+  val is_quiescent : t -> Runtime.Ctx.t -> bool
+
+  val protect :
+    t -> Runtime.Ctx.t -> Memory.Ptr.t -> verify:(unit -> bool) -> bool
+
+  val unprotect : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+  val unprotect_all : t -> Runtime.Ctx.t -> unit
+  val is_protected : t -> Runtime.Ctx.t -> Memory.Ptr.t -> bool
+  val retire : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+  val rprotect : t -> Runtime.Ctx.t -> Memory.Ptr.t -> unit
+  val runprotect_all : t -> Runtime.Ctx.t -> unit
+  val is_rprotected : t -> Runtime.Ctx.t -> Memory.Ptr.t -> bool
+  val limbo_size : t -> int
+
+  (** [run_op t ctx ~recover body] executes one data structure operation
+      with neutralization recovery (paper Fig. 5): when [body] is aborted by
+      {!Runtime.Ctx.Neutralized}, [recover] runs in a quiescent state and
+      either finishes the operation ([Some v]) or asks for a restart
+      ([None]). *)
+  val run_op :
+    t -> Runtime.Ctx.t -> recover:(unit -> 'a option) -> (unit -> 'a) -> 'a
+end

@@ -1,0 +1,32 @@
+(** The "no reclamation" baseline (the paper's [None]): retired records are
+    simply leaked.  Fastest possible scheme per operation, unbounded memory
+    footprint — the yardstick every other scheme's overhead is measured
+    against. *)
+
+module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
+  module Pool = P
+
+  type t = unit
+
+  let name = "none"
+  let create _env _pool = ()
+  let supports_crash_recovery = false
+  let allows_retired_traversal = true
+  let sandboxed = false
+  let leave_qstate () _ctx = ()
+  let enter_qstate () _ctx = ()
+  let is_quiescent () _ctx = true
+  let protect () _ctx _p ~verify:_ = true
+  let unprotect () _ctx _p = ()
+  let unprotect_all () _ctx = ()
+  let is_protected () _ctx _p = true
+
+  let retire () ctx _p =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1
+
+  let rprotect () _ctx _p = ()
+  let runprotect_all () _ctx = ()
+  let is_rprotected () _ctx _p = false
+  let limbo_size () = 0
+end

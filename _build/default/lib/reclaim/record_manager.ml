@@ -1,0 +1,60 @@
+(** Assembling a Record Manager from its three components (paper §6).
+
+    [Make (Alloc) (Pool) (Reclaimer)] is the OCaml rendering of the paper's
+    template instantiation: the resulting module satisfies
+    {!Intf.RECORD_MANAGER}, and a data structure functorized over that
+    signature switches reclamation scheme, pooling policy or allocator by
+    changing this single line. *)
+
+module Make
+    (A : Intf.ALLOCATOR)
+    (MP : Intf.MAKE_POOL)
+    (MR : Intf.MAKE_RECLAIMER) : Intf.RECORD_MANAGER = struct
+  module Alloc = A
+  module Pool = MP (A)
+  module Reclaimer = MR (Pool)
+
+  type t = {
+    env : Intf.Env.t;
+    pool : Pool.t;
+    reclaimer : Reclaimer.t;
+  }
+
+  let scheme_name =
+    Printf.sprintf "%s(%s,%s)" Reclaimer.name Pool.name Alloc.name
+
+  let create env =
+    let alloc = A.create env in
+    let pool = Pool.create env alloc in
+    { env; pool; reclaimer = Reclaimer.create env pool }
+
+  let env t = t.env
+  let alloc t ctx arena = Pool.allocate t.pool ctx arena
+  let dealloc t ctx p = Pool.release t.pool ctx p
+  let supports_crash_recovery = Reclaimer.supports_crash_recovery
+  let allows_retired_traversal = Reclaimer.allows_retired_traversal
+  let sandboxed = Reclaimer.sandboxed
+  let leave_qstate t ctx = Reclaimer.leave_qstate t.reclaimer ctx
+  let enter_qstate t ctx = Reclaimer.enter_qstate t.reclaimer ctx
+  let is_quiescent t ctx = Reclaimer.is_quiescent t.reclaimer ctx
+  let protect t ctx p ~verify = Reclaimer.protect t.reclaimer ctx p ~verify
+  let unprotect t ctx p = Reclaimer.unprotect t.reclaimer ctx p
+  let unprotect_all t ctx = Reclaimer.unprotect_all t.reclaimer ctx
+  let is_protected t ctx p = Reclaimer.is_protected t.reclaimer ctx p
+  let retire t ctx p = Reclaimer.retire t.reclaimer ctx p
+  let rprotect t ctx p = Reclaimer.rprotect t.reclaimer ctx p
+  let runprotect_all t ctx = Reclaimer.runprotect_all t.reclaimer ctx
+  let is_rprotected t ctx p = Reclaimer.is_rprotected t.reclaimer ctx p
+  let limbo_size t = Reclaimer.limbo_size t.reclaimer
+
+  (* The operation wrapper of Fig. 5: catch neutralization, run recovery in
+     a quiescent state, restart when recovery asks for it. *)
+  let run_op _t _ctx ~recover body =
+    let rec attempt () =
+      match body () with
+      | v -> v
+      | exception Runtime.Ctx.Neutralized -> (
+          match recover () with Some v -> v | None -> attempt ())
+    in
+    attempt ()
+end

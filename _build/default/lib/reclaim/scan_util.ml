@@ -1,0 +1,34 @@
+(** The partition step shared by DEBRA+'s [rotateAndReclaim] and HP's scan
+    (paper §5 "Complexity"): records pointed to by hazard pointers are
+    swapped to the front of a limbo bag, then every full block behind the
+    partition point — which by construction holds only unprotected records —
+    is transferred to the pool in O(1) per block. *)
+
+(* [partition_and_release ctx bag ~protected ~release_block] returns the
+   number of records released. *)
+let partition_and_release ctx bag ~protected ~release_block =
+  Runtime.Ctx.work ctx (2 * Bag.Blockbag.size bag);
+  let it1 = Bag.Blockbag.cursor bag in
+  let it2 = Bag.Blockbag.cursor bag in
+  while not (Bag.Blockbag.at_end it1) do
+    if Bag.Hash_set.mem protected (Bag.Blockbag.get it1) then begin
+      Bag.Blockbag.swap it1 it2;
+      Bag.Blockbag.advance it2
+    end;
+    Bag.Blockbag.advance it1
+  done;
+  Bag.Blockbag.move_full_blocks_after bag it2 ~into:release_block
+
+(* [collect_announcements ctx ~into ~nprocs ~row ~count] hashes every
+   announced pointer of every process: [count pid] bounds the live prefix of
+   [row pid]. *)
+let collect_announcements ctx ~into ~nprocs ~row ~count =
+  Bag.Hash_set.clear into;
+  for other = 0 to nprocs - 1 do
+    let r : Runtime.Shared_array.t = row other in
+    let c = min (count ctx other) (Runtime.Shared_array.length r) in
+    for i = 0 to c - 1 do
+      let hp = Runtime.Shared_array.get ctx r i in
+      if not (Memory.Ptr.is_null hp) then Bag.Hash_set.insert into hp
+    done
+  done

@@ -1,0 +1,209 @@
+(** ThreadScan (Alistarh, Leiserson, Matveev, Shavit, SPAA'15) — the other
+    signal-based scheme, developed concurrently with DEBRA+ (paper §3).
+
+    Shape of the algorithm: processes register the pointers held in their
+    private memory (here: an explicit root registry updated by [protect] /
+    [unprotect] with plain writes — no fences, which is TS's selling point
+    over HP).  When a process' delete buffer grows past a threshold it
+    becomes the collector: it takes a global lock, signals every other
+    process, and each signal handler pushes the handler's current roots into
+    a shared mark bag and acknowledges.  The collector waits for the
+    acknowledgments, then frees every record of its own buffer that no
+    process had marked.
+
+    Two deviations from the original, both documented here:
+    - the original scans the thread's stack and registers; OCaml offers no
+      raw stack scanning, so roots are explicit (DESIGN.md §2);
+    - the collector skips processes that are quiescent (between operations,
+      hence with empty root sets), where the original waits for everyone;
+      without this, a process that terminates would block collection
+      forever.  The blocking behaviour the paper criticizes is preserved for
+      any process that stalls {e inside} an operation.
+
+    The paper's deeper criticism — that TS is unsafe for data structures
+    where a traversal can cross from one retired record to another — is
+    reproduced verbatim by [test_threadscan.ml]'s use-after-free scenario.
+    TS is therefore kept out of the BST/list benchmarks, as in the paper. *)
+
+module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
+  module Pool = P
+
+  type local = {
+    mirror : int array;  (* our registered roots *)
+    bags : Bag.Blockbag.t array;  (* delete buffers, per arena *)
+  }
+
+  type t = {
+    env : Intf.Env.t;
+    pool : P.t;
+    locals : local array;
+    quiescent : Runtime.Shared_array.t;  (* 1 = between operations *)
+    acked : Runtime.Shared_array.t;
+    glock : int Runtime.Svar.t;
+    mark_bag : Bag.Shared_intbag.t ref;
+    scanning : Bag.Hash_set.t array;
+    threshold : int;  (* records *)
+    k : int;
+  }
+
+  let name = "threadscan"
+  let supports_crash_recovery = false
+  let allows_retired_traversal = true
+  let sandboxed = false
+
+  let create env pool =
+    let n = Intf.Env.nprocs env in
+    let params = env.Intf.Env.params in
+    let k = params.Intf.Params.hp_slots in
+    let arenas = Memory.Ptr.max_arenas in
+    let t =
+      {
+        env;
+        pool;
+        locals =
+          Array.init n (fun pid ->
+              {
+                mirror = Array.make k 0;
+                bags =
+                  Array.init arenas (fun _ ->
+                      Bag.Blockbag.create env.Intf.Env.block_pools.(pid));
+              });
+        quiescent = Runtime.Shared_array.create ~padded:true n;
+        acked = Runtime.Shared_array.create ~padded:true n;
+        glock = Runtime.Svar.make 0;
+        mark_bag = ref (Bag.Shared_intbag.create ());
+        scanning = Array.init n (fun _ -> Bag.Hash_set.create ~expected:(n * k));
+        threshold =
+          params.Intf.Params.ts_buffer_blocks * params.Intf.Params.block_capacity;
+        k;
+      }
+    in
+    for pid = 0 to n - 1 do
+      Runtime.Shared_array.poke t.quiescent pid 1
+    done;
+    (* The scan handler: report current roots, then acknowledge.  Unlike
+       DEBRA+'s handler it never aborts the interrupted operation. *)
+    Array.iter
+      (fun ctx ->
+        ctx.Runtime.Ctx.handler <-
+          (fun ctx ->
+            let pid = ctx.Runtime.Ctx.pid in
+            let bag = !(t.mark_bag) in
+            Array.iter
+              (fun r -> if r <> 0 then Bag.Shared_intbag.push ctx bag r)
+              t.locals.(pid).mirror;
+            Runtime.Shared_array.set ctx t.acked pid 1))
+      env.Intf.Env.group.Runtime.Group.ctxs;
+    t
+
+  let leave_qstate t ctx =
+    Runtime.Shared_array.set ctx t.quiescent ctx.Runtime.Ctx.pid 0
+
+  let unprotect_all t ctx =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Array.fill l.mirror 0 t.k 0
+
+  let enter_qstate t ctx =
+    unprotect_all t ctx;
+    Runtime.Shared_array.set ctx t.quiescent ctx.Runtime.Ctx.pid 1
+
+  let is_quiescent t ctx =
+    Runtime.Shared_array.peek t.quiescent ctx.Runtime.Ctx.pid = 1
+
+  (* Root registration: one plain write, no fence — the signal round makes
+     announcements visible instead. *)
+  let protect t ctx p ~verify:_ =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec free_slot i =
+      if i >= t.k then
+        invalid_arg "Threadscan.protect: out of root slots (raise hp_slots)"
+      else if l.mirror.(i) = 0 then i
+      else free_slot (i + 1)
+    in
+    l.mirror.(free_slot 0) <- p;
+    Runtime.Ctx.work ctx 1;
+    true
+
+  let unprotect t ctx p =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec go i =
+      if i < t.k then if l.mirror.(i) = p then l.mirror.(i) <- 0 else go (i + 1)
+    in
+    go 0;
+    Runtime.Ctx.work ctx 1
+
+  let is_protected t ctx p =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    Array.exists (fun s -> s = p) l.mirror
+
+  let collect t ctx =
+    let pid = ctx.Runtime.Ctx.pid in
+    let n = Intf.Env.nprocs t.env in
+    (* Global collector lock (blocking — the paper's progress critique). *)
+    while not (Runtime.Svar.cas ctx t.glock ~expect:0 1) do
+      Runtime.Ctx.work ctx 1
+    done;
+    t.mark_bag := Bag.Shared_intbag.create ();
+    for other = 0 to n - 1 do
+      if other <> pid then begin
+        Runtime.Shared_array.set ctx t.acked other 0;
+        ignore
+          (Runtime.Group.send_signal t.env.Intf.Env.group ~from:ctx
+             ~target:other)
+      end
+    done;
+    (* Wait for every non-quiescent process to report its roots. *)
+    let rec wait_for other =
+      if other < n then
+        if
+          other = pid
+          || Runtime.Shared_array.get ctx t.acked other = 1
+          || Runtime.Shared_array.get ctx t.quiescent other = 1
+        then wait_for (other + 1)
+        else begin
+          Runtime.Ctx.work ctx 1;
+          wait_for other
+        end
+    in
+    wait_for 0;
+    let scanning = t.scanning.(pid) in
+    Bag.Hash_set.clear scanning;
+    ignore
+      (Bag.Shared_intbag.drain ctx !(t.mark_bag) (fun r ->
+           Bag.Hash_set.insert scanning r));
+    Array.iter
+      (fun r -> if r <> 0 then Bag.Hash_set.insert scanning r)
+      t.locals.(pid).mirror;
+    Array.iter
+      (fun bag ->
+        ignore
+          (Scan_util.partition_and_release ctx bag ~protected:scanning
+             ~release_block:(fun b -> P.release_block t.pool ctx b)))
+      t.locals.(pid).bags;
+    Runtime.Svar.set ctx t.glock 0
+
+  let retire t ctx p =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    Runtime.Ctx.work ctx 2;
+    let p = Memory.Ptr.unmark p in
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p) p;
+    let total =
+      Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags
+    in
+    if total >= t.threshold then collect t ctx
+
+  let rprotect _t _ctx _p = ()
+  let runprotect_all _t _ctx = ()
+  let is_rprotected _t _ctx _p = false
+
+  let limbo_size t =
+    Array.fold_left
+      (fun acc l ->
+        Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
+      0 t.locals
+end

@@ -1,0 +1,1 @@
+lib/runtime/ctx.ml: Atomic Random

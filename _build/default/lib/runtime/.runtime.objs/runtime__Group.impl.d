@@ -1,0 +1,1 @@
+lib/runtime/group.ml: Array Atomic Ctx

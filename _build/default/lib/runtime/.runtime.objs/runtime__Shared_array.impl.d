@@ -1,0 +1,1 @@
+lib/runtime/shared_array.ml: Addr Array Atomic Ctx

@@ -1,0 +1,1 @@
+lib/runtime/shared_array.mli: Ctx

@@ -1,0 +1,1 @@
+lib/runtime/svar.ml: Addr Atomic Ctx

@@ -1,0 +1,11 @@
+let words_per_line = 8
+
+let counter = Atomic.make 1
+
+let reserve_lines n =
+  assert (n >= 0);
+  Atomic.fetch_and_add counter n
+
+let reserve_words n = reserve_lines ((n + words_per_line - 1) / words_per_line)
+
+let line_of ~base_line word = base_line + (word / words_per_line)

@@ -1,0 +1,20 @@
+(** Virtual cache-line address space shared by all simulated memory.
+
+    Every shared location (arena field, standalone shared variable) is mapped
+    to a virtual cache line so the machine model in [Machine.Cache] can track
+    coherence state.  Lines are 8 words wide, mirroring 64-byte lines of
+    8-byte words on the paper's machines. *)
+
+val words_per_line : int
+
+(** [reserve_lines n] reserves [n] fresh cache lines and returns the id of the
+    first one.  Thread-safe. *)
+val reserve_lines : int -> int
+
+(** [reserve_words n] reserves enough whole lines to hold [n] words and
+    returns the id of the first line. *)
+val reserve_words : int -> int
+
+(** [line_of ~base_line word] is the line holding word index [word] of a
+    region whose first word starts [base_line]. *)
+val line_of : base_line:int -> int -> int

@@ -1,0 +1,89 @@
+(** Per-process execution context.
+
+    Every per-process operation in the library takes a [Ctx.t] explicitly,
+    mirroring the [pid]-indexed pseudocode of the paper.  The context carries
+    the process id, the simulated-signal state (the substitute for POSIX
+    signals, see DESIGN.md), instrumentation hooks used by the machine
+    simulator, and per-process statistics.
+
+    The fundamental guarantee provided here is the one DEBRA+ requires of the
+    operating system: after another process sets this process' signal flag,
+    the registered handler runs before the process performs its next
+    instrumented shared-memory access. *)
+
+type access_kind =
+  | Read
+  | Write
+  | Cas
+  | Fence  (** a full memory barrier, as issued after a HP announcement *)
+  | Work of int  (** uninstrumented local computation of the given cost *)
+
+(** Raised by a signal handler to abort the interrupted operation; the moral
+    equivalent of the paper's [siglongjmp] out of the signal handler.  Data
+    structure operation wrappers catch it and run recovery code. *)
+exception Neutralized
+
+(** Raised by a process body to simulate a crash; runners treat the process
+    as permanently stopped (it remains non-quiescent if it crashed
+    mid-operation). *)
+exception Crashed
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cass : int;
+  mutable fences : int;
+  mutable local_work : int;  (** cycles of [Work] charged *)
+  mutable allocs : int;
+  mutable frees : int;
+  mutable retires : int;
+  mutable ops : int;  (** completed data structure operations *)
+  mutable neutralized : int;  (** times this process was neutralized *)
+  mutable signals_sent : int;
+  mutable signals_ignored : int;  (** signals received while quiescent *)
+}
+
+type t = {
+  pid : int;
+  nprocs : int;
+  sig_pending : bool Atomic.t;
+  mutable handler : t -> unit;
+      (** signal handler; invoked at the next instrumented access after
+          [sig_pending] is set.  Default: ignore. *)
+  mutable hook : t -> line:int -> access_kind -> unit;
+      (** instrumentation hook; the simulator charges cache-model costs and
+          yields to the scheduler here.  Default: no-op. *)
+  mutable now_impl : unit -> int;
+      (** current time in cycles (virtual under the simulator, scaled
+          wall-clock under domains). *)
+  mutable stall_impl : int -> unit;
+      (** park this process for the given number of cycles. *)
+  mutable rng : Random.State.t;
+  stats : stats;
+}
+
+val make : pid:int -> nprocs:int -> seed:int -> t
+
+(** [poll ctx] checks the signal flag and, if set, clears it and runs the
+    handler.  Called automatically by [access]; exposed so long local-only
+    code paths can poll explicitly. *)
+val poll : t -> unit
+
+(** [access ctx ~line kind] records one instrumented shared-memory access:
+    polls the signal flag, updates statistics, and invokes the hook. *)
+val access : t -> line:int -> access_kind -> unit
+
+(** [work ctx cost] charges [cost] cycles of local computation. *)
+val work : t -> int -> unit
+
+(** [fence ctx] charges a full memory barrier. *)
+val fence : t -> unit
+
+val now : t -> int
+val stall : t -> int -> unit
+
+(** [crash ctx] simulates a process crash by raising {!Crashed}. *)
+val crash : t -> 'a
+
+val reset_stats : t -> unit
+val stats_total_accesses : stats -> int

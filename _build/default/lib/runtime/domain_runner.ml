@@ -1,0 +1,36 @@
+type outcome = Finished | Crashed of exn
+
+let cycles_per_second = 1_000_000_000.
+
+let run group bodies =
+  let n = Group.nprocs group in
+  assert (Array.length bodies = n);
+  let start = Unix.gettimeofday () in
+  let install ctx =
+    ctx.Ctx.now_impl <-
+      (fun () ->
+        int_of_float ((Unix.gettimeofday () -. start) *. cycles_per_second));
+    (* A stalled process simply sleeps; this keeps it non-quiescent, which is
+       the pathology DEBRA+ exists to neutralize. *)
+    ctx.Ctx.stall_impl <-
+      (fun cycles -> Unix.sleepf (float_of_int cycles /. cycles_per_second))
+  in
+  Array.iter install group.Group.ctxs;
+  let outcomes = Array.make n Finished in
+  let domains =
+    Array.init n (fun pid ->
+        Domain.spawn (fun () ->
+            match bodies.(pid) () with
+            | () -> Finished
+            | exception Ctx.Crashed -> Crashed Ctx.Crashed
+            | exception e -> Crashed e))
+  in
+  Array.iteri (fun pid d -> outcomes.(pid) <- Domain.join d) domains;
+  let elapsed = Unix.gettimeofday () -. start in
+  (* Re-raise real failures (but not simulated crashes). *)
+  Array.iter
+    (function
+      | Crashed Ctx.Crashed | Finished -> ()
+      | Crashed e -> raise e)
+    outcomes;
+  (elapsed, outcomes)

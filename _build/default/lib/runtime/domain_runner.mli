@@ -1,0 +1,18 @@
+(** Run a group's process bodies on real OCaml domains.
+
+    This is the "real parallelism" execution mode: hooks stay no-ops (so an
+    instrumented access costs one atomic flag poll), and [Ctx.now] reports
+    scaled wall-clock time in nominal cycles (1 cycle = 1 ns).
+
+    Under this runner the signal-delivery guarantee is approximate: a process
+    that has passed its flag poll may complete one in-flight access after
+    being signalled (see DESIGN.md §2); the deterministic simulator provides
+    the exact guarantee. *)
+
+type outcome = Finished | Crashed of exn
+
+(** [run group bodies] runs [bodies.(pid)] for every pid on its own domain
+    and waits for all of them.  A body terminating with an exception other
+    than [Ctx.Crashed] is re-raised after all domains join.  Returns the
+    wall-clock seconds elapsed and each body's outcome. *)
+val run : Group.t -> (unit -> unit) array -> float * outcome array

@@ -1,0 +1,16 @@
+type t = { ctxs : Ctx.t array; seed : int }
+
+let create ?(seed = 42) n =
+  assert (n > 0);
+  { ctxs = Array.init n (fun pid -> Ctx.make ~pid ~nprocs:n ~seed); seed }
+
+let nprocs t = Array.length t.ctxs
+let ctx t pid = t.ctxs.(pid)
+
+let send_signal t ~from ~target =
+  let open Ctx in
+  from.stats.signals_sent <- from.stats.signals_sent + 1;
+  Atomic.set t.ctxs.(target).sig_pending true;
+  true
+
+let sum_stats t f = Array.fold_left (fun acc c -> acc + f c.Ctx.stats) 0 t.ctxs

@@ -1,0 +1,20 @@
+(** A group of [n] process contexts sharing one data structure instance.
+
+    The group is the unit over which reclamation schemes operate: signals are
+    sent between members of a group, and announcement arrays are indexed by
+    group pid. *)
+
+type t = { ctxs : Ctx.t array; seed : int }
+
+val create : ?seed:int -> int -> t
+val nprocs : t -> int
+val ctx : t -> int -> Ctx.t
+
+(** [send_signal t ~from ~target] delivers a simulated POSIX signal: sets
+    [target]'s pending flag.  The handler runs before [target]'s next
+    instrumented access (see {!Ctx}).  Returns [true], mirroring a successful
+    [pthread_kill]. *)
+val send_signal : t -> from:Ctx.t -> target:int -> bool
+
+(** Sum of a per-process statistic over the group. *)
+val sum_stats : t -> (Ctx.stats -> int) -> int

@@ -1,0 +1,31 @@
+type t = { cells : int Atomic.t array; base_line : int; padded : bool }
+
+let create ?(padded = false) n =
+  let base_line =
+    if padded then Addr.reserve_lines n else Addr.reserve_words n
+  in
+  { cells = Array.init n (fun _ -> Atomic.make 0); base_line; padded }
+
+let length t = Array.length t.cells
+
+let line t i =
+  if t.padded then t.base_line + i else Addr.line_of ~base_line:t.base_line i
+
+let get ctx t i =
+  Ctx.access ctx ~line:(line t i) Ctx.Read;
+  Atomic.get t.cells.(i)
+
+let set ctx t i v =
+  Ctx.access ctx ~line:(line t i) Ctx.Write;
+  Atomic.set t.cells.(i) v
+
+let cas ctx t i ~expect v =
+  Ctx.access ctx ~line:(line t i) Ctx.Cas;
+  Atomic.compare_and_set t.cells.(i) expect v
+
+let faa ctx t i d =
+  Ctx.access ctx ~line:(line t i) Ctx.Cas;
+  Atomic.fetch_and_add t.cells.(i) d
+
+let peek t i = Atomic.get t.cells.(i)
+let poke t i v = Atomic.set t.cells.(i) v

@@ -1,0 +1,21 @@
+(** Instrumented shared arrays of integers.
+
+    Unlike {!Svar}, elements of a shared array can share cache lines (8 words
+    per line) unless [~padded:true] is given, in which case each element gets
+    its own line.  This is how the library models the paper's layout
+    concerns: DEBRA pads per-process announcements to avoid false sharing,
+    and the ablation benchmarks measure what happens without padding. *)
+
+type t
+
+val create : ?padded:bool -> int -> t
+val length : t -> int
+val get : Ctx.t -> t -> int -> int
+val set : Ctx.t -> t -> int -> int -> unit
+val cas : Ctx.t -> t -> int -> expect:int -> int -> bool
+val faa : Ctx.t -> t -> int -> int -> int
+
+(** Uninstrumented accessors for setup and assertions. *)
+
+val peek : t -> int -> int
+val poke : t -> int -> int -> unit

@@ -1,0 +1,21 @@
+(** Instrumented shared variables.
+
+    An ['a Svar.t] is an atomic cell occupying its own virtual cache line, so
+    the machine model can account for coherence traffic on it.  All shared
+    scalar state of the reclamation schemes (the global epoch, announcement
+    entries, shared-bag heads, locks) lives in [Svar]s. *)
+
+type 'a t
+
+val make : 'a -> 'a t
+val line : 'a t -> int
+
+val get : Ctx.t -> 'a t -> 'a
+val set : Ctx.t -> 'a t -> 'a -> unit
+val cas : Ctx.t -> 'a t -> expect:'a -> 'a -> bool
+val faa : Ctx.t -> int t -> int -> int
+
+(** Uninstrumented accessors for setup/teardown code running outside a
+    simulated process. *)
+val peek : 'a t -> 'a
+val poke : 'a t -> 'a -> unit

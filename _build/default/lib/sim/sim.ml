@@ -1,0 +1,218 @@
+open Effect
+open Effect.Deep
+
+type result = {
+  virtual_time : int;
+  crashed : bool array;
+  cache_stats : Machine.Cache.stats;
+  context_switches : int;
+}
+
+exception Stuck of string
+
+type _ Effect.t +=
+  | Yield : int -> unit Effect.t  (* charge this many cycles *)
+  | Stall : int -> unit Effect.t  (* park for this many cycles *)
+
+(* What a fiber slice produced when control returned to the scheduler.  The
+   continuation to resume later rides along inside the outcome. *)
+type outcome =
+  | Yielded of int * (unit, outcome) continuation
+  | Stalled of int * (unit, outcome) continuation
+  | Finished
+  | Crash_exit
+  | Failed of exn * Printexc.raw_backtrace
+
+type status =
+  | Fresh of (unit -> unit)
+  | Ready of (unit, outcome) continuation
+  | Done
+  | Dead
+
+type proc = { pid : int; mutable st : status; mutable wake_at : int }
+
+type core = {
+  mutable time : int;
+  runq : int Queue.t;
+  mutable quantum_left : int;
+  mutable switches : int;
+}
+
+let handler : (unit, outcome) Effect.Deep.handler =
+  {
+    retc = (fun () -> Finished);
+    exnc =
+      (fun e ->
+        match e with
+        | Runtime.Ctx.Crashed -> Crash_exit
+        | e -> Failed (e, Printexc.get_raw_backtrace ()));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield c ->
+            Some (fun (k : (a, outcome) continuation) -> Yielded (c, k))
+        | Stall c ->
+            Some (fun (k : (a, outcome) continuation) -> Stalled (c, k))
+        | _ -> None);
+  }
+
+type policy = [ `Min_time | `Random_walk of int ]
+
+let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
+    ?(policy = `Min_time) group bodies =
+  let open Runtime in
+  let n = Group.nprocs group in
+  assert (Array.length bodies = n);
+  let ncores = Machine.Config.contexts machine in
+  let cache = Machine.Cache.create machine in
+  let cores =
+    Array.init ncores (fun _ ->
+        {
+          time = 0;
+          runq = Queue.create ();
+          quantum_left = machine.Machine.Config.quantum;
+          switches = 0;
+        })
+  in
+  let core_of pid = pid mod ncores in
+  let procs =
+    Array.init n (fun pid -> { pid; st = Fresh bodies.(pid); wake_at = 0 })
+  in
+  Array.iter (fun p -> Queue.push p.pid cores.(core_of p.pid).runq) procs;
+  (* Install simulator hooks. *)
+  let saved_hooks = Array.map (fun c -> c.Ctx.hook) group.Group.ctxs in
+  let install pid =
+    let ctx = Group.ctx group pid in
+    let context = core_of pid in
+    ctx.Ctx.hook <-
+      (fun _ ~line kind ->
+        let cost = Machine.Cache.access cache ~context kind ~line in
+        perform (Yield cost));
+    ctx.Ctx.now_impl <- (fun () -> cores.(context).time);
+    ctx.Ctx.stall_impl <- (fun cycles -> perform (Stall cycles))
+  in
+  for pid = 0 to n - 1 do
+    install pid
+  done;
+  let live = ref n in
+  let steps = ref 0 in
+  let crashed = Array.make n false in
+  let failure = ref None in
+  (* Rotate the front of a core's run queue to its back, charging a context
+     switch when the queue actually holds more than one process. *)
+  let rotate core =
+    if Queue.length core.runq > 1 then begin
+      let pid = Queue.pop core.runq in
+      Queue.push pid core.runq;
+      core.time <- core.time + machine.Machine.Config.ctx_switch;
+      core.switches <- core.switches + 1
+    end;
+    core.quantum_left <- machine.Machine.Config.quantum
+  in
+  (* Pick the next core to run: minimal virtual time (faithful parallel
+     model), or a seeded uniform choice among non-empty cores (logical
+     interleaving exploration). *)
+  let walk_rng =
+    match policy with
+    | `Random_walk seed -> Some (Random.State.make [| seed; 0x51D |])
+    | `Min_time -> None
+  in
+  let pick_core () =
+    match walk_rng with
+    | None ->
+        let best = ref (-1) in
+        for c = 0 to ncores - 1 do
+          if not (Queue.is_empty cores.(c).runq) then
+            if !best < 0 || cores.(c).time < cores.(!best).time then best := c
+        done;
+        !best
+    | Some rng ->
+        let candidates = ref [] in
+        for c = 0 to ncores - 1 do
+          if not (Queue.is_empty cores.(c).runq) then candidates := c :: !candidates
+        done;
+        (match !candidates with
+        | [] -> -1
+        | cs -> List.nth cs (Random.State.int rng (List.length cs)))
+  in
+  (* Ensure the front of [core]'s queue is runnable, rotating past sleepers
+     or advancing time when everyone on the core sleeps.  Returns [false]
+     when the core's clock had to jump forward: the caller must then re-pick
+     the minimum-time core instead of running this one, or accesses would
+     execute out of virtual-time order (other cores may have work scheduled
+     before the jumped-to instant). *)
+  let prepare_front core =
+    let len = Queue.length core.runq in
+    let rec go tried =
+      let pid = Queue.peek core.runq in
+      let p = procs.(pid) in
+      if p.wake_at <= core.time then true
+      else if tried < len - 1 then begin
+        rotate core;
+        go (tried + 1)
+      end
+      else begin
+        (* All processes on this core are sleeping; jump to earliest wake. *)
+        let min_wake =
+          Queue.fold (fun acc pid -> min acc procs.(pid).wake_at) max_int
+            core.runq
+        in
+        core.time <- max core.time min_wake;
+        false
+      end
+    in
+    go 0
+  in
+  let finish_front core p ~dead =
+    ignore (Queue.pop core.runq);
+    p.st <- (if dead then Dead else Done);
+    if dead then crashed.(p.pid) <- true;
+    decr live;
+    core.quantum_left <- machine.Machine.Config.quantum
+  in
+  (while !live > 0 && !failure = None do
+     incr steps;
+     if !steps > max_steps then raise (Stuck "scheduler step budget exceeded");
+     let c = pick_core () in
+     if c < 0 then
+       raise (Stuck "live processes but empty run queues (internal error)");
+     let core = cores.(c) in
+     if prepare_front core then begin
+     let pid = Queue.peek core.runq in
+     let p = procs.(pid) in
+     let outcome =
+       match p.st with
+       | Fresh body -> match_with body () handler
+       | Ready k -> continue k ()
+       | Done | Dead -> raise (Stuck "scheduled a finished process")
+     in
+     match outcome with
+     | Yielded (cost, k) ->
+         p.st <- Ready k;
+         core.time <- core.time + cost;
+         core.quantum_left <- core.quantum_left - cost;
+         if core.quantum_left <= 0 then rotate core
+     | Stalled (cycles, k) ->
+         p.st <- Ready k;
+         p.wake_at <- core.time + cycles;
+         rotate core
+     | Finished -> finish_front core p ~dead:false
+     | Crash_exit -> finish_front core p ~dead:true
+     | Failed (e, bt) ->
+         finish_front core p ~dead:true;
+         failure := Some (e, bt)
+     end
+   done);
+  (* Restore hooks so post-run code executes directly. *)
+  Array.iteri
+    (fun pid ctx ->
+      ctx.Ctx.hook <- saved_hooks.(pid);
+      ctx.Ctx.now_impl <- (fun () -> 0);
+      ctx.Ctx.stall_impl <- (fun _ -> ()))
+    group.Group.ctxs;
+  (match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  let virtual_time = Array.fold_left (fun acc c -> max acc c.time) 0 cores in
+  let context_switches = Array.fold_left (fun acc c -> acc + c.switches) 0 cores in
+  { virtual_time; crashed; cache_stats = Machine.Cache.stats cache; context_switches }

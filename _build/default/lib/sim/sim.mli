@@ -1,0 +1,49 @@
+(** Deterministic discrete-event simulation of [n] processes on a modelled
+    multiprocessor.
+
+    Each process body runs as an effect-handler fiber.  Every instrumented
+    shared-memory access (via {!Runtime.Ctx.access}) is priced by the MESI/
+    NUMA cache model and yields to the scheduler, which always resumes the
+    process on the hardware context with the smallest virtual time — i.e.
+    accesses are globally ordered by virtual time, giving a faithful (and
+    reproducible) model of parallel execution on a single real core.
+
+    Processes are pinned to context [pid mod contexts].  When more processes
+    than hardware contexts exist, contexts multiplex them with a round-robin
+    quantum: a descheduled process's clock freezes, which is exactly the
+    stalled-while-non-quiescent pathology that motivates DEBRA+.
+
+    Signal delivery is exact in this mode: a signalled process runs its
+    handler before its next instrumented access, and accesses are atomic in
+    virtual time. *)
+
+type result = {
+  virtual_time : int;  (** max core time at termination, in cycles *)
+  crashed : bool array;  (** per-pid: terminated via [Ctx.Crashed] *)
+  cache_stats : Machine.Cache.stats;
+  context_switches : int;
+}
+
+exception Stuck of string
+  (** raised when the scheduler exceeds its step budget, indicating livelock *)
+
+(** Scheduling policy.  [`Min_time] (the default) always runs the hardware
+    context with the smallest virtual clock — the faithful model of parallel
+    execution, and the one every benchmark uses.  [`Random_walk seed] picks a
+    runnable context uniformly at random at every step: virtual times lose
+    their parallel meaning, but each seed explores a different {e logical}
+    interleaving of the same program, which is how the test suites hunt for
+    ordering bugs beyond the single min-time schedule. *)
+type policy = [ `Min_time | `Random_walk of int ]
+
+(** [run ~machine group bodies] runs [bodies.(pid)] for each pid to
+    completion and returns the outcome.  Installs simulator hooks on each
+    context for the duration of the run.  Exceptions other than
+    [Ctx.Crashed] escaping a body abort the simulation and are re-raised. *)
+val run :
+  ?machine:Machine.Config.t ->
+  ?max_steps:int ->
+  ?policy:policy ->
+  Runtime.Group.t ->
+  (unit -> unit) array ->
+  result

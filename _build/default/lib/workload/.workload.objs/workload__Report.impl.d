@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/workload/schemes.ml: Alloc Debra Debra_plus Ds Ebr Hp Intf List Machine None_reclaimer Pool Printf Qsbr Rc Reclaim Record_manager Report Stacktrack Threadscan Trial

@@ -1,0 +1,1 @@
+lib/workload/trial.ml: Array Machine Memory Random Reclaim Runtime Sim

@@ -1,0 +1,106 @@
+(** Plain-text table/series rendering for the benchmark harness: one table
+    per figure panel, schemes as columns, process counts as rows — the same
+    series the paper plots. *)
+
+let hline widths =
+  let b = Buffer.create 80 in
+  Buffer.add_char b '+';
+  List.iter
+    (fun w ->
+      Buffer.add_string b (String.make (w + 2) '-');
+      Buffer.add_char b '+')
+    widths;
+  Buffer.contents b
+
+let pad w s =
+  let len = String.length s in
+  if len >= w then s else String.make (w - len) ' ' ^ s
+
+let row widths cells =
+  let b = Buffer.create 80 in
+  Buffer.add_char b '|';
+  List.iter2
+    (fun w c ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (pad w c);
+      Buffer.add_string b " |")
+    widths cells;
+  Buffer.contents b
+
+(** [table ~title ~header ~rows] prints a boxed table; the first column is
+    the row label. *)
+let table ~title ~header ~rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r i)))
+          0 all)
+  in
+  Printf.printf "\n%s\n" title;
+  print_endline (hline widths);
+  print_endline (row widths header);
+  print_endline (hline widths);
+  List.iter (fun r -> print_endline (row widths r)) rows;
+  print_endline (hline widths)
+
+(** [chart ~title ~series] renders line series (one mark per scheme) as an
+    ASCII plot — the textual rendition of a paper figure panel.  X values
+    are positioned proportionally (the paper's thread axis is linear). *)
+let chart ?(width = 64) ?(height = 16) ~title ~series () =
+  match series with
+  | [] -> ()
+  | _ ->
+      let marks = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |] in
+      let all_pts = List.concat_map snd series in
+      let xs = List.map fst all_pts and ys = List.map snd all_pts in
+      let xmin = List.fold_left min max_int xs
+      and xmax = List.fold_left max min_int xs in
+      let ymax = List.fold_left max 0.0 ys in
+      let ymax = if ymax <= 0. then 1. else ymax in
+      let grid = Array.make_matrix height width ' ' in
+      let put x y c =
+        if x >= 0 && x < width && y >= 0 && y < height then grid.(y).(x) <- c
+      in
+      List.iteri
+        (fun i (_, pts) ->
+          let mark = marks.(i mod Array.length marks) in
+          List.iter
+            (fun (x, y) ->
+              let gx =
+                if xmax = xmin then 0
+                else (x - xmin) * (width - 1) / (xmax - xmin)
+              in
+              let gy =
+                height - 1 - int_of_float (y /. ymax *. float_of_int (height - 1))
+              in
+              put gx gy mark)
+            pts)
+        series;
+      Printf.printf "\n%s\n" title;
+      Array.iteri
+        (fun i row ->
+          let body = String.init width (fun j -> row.(j)) in
+          if i = 0 then Printf.printf "%8.2f ┤%s\n" ymax body
+          else Printf.printf "         │%s\n" body)
+        grid;
+      Printf.printf "%8.2f └%s\n" 0. (String.make width '-');
+      Printf.printf "          %-8d%*d   (processes)\n" xmin (width - 10) xmax;
+      Printf.printf "          legend: %s\n"
+        (String.concat "  "
+           (List.mapi
+              (fun i (name, _) ->
+                Printf.sprintf "%c=%s" marks.(i mod Array.length marks) name)
+              series))
+
+let fmt_mops v = Printf.sprintf "%.2f" v
+let fmt_pct v = Printf.sprintf "%+.0f%%" v
+
+let fmt_bytes v =
+  if v > 10_000_000 then Printf.sprintf "%.1fMB" (float_of_int v /. 1e6)
+  else if v > 10_000 then Printf.sprintf "%.0fKB" (float_of_int v /. 1e3)
+  else Printf.sprintf "%dB" v
+
+(** Relative throughput in percent vs. a baseline column. *)
+let rel ~base v = if base = 0. then 0. else (v -. base) /. base *. 100.

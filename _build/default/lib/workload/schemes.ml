@@ -1,0 +1,275 @@
+(** The experiment matrix: one Record Manager instantiation per
+    (allocator, pool, reclaimer) combination the paper's experiments use,
+    uniform trial runners per data structure, and the panel driver that
+    sweeps process counts and prints one table per figure panel.
+
+    Numbered variants follow the paper's experiments: [RM1_*] = bump
+    allocator, no pool (Experiment 1: reclamation work without reuse);
+    [RM2_*] = bump allocator behind the shared pool (Experiment 2);
+    [RM3_*] = malloc-style allocator behind the shared pool
+    (Experiment 3). *)
+
+open Reclaim
+
+type cfg = {
+  machine : Machine.Config.t;
+  params : Intf.Params.t;
+  duration : int;
+  n : int;
+  range : int;
+  ins : int;
+  del : int;
+  seed : int;
+  capacity : int;
+}
+
+type runner = { rname : string; run : cfg -> Trial.outcome }
+
+(* Experiment 1: reclaimers do all their work, but records go back to the
+   bump allocator, which leaks them — no reuse, no pool. *)
+module RM1_none = Record_manager.Make (Alloc.Bump) (Pool.Direct) (None_reclaimer.Make)
+module RM1_debra = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Debra.Make)
+module RM1_debra_plus =
+  Record_manager.Make (Alloc.Bump) (Pool.Direct) (Debra_plus.Make)
+module RM1_hp = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Hp.Make)
+module RM1_ebr = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Ebr.Make)
+module RM1_ts = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Threadscan.Make)
+module RM1_st = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Stacktrack.Make)
+
+(* Experiment 2: records are actually reclaimed through the shared pool. *)
+module RM2_debra = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Debra.Make)
+module RM2_debra_plus =
+  Record_manager.Make (Alloc.Bump) (Pool.Shared) (Debra_plus.Make)
+module RM2_hp = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Hp.Make)
+module RM2_ebr = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Ebr.Make)
+module RM2_ts = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Threadscan.Make)
+module RM2_st = Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Stacktrack.Make)
+module RM2_qsbr = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Qsbr.Make)
+module RM2_rc = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Rc.Make)
+
+(* Experiment 3: malloc-style allocator behind the same pool. *)
+module RM3_none =
+  Record_manager.Make (Alloc.Malloc) (Pool.Direct) (None_reclaimer.Make)
+module RM3_debra = Record_manager.Make (Alloc.Malloc) (Pool.Shared) (Debra.Make)
+module RM3_debra_plus =
+  Record_manager.Make (Alloc.Malloc) (Pool.Shared) (Debra_plus.Make)
+module RM3_hp = Record_manager.Make (Alloc.Malloc) (Pool.Shared) (Hp.Make)
+
+module Make_bst_runner (RM : Intf.RECORD_MANAGER) = struct
+  module T = Ds.Efrb_bst.Make (RM)
+  module R = Trial.Run (RM)
+
+  let runner label =
+    {
+      rname = label;
+      run =
+        (fun cfg ->
+          R.trial
+            (module T)
+            ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
+            ~capacity:cfg.capacity ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
+            ~del:cfg.del ~seed:cfg.seed ());
+    }
+end
+
+module Make_skiplist_runner (RM : Intf.RECORD_MANAGER) = struct
+  module S = Ds.Skiplist.Make (RM)
+  module R = Trial.Run (RM)
+
+  let runner label =
+    {
+      rname = label;
+      run =
+        (fun cfg ->
+          (* The lazy skip list keeps up to ~2*max_level preds/succs
+             protected per traversal. *)
+          let params =
+            {
+              cfg.params with
+              Intf.Params.hp_slots = (2 * Ds.Skiplist.max_level) + 8;
+            }
+          in
+          R.trial
+            (module S)
+            ~machine:cfg.machine ~params ~duration:cfg.duration
+            ~capacity:cfg.capacity ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
+            ~del:cfg.del ~seed:cfg.seed ());
+    }
+end
+
+module Make_list_runner (RM : Intf.RECORD_MANAGER) = struct
+  module L = Ds.Hm_list.Make (RM)
+  module R = Trial.Run (RM)
+
+  let runner label =
+    {
+      rname = label;
+      run =
+        (fun cfg ->
+          R.trial
+            (module L)
+            ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
+            ~capacity:cfg.capacity ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
+            ~del:cfg.del ~seed:cfg.seed ());
+    }
+end
+
+(* BST runners per experiment *)
+module B1_none = Make_bst_runner (RM1_none)
+module B1_debra = Make_bst_runner (RM1_debra)
+module B1_debra_plus = Make_bst_runner (RM1_debra_plus)
+module B1_hp = Make_bst_runner (RM1_hp)
+module B1_ebr = Make_bst_runner (RM1_ebr)
+module B2_debra = Make_bst_runner (RM2_debra)
+module B2_debra_plus = Make_bst_runner (RM2_debra_plus)
+module B2_hp = Make_bst_runner (RM2_hp)
+module B2_ebr = Make_bst_runner (RM2_ebr)
+module B2_qsbr = Make_bst_runner (RM2_qsbr)
+module B2_rc = Make_bst_runner (RM2_rc)
+module B2_ts = Make_bst_runner (RM2_ts)
+module B3_none = Make_bst_runner (RM3_none)
+module B3_debra = Make_bst_runner (RM3_debra)
+module B3_debra_plus = Make_bst_runner (RM3_debra_plus)
+module B3_hp = Make_bst_runner (RM3_hp)
+
+(* Skip-list runners (lock-based updates: no DEBRA+, as in the paper) *)
+module S1_none = Make_skiplist_runner (RM1_none)
+module S1_debra = Make_skiplist_runner (RM1_debra)
+module S1_hp = Make_skiplist_runner (RM1_hp)
+module S1_ts = Make_skiplist_runner (RM1_ts)
+module S1_st = Make_skiplist_runner (RM1_st)
+module S2_debra = Make_skiplist_runner (RM2_debra)
+module S2_hp = Make_skiplist_runner (RM2_hp)
+module S2_ts = Make_skiplist_runner (RM2_ts)
+module S2_st = Make_skiplist_runner (RM2_st)
+module S3_none = Make_skiplist_runner (RM3_none)
+module S3_debra = Make_skiplist_runner (RM3_debra)
+module S3_hp = Make_skiplist_runner (RM3_hp)
+
+let bst_runners_exp1 =
+  [
+    B1_none.runner "none";
+    B1_debra.runner "debra";
+    B1_debra_plus.runner "debra+";
+    B1_hp.runner "hp";
+  ]
+
+let bst_runners_exp2 =
+  [
+    B1_none.runner "none";
+    B2_debra.runner "debra";
+    B2_debra_plus.runner "debra+";
+    B2_hp.runner "hp";
+  ]
+
+let bst_runners_exp3 =
+  [
+    B3_none.runner "none";
+    B3_debra.runner "debra";
+    B3_debra_plus.runner "debra+";
+    B3_hp.runner "hp";
+  ]
+
+let skiplist_runners_exp1 =
+  [
+    S1_none.runner "none";
+    S1_debra.runner "debra";
+    S1_hp.runner "hp";
+    S1_st.runner "stacktrack";
+    S1_ts.runner "threadscan";
+  ]
+
+let skiplist_runners_exp2 =
+  [
+    S1_none.runner "none";
+    S2_debra.runner "debra";
+    S2_hp.runner "hp";
+    S2_st.runner "stacktrack";
+    S2_ts.runner "threadscan";
+  ]
+
+let skiplist_runners_exp3 =
+  [ S3_none.runner "none"; S3_debra.runner "debra"; S3_hp.runner "hp" ]
+
+(* Panel driver: one table per (structure, range, mix); schemes as columns,
+   process counts as rows; cells in Mops/s with % overhead vs the first
+   (baseline) column. *)
+let run_panel ~title ~runners ~threads ~cfg_of =
+  let header =
+    "procs"
+    :: List.concat_map
+         (fun r ->
+           if r.rname = "none" then [ r.rname ] else [ r.rname; "vs none" ])
+         runners
+  in
+  let series = List.map (fun r -> (r.rname, ref [])) runners in
+  let rows =
+    List.map
+      (fun n ->
+        let outcomes = List.map (fun r -> (r, r.run (cfg_of n))) runners in
+        let base =
+          match outcomes with (_, o) :: _ -> o.Trial.mops | [] -> 0.
+        in
+        string_of_int n
+        :: List.concat_map
+             (fun ((r : runner), (o : Trial.outcome)) ->
+               let pts = List.assoc r.rname series in
+               pts := (n, o.Trial.mops) :: !pts;
+               let cell =
+                 if o.Trial.oom then "OOM" else Report.fmt_mops o.Trial.mops
+               in
+               if r.rname = "none" then [ cell ]
+               else [ cell; Report.fmt_pct (Report.rel ~base o.Trial.mops) ])
+             outcomes)
+      threads
+  in
+  Report.table ~title ~header ~rows;
+  Report.chart ~title:(title ^ " — figure")
+    ~series:(List.map (fun (name, pts) -> (name, List.rev !pts)) series)
+    ()
+
+let mix_name ins del =
+  if ins + del = 100 then Printf.sprintf "%di-%dd" ins del
+  else Printf.sprintf "%di-%dd-%ds" ins del (100 - ins - del)
+
+(* Every implemented scheme on the same BST workload: the "scheme zoo". *)
+let bst_runners_zoo =
+  [
+    B1_none.runner "none";
+    B2_ebr.runner "ebr";
+    B2_qsbr.runner "qsbr";
+    B2_debra.runner "debra";
+    B2_debra_plus.runner "debra+";
+    B2_hp.runner "hp";
+    B2_rc.runner "rc";
+  ]
+
+(* Name-indexed lookup for command-line drivers. *)
+let by_name =
+  [
+    (("bst", "exp1"), bst_runners_exp1);
+    (("bst", "zoo"), bst_runners_zoo);
+    (("bst", "exp2"), bst_runners_exp2);
+    (("bst", "exp3"), bst_runners_exp3);
+    (("skiplist", "exp1"), skiplist_runners_exp1);
+    (("skiplist", "exp2"), skiplist_runners_exp2);
+    (("skiplist", "exp3"), skiplist_runners_exp3);
+    ( ("list", "exp2"),
+      let module L_none = Make_list_runner (RM1_none) in
+      let module L_ebr = Make_list_runner (RM2_ebr) in
+      let module L_debra = Make_list_runner (RM2_debra) in
+      let module L_dplus = Make_list_runner (RM2_debra_plus) in
+      let module L_hp = Make_list_runner (RM2_hp) in
+      [
+        L_none.runner "none";
+        L_ebr.runner "ebr";
+        L_debra.runner "debra";
+        L_dplus.runner "debra+";
+        L_hp.runner "hp";
+      ] );
+  ]
+
+let find_runner ~ds ~variant ~scheme =
+  match List.assoc_opt (ds, variant) by_name with
+  | None -> None
+  | Some runners -> List.find_opt (fun r -> r.rname = scheme) runners

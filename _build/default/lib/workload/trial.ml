@@ -1,0 +1,114 @@
+(** Trial runner: prefill a set data structure to half its key range, run a
+    timed mixed workload on the simulated machine, and collect the metrics
+    the paper reports (throughput, memory allocated, limbo population,
+    neutralization counts).
+
+    Mirrors the paper's §7 methodology: uniformly random keys, operation
+    mixes written "xi-yd" (x% insert, y% delete, rest search), prefill to
+    half the key range, fixed-duration trials. *)
+
+(* One virtual cycle = 1/3 ns: the i7-4770 runs at ~3.4 GHz; we report
+   throughput in Mops/s on that scale so numbers are comparable in magnitude
+   to the paper's. *)
+let cycles_per_second = 3.0e9
+
+type outcome = {
+  scheme : string;
+  nprocs : int;
+  ops : int;
+  virtual_time : int;
+  mops : float;  (** million operations per simulated second *)
+  bytes_claimed : int;  (** total allocated for records, incl. prefill *)
+  bytes_claimed_trial : int;
+      (** bump-pointer movement during the timed trial only — the paper's
+          Fig. 9 (right) metric *)
+  bytes_peak : int;
+  limbo : int;  (** records awaiting reclamation at trial end *)
+  neutralized : int;
+  signals_sent : int;
+  allocs : int;
+  frees : int;
+  oom : bool;  (** the arena filled up: the scheme failed to reclaim *)
+  cache : Machine.Cache.stats option;
+}
+
+let mops_of ~ops ~virtual_time =
+  if virtual_time = 0 then 0.
+  else
+    float_of_int ops
+    /. (float_of_int virtual_time /. cycles_per_second)
+    /. 1.0e6
+
+module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  (* The uniform face of a set data structure instantiated with RM. *)
+  module type SET = sig
+    type t
+
+    val create : RM.t -> capacity:int -> t
+    val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
+    val delete : t -> Runtime.Ctx.t -> int -> bool
+    val contains : t -> Runtime.Ctx.t -> int -> bool
+  end
+
+  let trial (module S : SET) ?(machine = Machine.Config.intel_i7_4770)
+      ?(params = Reclaim.Intf.Params.default) ?(duration = 2_000_000)
+      ?(capacity = 0) ~n ~range ~ins ~del ~seed () =
+    let group = Runtime.Group.create ~seed n in
+    let heap = Memory.Heap.create () in
+    let env = Reclaim.Intf.Env.create ~params group heap in
+    let rm = RM.create env in
+    let capacity = if capacity > 0 then capacity else range + 200_000 in
+    let s = S.create rm ~capacity in
+    (* Prefill to half the key range (uninstrumented: hooks are not yet
+       installed, so this costs no simulated time). *)
+    let ctx0 = Runtime.Group.ctx group 0 in
+    let rng = Random.State.make [| seed; 4242 |] in
+    let target = range / 2 in
+    let filled = ref 0 in
+    while !filled < target do
+      let key = 1 + Random.State.int rng range in
+      if S.insert s ctx0 ~key ~value:key then incr filled
+    done;
+    Array.iter Runtime.Ctx.reset_stats group.Runtime.Group.ctxs;
+    let base_claimed = Memory.Heap.bytes_claimed heap in
+    let body pid () =
+      let ctx = Runtime.Group.ctx group pid in
+      let rng = Random.State.make [| seed; pid; 41 |] in
+      while Runtime.Ctx.now ctx < duration do
+        let key = 1 + Random.State.int rng range in
+        let r = Random.State.int rng 100 in
+        if r < ins then ignore (S.insert s ctx ~key ~value:key)
+        else if r < ins + del then ignore (S.delete s ctx key)
+        else ignore (S.contains s ctx key)
+      done
+    in
+    let sim_result =
+      match Sim.run ~machine group (Array.init n body) with
+      | r -> Ok r
+      | exception Memory.Arena.Arena_full a -> Error a
+    in
+    let stat f = Runtime.Group.sum_stats group f in
+    let ops = stat (fun s -> s.Runtime.Ctx.ops) in
+    let virtual_time, cache, oom =
+      match sim_result with
+      | Ok r -> (r.Sim.virtual_time, Some r.Sim.cache_stats, false)
+      | Error _ -> (duration, None, true)
+    in
+    {
+      scheme = RM.scheme_name;
+      nprocs = n;
+      ops;
+      virtual_time;
+      mops = (if oom then 0. else mops_of ~ops ~virtual_time);
+      bytes_claimed = Memory.Heap.bytes_claimed heap;
+      bytes_claimed_trial = Memory.Heap.bytes_claimed heap - base_claimed;
+      bytes_peak = Memory.Heap.bytes_peak heap;
+      limbo = RM.limbo_size rm;
+      neutralized = stat (fun s -> s.Runtime.Ctx.neutralized);
+      signals_sent = stat (fun s -> s.Runtime.Ctx.signals_sent);
+      allocs = stat (fun s -> s.Runtime.Ctx.allocs);
+      frees = stat (fun s -> s.Runtime.Ctx.frees);
+      oom;
+      cache;
+    }
+end

@@ -1,0 +1,1 @@
+test/test_bag.ml: Alcotest Array Bag Int List Option Printf QCheck QCheck_alcotest Runtime Set

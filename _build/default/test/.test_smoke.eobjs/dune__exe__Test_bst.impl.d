@@ -1,0 +1,1 @@
+test/test_bst.ml: Alcotest Array Ds List Machine Memory Printf Random Reclaim Runtime Sim

@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Array Bag Ds List Memory Option Random Reclaim Runtime

@@ -1,0 +1,1 @@
+test/test_hash_set.ml: Alcotest Array Ds List Machine Memory Random Reclaim Runtime Sim

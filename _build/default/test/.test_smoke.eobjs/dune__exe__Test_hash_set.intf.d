@@ -1,0 +1,1 @@
+test/test_hash_set.mli:

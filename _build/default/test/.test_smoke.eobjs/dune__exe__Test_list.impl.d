@@ -1,0 +1,1 @@
+test/test_list.ml: Alcotest Array Ds Machine Memory Printf Random Reclaim Runtime Sim

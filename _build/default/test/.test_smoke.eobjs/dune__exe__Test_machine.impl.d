@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Int List Machine Printf QCheck QCheck_alcotest Random Runtime Set Sim

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Hashtbl List Memory Option Printf QCheck QCheck_alcotest Random Runtime

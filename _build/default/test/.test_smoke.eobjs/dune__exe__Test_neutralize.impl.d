@@ -1,0 +1,1 @@
+test/test_neutralize.ml: Alcotest Array Ds Machine Memory Printf Random Reclaim Runtime Sim

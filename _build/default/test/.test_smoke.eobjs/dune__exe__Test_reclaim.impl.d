@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Alloc Array Bag Debra Debra_plus Ebr Hp Intf List Machine Memory Pool Printf Qsbr Rc Reclaim Record_manager Runtime Sim Threadscan

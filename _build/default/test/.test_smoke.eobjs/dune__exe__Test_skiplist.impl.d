@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array Ds Machine Memory Random Reclaim Runtime Sim

@@ -1,0 +1,1 @@
+test/test_stack_queue.ml: Alcotest Array Ds List Machine Memory Random Reclaim Runtime Sim

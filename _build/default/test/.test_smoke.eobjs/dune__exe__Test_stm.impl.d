@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Array Htm Machine Memory Random Runtime Sim

@@ -1,0 +1,175 @@
+(* Concurrent correctness of the Harris-Michael list under every reclamation
+   scheme, executed on the deterministic simulator.  The final set size must
+   equal the net number of successful inserts minus deletes, the list must
+   stay sorted and cycle-free, and no access may ever hit a freed record
+   (the arena would raise Use_after_free). *)
+
+let block_32 =
+  { Reclaim.Intf.Params.default with Reclaim.Intf.Params.block_capacity = 32 }
+
+module Harness (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  module L = Ds.Hm_list.Make (RM)
+
+  let setup ~n ~seed ~params =
+    let group = Runtime.Group.create ~seed n in
+    let heap = Memory.Heap.create () in
+    let env = Reclaim.Intf.Env.create ~params group heap in
+    let rm = RM.create env in
+    (group, heap, rm)
+
+  (* Each process performs [ops] random operations; the final size must be
+     the net number of successful updates. *)
+  let run_random ?(machine = Machine.Config.tiny ~contexts:4 ())
+      ?(params = block_32) ~n ~ops ~range ~seed () =
+    let group, heap, rm = setup ~n ~seed ~params in
+    let t = L.create rm ~capacity:(range + (n * ops) + 2) in
+    let net = Array.make n 0 in
+    let body pid () =
+      let ctx = Runtime.Group.ctx group pid in
+      let rng = Random.State.make [| seed; pid; 7 |] in
+      for _ = 1 to ops do
+        let key = Random.State.int rng range in
+        match Random.State.int rng 3 with
+        | 0 ->
+            if L.insert t ctx ~key ~value:(key * 2) then
+              net.(pid) <- net.(pid) + 1
+        | 1 -> if L.delete t ctx key then net.(pid) <- net.(pid) - 1
+        | _ -> ignore (L.contains t ctx key)
+      done
+    in
+    let _res = Sim.run ~machine group (Array.init n body) in
+    L.check_invariants t;
+    let expect = Array.fold_left ( + ) 0 net in
+    (expect, L.size t, heap, rm, t)
+
+  let test_random ~n ~ops ~range ~seed () =
+    let expect, got, _, _, _ = run_random ~n ~ops ~range ~seed () in
+    Alcotest.(check int) "net size" expect got
+
+  let test_get () =
+    let group, _heap, rm = setup ~n:2 ~seed:5 ~params:block_32 in
+    let t = L.create rm ~capacity:4096 in
+    let ctx = Runtime.Group.ctx group 0 in
+    Alcotest.(check bool) "insert" true (L.insert t ctx ~key:7 ~value:49);
+    Alcotest.(check bool) "no dup" false (L.insert t ctx ~key:7 ~value:50);
+    Alcotest.(check (option int)) "get" (Some 49) (L.get t ctx 7);
+    Alcotest.(check bool) "delete" true (L.delete t ctx 7);
+    Alcotest.(check bool) "no double delete" false (L.delete t ctx 7);
+    Alcotest.(check (option int)) "gone" None (L.get t ctx 7)
+
+  (* Fault injection: pid 0 crashes while non-quiescent; the others keep
+     operating.  Returns the limbo population at the end. *)
+  let crash_limbo ~ops () =
+    let n = 4 in
+    let params = { block_32 with Reclaim.Intf.Params.incr_thresh = 1 } in
+    let group, _heap, rm = setup ~n ~seed:11 ~params in
+    let t = L.create rm ~capacity:(64 + (n * ops) + 2) in
+    let ctx0 = Runtime.Group.ctx group 0 in
+    for key = 0 to 31 do
+      ignore (L.insert t ctx0 ~key ~value:key)
+    done;
+    let body pid () =
+      let ctx = Runtime.Group.ctx group pid in
+      if pid = 0 then begin
+        (* Enter an operation and crash inside it, leaving a non-quiescent
+           announcement behind. *)
+        RM.leave_qstate rm ctx;
+        ignore (Memory.Arena.read ctx (L.arena t) t.L.head 0);
+        Runtime.Ctx.crash ctx
+      end
+      else
+        let rng = Random.State.make [| 13; pid |] in
+        for _ = 1 to ops do
+          let key = Random.State.int rng 32 in
+          if Random.State.bool rng then ignore (L.insert t ctx ~key ~value:key)
+          else ignore (L.delete t ctx key)
+        done
+    in
+    let res =
+      Sim.run
+        ~machine:(Machine.Config.tiny ~contexts:4 ())
+        group (Array.init n body)
+    in
+    Alcotest.(check bool) "pid 0 crashed" true res.Sim.crashed.(0);
+    L.check_invariants t;
+    RM.limbo_size rm
+
+  let cases name =
+    [
+      Alcotest.test_case (name ^ " get/insert/delete") `Quick test_get;
+      Alcotest.test_case (name ^ " 2p small") `Quick
+        (test_random ~n:2 ~ops:400 ~range:16 ~seed:1);
+      Alcotest.test_case (name ^ " 4p contended") `Quick
+        (test_random ~n:4 ~ops:500 ~range:8 ~seed:2);
+      Alcotest.test_case (name ^ " 4p wide") `Quick
+        (test_random ~n:4 ~ops:400 ~range:256 ~seed:3);
+      Alcotest.test_case (name ^ " 6p oversubscribed") `Quick
+        (test_random ~n:6 ~ops:300 ~range:32 ~seed:4);
+    ]
+end
+
+module RM_none =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Direct)
+    (Reclaim.None_reclaimer.Make)
+module RM_ebr =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Ebr.Make)
+module RM_debra =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Debra.Make)
+module RM_debra_plus =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Debra_plus.Make)
+module RM_hp =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Hp.Make)
+module RM_malloc_debra =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Malloc) (Reclaim.Pool.Shared)
+    (Reclaim.Debra.Make)
+module RM_qsbr =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Qsbr.Make)
+module RM_rc =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Rc.Make)
+
+module H_none = Harness (RM_none)
+module H_ebr = Harness (RM_ebr)
+module H_debra = Harness (RM_debra)
+module H_debra_plus = Harness (RM_debra_plus)
+module H_hp = Harness (RM_hp)
+module H_malloc = Harness (RM_malloc_debra)
+module H_qsbr = Harness (RM_qsbr)
+module H_rc = Harness (RM_rc)
+
+let test_crash_debra_grows () =
+  let limbo = H_debra.crash_limbo ~ops:3000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "debra limbo grows unboundedly (got %d)" limbo)
+    true (limbo > 1500)
+
+let test_crash_debra_plus_bounded () =
+  let limbo = H_debra_plus.crash_limbo ~ops:3000 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "debra+ limbo bounded (got %d)" limbo)
+    true (limbo < 1500)
+
+let () =
+  Alcotest.run "hm_list"
+    [
+      ("none", H_none.cases "none");
+      ("ebr", H_ebr.cases "ebr");
+      ("debra", H_debra.cases "debra");
+      ("debra+", H_debra_plus.cases "debra+");
+      ("hp", H_hp.cases "hp");
+      ("malloc+debra", H_malloc.cases "malloc");
+      ("qsbr", H_qsbr.cases "qsbr");
+      ("rc", H_rc.cases "rc");
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "crashed process blocks DEBRA" `Quick
+            test_crash_debra_grows;
+          Alcotest.test_case "DEBRA+ stays bounded across crash" `Quick
+            test_crash_debra_plus_bounded;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Tests for the MESI/NUMA cache model: hit/miss costs, invalidation on
+   write, the same-socket LLC rule from the paper's Model section, LRU
+   eviction, and the simulator's scheduling/oversubscription behaviour. *)
+
+let cfg2s =
+  (* 2 sockets x 2 contexts, tiny caches *)
+  {
+    (Machine.Config.tiny ~contexts:2 ()) with
+    Machine.Config.name = "2x2";
+    sockets = 2;
+    contexts_per_socket = 2;
+  }
+
+let test_read_costs () =
+  let c = Machine.Cache.create cfg2s in
+  let cost k = Machine.Cache.access c ~context:0 k ~line:42 in
+  Alcotest.(check int) "cold read = memory" cfg2s.Machine.Config.mem_access
+    (cost Runtime.Ctx.Read);
+  Alcotest.(check int) "hot read = l1" cfg2s.Machine.Config.l1_hit
+    (cost Runtime.Ctx.Read)
+
+let test_llc_shared_within_socket () =
+  let c = Machine.Cache.create cfg2s in
+  ignore (Machine.Cache.access c ~context:0 Runtime.Ctx.Read ~line:7);
+  (* context 1 shares socket 0's LLC *)
+  Alcotest.(check int) "same-socket read = llc hit"
+    cfg2s.Machine.Config.llc_hit
+    (Machine.Cache.access c ~context:1 Runtime.Ctx.Read ~line:7);
+  (* context 2 is on socket 1: full miss *)
+  Alcotest.(check int) "cross-socket read = memory"
+    cfg2s.Machine.Config.mem_access
+    (Machine.Cache.access c ~context:2 Runtime.Ctx.Read ~line:7)
+
+let test_write_invalidation () =
+  let c = Machine.Cache.create cfg2s in
+  (* Both sockets load the line. *)
+  ignore (Machine.Cache.access c ~context:0 Runtime.Ctx.Read ~line:9);
+  ignore (Machine.Cache.access c ~context:2 Runtime.Ctx.Read ~line:9);
+  (* Write by context 0 invalidates socket 1's copies. *)
+  ignore (Machine.Cache.access c ~context:0 Runtime.Ctx.Write ~line:9);
+  Alcotest.(check int) "remote socket pays memory again"
+    cfg2s.Machine.Config.mem_access
+    (Machine.Cache.access c ~context:2 Runtime.Ctx.Read ~line:9)
+
+let test_same_socket_llc_survives_write () =
+  (* The paper's NUMA rule: a write invalidates other contexts' private
+     caches but leaves the writer's socket's LLC copy valid. *)
+  let c = Machine.Cache.create cfg2s in
+  ignore (Machine.Cache.access c ~context:1 Runtime.Ctx.Read ~line:5);
+  ignore (Machine.Cache.access c ~context:0 Runtime.Ctx.Write ~line:5);
+  Alcotest.(check int) "same-socket reader pays only LLC"
+    cfg2s.Machine.Config.llc_hit
+    (Machine.Cache.access c ~context:1 Runtime.Ctx.Read ~line:5)
+
+let test_lru_eviction () =
+  let evicted = ref [] in
+  let lru = Machine.Lru.create ~cap:2 ~on_evict:(fun l -> evicted := l :: !evicted) in
+  Machine.Lru.touch lru 1;
+  Machine.Lru.touch lru 2;
+  Machine.Lru.touch lru 1;
+  (* refresh 1 *)
+  Machine.Lru.touch lru 3;
+  (* evicts 2 *)
+  Alcotest.(check (list int)) "evicted LRU" [ 2 ] !evicted;
+  Alcotest.(check bool) "1 kept" true (Machine.Lru.mem lru 1);
+  Alcotest.(check bool) "3 kept" true (Machine.Lru.mem lru 3)
+
+let test_l1_capacity_evicts () =
+  let c = Machine.Cache.create cfg2s in
+  (* Fill L1 (16 lines in tiny config) then exceed it. *)
+  for line = 0 to cfg2s.Machine.Config.l1_lines do
+    ignore (Machine.Cache.access c ~context:0 Runtime.Ctx.Read ~line)
+  done;
+  (* line 0 must have been evicted from L1 but still be in the LLC *)
+  Alcotest.(check int) "evicted to LLC" cfg2s.Machine.Config.llc_hit
+    (Machine.Cache.access c ~context:0 Runtime.Ctx.Read ~line:0)
+
+let prop_bitset =
+  QCheck.Test.make ~name:"bitset agrees with reference set" ~count:300
+    QCheck.(list (int_bound 62))
+    (fun xs ->
+      let bs = Machine.Bitset.create 63 in
+      let module IS = Set.Make (Int) in
+      let reference = List.fold_left (fun acc x -> IS.add x acc) IS.empty xs in
+      List.iter (Machine.Bitset.set bs) xs;
+      let collected = ref IS.empty in
+      Machine.Bitset.iter (fun i -> collected := IS.add i !collected) bs;
+      IS.equal reference !collected
+      && Machine.Bitset.cardinal bs = IS.cardinal reference)
+
+let prop_costs_bounded =
+  QCheck.Test.make ~name:"access costs stay within model bounds" ~count:100
+    QCheck.(list (pair (int_bound 3) (pair (int_bound 3) (int_bound 15))))
+    (fun script ->
+      let c = Machine.Cache.create cfg2s in
+      List.for_all
+        (fun (ctx, (kind, line)) ->
+          let kind =
+            match kind with
+            | 0 -> Runtime.Ctx.Read
+            | 1 -> Runtime.Ctx.Write
+            | 2 -> Runtime.Ctx.Cas
+            | _ -> Runtime.Ctx.Fence
+          in
+          let cost = Machine.Cache.access c ~context:ctx kind ~line in
+          let open Machine.Config in
+          cost >= min cfg2s.l1_hit cfg2s.fence
+          && cost
+             <= cfg2s.mem_access + cfg2s.invalidation + cfg2s.cas_extra)
+        script)
+
+let prop_repeat_read_is_l1 =
+  QCheck.Test.make ~name:"repeating a read hits the private cache" ~count:100
+    QCheck.(list (int_bound 30))
+    (fun lines ->
+      let c = Machine.Cache.create cfg2s in
+      List.for_all
+        (fun line ->
+          ignore (Machine.Cache.access c ~context:0 Runtime.Ctx.Read ~line);
+          Machine.Cache.access c ~context:0 Runtime.Ctx.Read ~line
+          = cfg2s.Machine.Config.l1_hit)
+        (List.filter (fun l -> l < cfg2s.Machine.Config.l1_lines) lines))
+
+(* Simulator scheduling *)
+
+let test_parallel_speedup () =
+  (* Two independent processes on two contexts should finish in about the
+     time of one, not the sum. *)
+  let work ctx = for _ = 1 to 1000 do Runtime.Ctx.work ctx 100 done in
+  let run contexts n =
+    let group = Runtime.Group.create n in
+    let r =
+      Sim.run ~machine:(Machine.Config.tiny ~contexts ()) group
+        (Array.init n (fun pid () -> work (Runtime.Group.ctx group pid)))
+    in
+    r.Sim.virtual_time
+  in
+  let t1 = run 2 1 and t2 = run 2 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 procs on 2 cores take the same time (%d vs %d)" t1 t2)
+    true (t2 < t1 + (t1 / 4))
+
+let test_oversubscription_slowdown () =
+  let work ctx = for _ = 1 to 1000 do Runtime.Ctx.work ctx 100 done in
+  let run n =
+    let group = Runtime.Group.create n in
+    let r =
+      Sim.run ~machine:(Machine.Config.tiny ~contexts:2 ()) group
+        (Array.init n (fun pid () -> work (Runtime.Group.ctx group pid)))
+    in
+    r.Sim.virtual_time
+  in
+  let t2 = run 2 and t4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 procs on 2 cores take ~2x (%d vs %d)" t2 t4)
+    true
+    (t4 > (3 * t2) / 2)
+
+let test_stall_parks_process () =
+  let group = Runtime.Group.create 2 in
+  let order = ref [] in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    if pid = 0 then Runtime.Ctx.stall ctx 1_000_000;
+    Runtime.Ctx.work ctx 10;
+    order := pid :: !order
+  in
+  ignore
+    (Sim.run ~machine:(Machine.Config.tiny ~contexts:1 ()) group
+       (Array.init 2 body));
+  Alcotest.(check (list int)) "stalled process finishes last" [ 0; 1 ] !order
+
+let test_crash_reported () =
+  let group = Runtime.Group.create 2 in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    Runtime.Ctx.work ctx 10;
+    if pid = 1 then Runtime.Ctx.crash ctx
+  in
+  let r =
+    Sim.run ~machine:(Machine.Config.tiny ()) group (Array.init 2 body)
+  in
+  Alcotest.(check (array bool)) "crash flags" [| false; true |] r.Sim.crashed
+
+(* Determinism: identical runs produce identical traces. *)
+let test_sim_deterministic () =
+  let run () =
+    let group = Runtime.Group.create ~seed:5 3 in
+    let v = Runtime.Svar.make 0 in
+    let body pid () =
+      let ctx = Runtime.Group.ctx group pid in
+      let rng = Random.State.make [| pid |] in
+      for _ = 1 to 200 do
+        if Random.State.bool rng then ignore (Runtime.Svar.faa ctx v 1)
+        else ignore (Runtime.Svar.get ctx v)
+      done
+    in
+    let r =
+      Sim.run ~machine:(Machine.Config.tiny ~contexts:2 ()) group
+        (Array.init 3 body)
+    in
+    (r.Sim.virtual_time, Runtime.Svar.peek v, r.Sim.context_switches)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) "identical outcomes" a b
+
+let test_signal_delivery_before_next_access () =
+  let group = Runtime.Group.create 2 in
+  let hits = ref 0 in
+  let c1 = Runtime.Group.ctx group 1 in
+  c1.Runtime.Ctx.handler <- (fun _ -> incr hits);
+  let v = Runtime.Svar.make 0 in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    if pid = 0 then
+      ignore (Runtime.Group.send_signal group ~from:ctx ~target:1)
+    else begin
+      (* Wait until the signal flag is set, then one more access runs the
+         handler first. *)
+      Runtime.Ctx.work ctx 1000;
+      ignore (Runtime.Svar.get ctx v)
+    end
+  in
+  ignore (Sim.run ~machine:(Machine.Config.tiny ()) group (Array.init 2 body));
+  Alcotest.(check int) "handler ran exactly once" 1 !hits
+
+let () =
+  Alcotest.run "machine+sim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "read costs" `Quick test_read_costs;
+          Alcotest.test_case "llc shared within socket" `Quick
+            test_llc_shared_within_socket;
+          Alcotest.test_case "write invalidation" `Quick test_write_invalidation;
+          Alcotest.test_case "same-socket llc survives write" `Quick
+            test_same_socket_llc_survives_write;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "l1 capacity" `Quick test_l1_capacity_evicts;
+          QCheck_alcotest.to_alcotest prop_bitset;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "parallel speedup" `Quick test_parallel_speedup;
+          Alcotest.test_case "oversubscription" `Quick
+            test_oversubscription_slowdown;
+          Alcotest.test_case "stall parks" `Quick test_stall_parks_process;
+          Alcotest.test_case "crash reported" `Quick test_crash_reported;
+          Alcotest.test_case "signal before next access" `Quick
+            test_signal_delivery_before_next_access;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          QCheck_alcotest.to_alcotest prop_costs_bounded;
+          QCheck_alcotest.to_alcotest prop_repeat_read_is_l1;
+        ] );
+    ]

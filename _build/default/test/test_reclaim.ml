@@ -1,0 +1,438 @@
+(* Unit tests for the reclamation schemes themselves: epoch mechanics,
+   limbo-bag rotation, HP scanning, pool recycling, allocator behaviour —
+   plus the reproduction of the paper's §3 ThreadScan unsoundness scenario
+   and the grace-period guarantee tests. *)
+
+open Reclaim
+
+let params_tiny =
+  { Intf.Params.default with Intf.Params.block_capacity = 4; incr_thresh = 1 }
+
+module RM_debra = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Debra.Make)
+(* Protection-survival tests use the Direct pool: the bump allocator bumps
+   the slot generation on deallocate, so [Arena.is_valid] is a faithful
+   "was it freed?" oracle.  (The Shared pool reuses records without freeing
+   them, which is correct but undetectable through generations.) *)
+module RM_debra_plus =
+  Record_manager.Make (Alloc.Bump) (Pool.Direct) (Debra_plus.Make)
+module RM_hp = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Hp.Make)
+module RM_ebr = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Ebr.Make)
+module RM_ts = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Threadscan.Make)
+module RM_qsbr = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Qsbr.Make)
+module RM_rc = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Rc.Make)
+
+module Setup (RM : Intf.RECORD_MANAGER) = struct
+  let make ?(params = params_tiny) ?(n = 2) ?(seed = 1) () =
+    let group = Runtime.Group.create ~seed n in
+    let heap = Memory.Heap.create () in
+    let env = Intf.Env.create ~params group heap in
+    let rm = RM.create env in
+    let arena =
+      Memory.Heap.new_arena heap ~name:"u" ~mut_fields:1 ~const_fields:1
+        ~capacity:65536
+    in
+    (group, heap, env, rm, arena)
+end
+
+module S_debra = Setup (RM_debra)
+module S_debra_plus = Setup (RM_debra_plus)
+module S_hp = Setup (RM_hp)
+module S_ebr = Setup (RM_ebr)
+module S_ts = Setup (RM_ts)
+module S_qsbr = Setup (RM_qsbr)
+module S_rc = Setup (RM_rc)
+
+(* DEBRA: a retired record is not reused until the epoch has advanced twice
+   past its retire epoch, and is reused afterwards. *)
+let test_debra_grace_period () =
+  let group, heap, _env, rm, arena = S_debra.make () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  (* Retire enough records to fill blocks. *)
+  RM_debra.leave_qstate rm ctx;
+  let retired =
+    List.init 8 (fun i ->
+        let p = RM_debra.alloc rm ctx arena in
+        Memory.Arena.set_const ctx arena p 0 i;
+        RM_debra.retire rm ctx p;
+        p)
+  in
+  RM_debra.enter_qstate rm ctx;
+  Alcotest.(check int) "all in limbo" 8 (RM_debra.limbo_size rm);
+  (* All retired records are still valid (allocated). *)
+  List.iter (fun p -> Memory.Arena.validate arena p) retired;
+  (* Drive both processes through ops so the epoch advances several times. *)
+  for _ = 1 to 40 do
+    RM_debra.leave_qstate rm ctx;
+    RM_debra.enter_qstate rm ctx;
+    RM_debra.leave_qstate rm ctx1;
+    RM_debra.enter_qstate rm ctx1
+  done;
+  ignore heap;
+  Alcotest.(check bool)
+    (Printf.sprintf "limbo drained after epochs (got %d)"
+       (RM_debra.limbo_size rm))
+    true
+    (RM_debra.limbo_size rm < 8)
+
+(* DEBRA partial fault tolerance: a process that is QUIESCENT but never
+   running again does not stop reclamation. *)
+let test_debra_quiescent_idler_harmless () =
+  let group, _heap, _env, rm, arena = S_debra.make ~n:3 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  (* Process 2 never does anything (initially quiescent). *)
+  RM_debra.leave_qstate rm ctx;
+  for i = 1 to 8 do
+    let p = RM_debra.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_debra.retire rm ctx p
+  done;
+  RM_debra.enter_qstate rm ctx;
+  for _ = 1 to 40 do
+    RM_debra.leave_qstate rm ctx;
+    RM_debra.enter_qstate rm ctx;
+    RM_debra.leave_qstate rm ctx1;
+    RM_debra.enter_qstate rm ctx1
+  done;
+  Alcotest.(check bool) "reclaimed despite idler" true
+    (RM_debra.limbo_size rm < 8)
+
+(* ...but a process stalled NON-quiescent stops DEBRA's reclamation. *)
+let test_debra_nonquiescent_blocks () =
+  let group, _heap, _env, rm, arena = S_debra.make ~n:2 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  RM_debra.leave_qstate rm ctx1;
+  (* ctx1 now stays non-quiescent forever *)
+  RM_debra.leave_qstate rm ctx;
+  for i = 1 to 8 do
+    let p = RM_debra.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_debra.retire rm ctx p
+  done;
+  RM_debra.enter_qstate rm ctx;
+  for _ = 1 to 60 do
+    RM_debra.leave_qstate rm ctx;
+    RM_debra.enter_qstate rm ctx
+  done;
+  Alcotest.(check int) "nothing reclaimed" 8 (RM_debra.limbo_size rm)
+
+(* DEBRA+ in the same situation neutralizes the laggard (here: the stalled
+   process would handle the signal at its next access; since it never runs,
+   the epoch simply advances past it). *)
+let test_debra_plus_neutralizes_laggard () =
+  let params = { params_tiny with Intf.Params.suspect_blocks = 1 } in
+  let group, _heap, _env, rm, arena = S_debra_plus.make ~params ~n:2 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  RM_debra_plus.leave_qstate rm ctx1;
+  RM_debra_plus.leave_qstate rm ctx;
+  for i = 1 to 16 do
+    let p = RM_debra_plus.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_debra_plus.retire rm ctx p
+  done;
+  RM_debra_plus.enter_qstate rm ctx;
+  for _ = 1 to 60 do
+    RM_debra_plus.leave_qstate rm ctx;
+    RM_debra_plus.enter_qstate rm ctx
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "reclaimed past the laggard (limbo %d)"
+       (RM_debra_plus.limbo_size rm))
+    true
+    (RM_debra_plus.limbo_size rm < 16);
+  Alcotest.(check bool) "signals were sent" true
+    (ctx.Runtime.Ctx.stats.Runtime.Ctx.signals_sent > 0)
+
+(* DEBRA+ RProtected records survive reclamation scans. *)
+let test_debra_plus_rprotect_survives () =
+  let params = { params_tiny with Intf.Params.suspect_blocks = 1 } in
+  let group, _heap, _env, rm, arena = S_debra_plus.make ~params ~n:2 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  RM_debra_plus.leave_qstate rm ctx;
+  let victim = RM_debra_plus.alloc rm ctx arena in
+  Memory.Arena.set_const ctx arena victim 0 99;
+  RM_debra_plus.rprotect rm ctx victim;
+  Alcotest.(check bool) "is_rprotected" true
+    (RM_debra_plus.is_rprotected rm ctx victim);
+  RM_debra_plus.retire rm ctx victim;
+  for i = 1 to 32 do
+    let p = RM_debra_plus.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_debra_plus.retire rm ctx p
+  done;
+  RM_debra_plus.enter_qstate rm ctx;
+  for _ = 1 to 80 do
+    RM_debra_plus.leave_qstate rm ctx;
+    RM_debra_plus.enter_qstate rm ctx;
+    RM_debra_plus.leave_qstate rm ctx1;
+    RM_debra_plus.enter_qstate rm ctx1
+  done;
+  (* The protected record must still be allocated. *)
+  Memory.Arena.validate arena victim;
+  RM_debra_plus.runprotect_all rm ctx;
+  Alcotest.(check bool) "no longer rprotected" false
+    (RM_debra_plus.is_rprotected rm ctx victim)
+
+(* HP: a protected record survives a scan; unprotected retired records are
+   reclaimed once the retire threshold is crossed. *)
+let test_hp_scan_respects_announcements () =
+  let params = { params_tiny with Intf.Params.hp_retire_factor = 1; block_capacity = 4 } in
+  let group, _heap, _env, rm, arena = S_hp.make ~params ~n:1 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  RM_hp.leave_qstate rm ctx;
+  let victim = RM_hp.alloc rm ctx arena in
+  Memory.Arena.set_const ctx arena victim 0 1;
+  Alcotest.(check bool) "protect" true
+    (RM_hp.protect rm ctx victim ~verify:(fun () -> true));
+  RM_hp.retire rm ctx victim;
+  (* Push way past the scan threshold. *)
+  for i = 1 to 64 do
+    let p = RM_hp.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_hp.retire rm ctx p
+  done;
+  (* victim still protected -> still allocated *)
+  Memory.Arena.validate arena victim;
+  Alcotest.(check bool) "scan freed the rest" true (RM_hp.limbo_size rm < 65);
+  (* Release and push again: now it must eventually be reclaimed. *)
+  RM_hp.unprotect rm ctx victim;
+  for i = 1 to 64 do
+    let p = RM_hp.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_hp.retire rm ctx p
+  done;
+  Alcotest.(check bool) "victim reclaimed after unprotect" false
+    (Memory.Arena.is_valid arena victim)
+
+(* EBR reclaims across a grace period. *)
+let test_ebr_reclaims () =
+  let group, _heap, _env, rm, arena = S_ebr.make ~n:2 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  RM_ebr.leave_qstate rm ctx;
+  for i = 1 to 8 do
+    let p = RM_ebr.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_ebr.retire rm ctx p
+  done;
+  RM_ebr.enter_qstate rm ctx;
+  for _ = 1 to 20 do
+    RM_ebr.leave_qstate rm ctx;
+    RM_ebr.enter_qstate rm ctx;
+    RM_ebr.leave_qstate rm ctx1;
+    RM_ebr.enter_qstate rm ctx1
+  done;
+  Alcotest.(check int) "all reclaimed" 0 (RM_ebr.limbo_size rm)
+
+(* Paper §4: "allowing each process to keep up to 16 blocks in its block
+   pool reduces the number of blocks allocated by more than 99.9%".  Drive
+   heavy retire/reclaim churn and check the recycle ratio dominates. *)
+let test_block_pool_recycle_ratio () =
+  let params = { Intf.Params.default with Intf.Params.block_capacity = 8; incr_thresh = 1 } in
+  let group = Runtime.Group.create ~seed:3 2 in
+  let heap = Memory.Heap.create () in
+  let env = Intf.Env.create ~params group heap in
+  let rm = RM_debra.create env in
+  let arena =
+    Memory.Heap.new_arena heap ~name:"churn" ~mut_fields:1 ~const_fields:1
+      ~capacity:300_000
+  in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  let churn rounds =
+    for i = 1 to rounds do
+      RM_debra.leave_qstate rm ctx;
+      let p = RM_debra.alloc rm ctx arena in
+      Memory.Arena.set_const ctx arena p 0 i;
+      RM_debra.retire rm ctx p;
+      RM_debra.enter_qstate rm ctx;
+      RM_debra.leave_qstate rm ctx1;
+      RM_debra.enter_qstate rm ctx1
+    done
+  in
+  let totals () =
+    Array.fold_left
+      (fun (a, r) bp ->
+        (a + Bag.Block_pool.allocated bp, r + Bag.Block_pool.recycled bp))
+      (0, 0) env.Intf.Env.block_pools
+  in
+  (* Warm up past the one-off bag-creation allocations, then measure. *)
+  churn 2_000;
+  let fresh0, _ = totals () in
+  churn 20_000;
+  let fresh1, recycled1 = totals () in
+  let steady_fresh = fresh1 - fresh0 in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "steady state allocates almost no blocks (%d fresh vs %d recycled)"
+       steady_fresh recycled1)
+    true
+    (steady_fresh * 1000 < recycled1)
+
+(* QSBR frees a batch only after every process has passed a quiescent
+   point following the batch's close. *)
+let test_qsbr_waits_for_quiescent_points () =
+  let params = { params_tiny with Intf.Params.check_thresh = 1 } in
+  let group, _heap, _env, rm, arena = S_qsbr.make ~params ~n:2 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  RM_qsbr.leave_qstate rm ctx;
+  for i = 1 to 8 do
+    let p = RM_qsbr.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_qsbr.retire rm ctx p
+  done;
+  (* Only process 0 declares quiescent points: nothing may be freed. *)
+  for _ = 1 to 30 do
+    RM_qsbr.enter_qstate rm ctx
+  done;
+  Alcotest.(check int) "blocked on process 1" 8 (RM_qsbr.limbo_size rm);
+  (* Process 1 passes a quiescent point: the batch becomes safe. *)
+  RM_qsbr.enter_qstate rm ctx1;
+  for _ = 1 to 5 do
+    RM_qsbr.enter_qstate rm ctx
+  done;
+  Alcotest.(check int) "freed after grace" 0 (RM_qsbr.limbo_size rm)
+
+(* RC: a held reference pins the record; releasing it lets a scan free
+   it. *)
+let test_rc_reference_pins () =
+  let group, _heap, _env, rm, arena = S_rc.make ~n:1 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  RM_rc.leave_qstate rm ctx;
+  let victim = RM_rc.alloc rm ctx arena in
+  Memory.Arena.set_const ctx arena victim 0 1;
+  Alcotest.(check bool) "protect" true
+    (RM_rc.protect rm ctx victim ~verify:(fun () -> true));
+  Alcotest.(check bool) "counted" true (RM_rc.is_protected rm ctx victim);
+  RM_rc.retire rm ctx victim;
+  for i = 1 to 32 do
+    let p = RM_rc.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_rc.retire rm ctx p
+  done;
+  Memory.Arena.validate arena victim;
+  RM_rc.unprotect rm ctx victim;
+  Alcotest.(check bool) "released" false (RM_rc.is_protected rm ctx victim);
+  for i = 1 to 32 do
+    let p = RM_rc.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_rc.retire rm ctx p
+  done;
+  Alcotest.(check bool) "victim reclaimed after release" false
+    (Memory.Arena.is_valid arena victim)
+
+(* The paper's §3 "Applicability of TS" scenario, reproduced on the
+   simulator: process p holds a private pointer to retired record u, which
+   points to retired record u'; a collection happens while p has only u
+   registered; u' is freed; p then follows u's pointer into u' and performs
+   an illegal access, which the arena detects. *)
+let test_threadscan_unsound_retired_chain () =
+  let params = { params_tiny with Intf.Params.ts_buffer_blocks = 2 } in
+  let group, _heap, _env, rm, arena = S_ts.make ~params ~n:2 ~seed:9 () in
+  let uaf = ref false in
+  let u_holder = ref Memory.Ptr.null in
+  let u'_holder = ref Memory.Ptr.null in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    if pid = 0 then begin
+      (* p: start an operation, register u as a root, read u.next = u',
+         then go to sleep before registering u'. *)
+      RM_ts.leave_qstate rm ctx;
+      while Memory.Ptr.is_null !u_holder do
+        Runtime.Ctx.work ctx 1
+      done;
+      let u = !u_holder in
+      ignore (RM_ts.protect rm ctx u ~verify:(fun () -> true));
+      (* p is about to read u.next, but sleeps first; q's collection signal
+         arrives meanwhile.  The handler runs at the first access after the
+         wake-up (reporting only u as a root), p naps again while the
+         collector frees u' — and then follows the pointer from retired u
+         into freed u': the paper's illegal access. *)
+      Runtime.Ctx.stall ctx 3_000_000;
+      Runtime.Ctx.work ctx 1 (* signal handler fires here: roots = {u} *);
+      Runtime.Ctx.stall ctx 200_000 (* let the collector finish freeing *);
+      let u' = Memory.Arena.read ctx arena u 0 in
+      (match Memory.Arena.read ctx arena u' 0 with
+      | _ -> ()
+      | exception Memory.Arena.Use_after_free _ -> uaf := true);
+      RM_ts.enter_qstate rm ctx
+    end
+    else begin
+      let ctx = Runtime.Group.ctx group pid in
+      RM_ts.leave_qstate rm ctx;
+      (* q: build u -> u', publish them, then retire both and flood the
+         delete buffer to force a collection while p sleeps. *)
+      let u' = RM_ts.alloc rm ctx arena in
+      Memory.Arena.write ctx arena u' 0 0;
+      let u = RM_ts.alloc rm ctx arena in
+      Memory.Arena.write ctx arena u 0 u';
+      u'_holder := u';
+      u_holder := u;
+      Runtime.Ctx.work ctx 50_000;
+      (* Remove both from the (conceptual) structure and retire them. *)
+      RM_ts.retire rm ctx u;
+      RM_ts.retire rm ctx u';
+      (* Exactly one collection: 6 more retires reach the 8-record
+         threshold while u and u' sit in the oldest (full) block. *)
+      for i = 1 to 6 do
+        let p = RM_ts.alloc rm ctx arena in
+        Memory.Arena.set_const ctx arena p 0 i;
+        RM_ts.retire rm ctx p
+      done;
+      RM_ts.enter_qstate rm ctx
+    end
+  in
+  ignore
+    (Sim.run ~machine:(Machine.Config.tiny ~contexts:2 ()) group
+       (Array.init 2 body));
+  Alcotest.(check bool)
+    "ThreadScan frees a record reachable from a registered retired record"
+    true !uaf
+
+let () =
+  Alcotest.run "reclaim"
+    [
+      ( "debra",
+        [
+          Alcotest.test_case "grace period" `Quick test_debra_grace_period;
+          Alcotest.test_case "quiescent idler harmless" `Quick
+            test_debra_quiescent_idler_harmless;
+          Alcotest.test_case "non-quiescent laggard blocks" `Quick
+            test_debra_nonquiescent_blocks;
+        ] );
+      ( "debra+",
+        [
+          Alcotest.test_case "neutralizes laggard" `Quick
+            test_debra_plus_neutralizes_laggard;
+          Alcotest.test_case "rprotect survives scan" `Quick
+            test_debra_plus_rprotect_survives;
+        ] );
+      ( "hp",
+        [
+          Alcotest.test_case "scan respects announcements" `Quick
+            test_hp_scan_respects_announcements;
+        ] );
+      ("ebr", [ Alcotest.test_case "reclaims" `Quick test_ebr_reclaims ]);
+      ( "block-pool",
+        [
+          Alcotest.test_case "recycle ratio (paper: >99.9%)" `Quick
+            test_block_pool_recycle_ratio;
+        ] );
+      ( "qsbr",
+        [
+          Alcotest.test_case "waits for quiescent points" `Quick
+            test_qsbr_waits_for_quiescent_points;
+        ] );
+      ( "rc",
+        [ Alcotest.test_case "reference pins record" `Quick test_rc_reference_pins ] );
+      ( "threadscan",
+        [
+          Alcotest.test_case "paper §3: retired-to-retired is unsound" `Quick
+            test_threadscan_unsound_retired_chain;
+        ] );
+    ]

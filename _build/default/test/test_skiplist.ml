@@ -1,0 +1,137 @@
+(* Concurrent correctness of the lazy skip list (lock-based updates,
+   lock-free searches) under the reclamation schemes the paper pairs with
+   lock-based structures (no DEBRA+: neutralizing a lock holder is unsafe,
+   as the paper notes). *)
+
+let params =
+  {
+    Reclaim.Intf.Params.default with
+    Reclaim.Intf.Params.block_capacity = 32;
+    hp_slots = 48;
+  }
+
+module Harness (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  module S = Ds.Skiplist.Make (RM)
+
+  let setup ~n ~seed =
+    let group = Runtime.Group.create ~seed n in
+    let heap = Memory.Heap.create () in
+    let env = Reclaim.Intf.Env.create ~params group heap in
+    let rm = RM.create env in
+    (group, heap, rm)
+
+  let run_random ?(machine = Machine.Config.tiny ~contexts:4 ()) ~n ~ops
+      ~range ~seed () =
+    let group, _heap, rm = setup ~n ~seed in
+    let s = S.create rm ~capacity:((n * ops) + range + 4) in
+    let net = Array.make n 0 in
+    let body pid () =
+      let ctx = Runtime.Group.ctx group pid in
+      let rng = Random.State.make [| seed; pid; 123 |] in
+      for _ = 1 to ops do
+        let key = 1 + Random.State.int rng range in
+        match Random.State.int rng 3 with
+        | 0 ->
+            if S.insert s ctx ~key ~value:(key * 3) then
+              net.(pid) <- net.(pid) + 1
+        | 1 -> if S.delete s ctx key then net.(pid) <- net.(pid) - 1
+        | _ -> ignore (S.contains s ctx key)
+      done
+    in
+    let _ = Sim.run ~machine group (Array.init n body) in
+    S.check_invariants s;
+    (Array.fold_left ( + ) 0 net, S.size s)
+
+  let test_random ~n ~ops ~range ~seed () =
+    let expect, got = run_random ~n ~ops ~range ~seed () in
+    Alcotest.(check int) "net size" expect got
+
+  let test_sequential () =
+    let group, _heap, rm = setup ~n:1 ~seed:3 in
+    let s = S.create rm ~capacity:4096 in
+    let ctx = Runtime.Group.ctx group 0 in
+    Alcotest.(check bool) "ins 10" true (S.insert s ctx ~key:10 ~value:1);
+    Alcotest.(check bool) "ins 20" true (S.insert s ctx ~key:20 ~value:2);
+    Alcotest.(check bool) "ins 15" true (S.insert s ctx ~key:15 ~value:3);
+    Alcotest.(check bool) "dup" false (S.insert s ctx ~key:15 ~value:4);
+    Alcotest.(check (list int)) "sorted" [ 10; 15; 20 ] (S.to_list s);
+    Alcotest.(check (option int)) "get" (Some 3) (S.get s ctx 15);
+    Alcotest.(check bool) "del" true (S.delete s ctx 15);
+    Alcotest.(check bool) "del again" false (S.delete s ctx 15);
+    Alcotest.(check bool) "contains" true (S.contains s ctx 20);
+    S.check_invariants s;
+    Alcotest.(check (list int)) "final" [ 10; 20 ] (S.to_list s)
+
+  let test_churn () =
+    let group, _heap, rm = setup ~n:1 ~seed:4 in
+    let s = S.create rm ~capacity:100_000 in
+    let ctx = Runtime.Group.ctx group 0 in
+    for round = 1 to 100 do
+      for key = 1 to 25 do
+        ignore (S.insert s ctx ~key ~value:round)
+      done;
+      for key = 1 to 25 do
+        Alcotest.(check bool) "delete" true (S.delete s ctx key)
+      done
+    done;
+    Alcotest.(check int) "empty" 0 (S.size s);
+    S.check_invariants s
+
+  let cases name =
+    [
+      Alcotest.test_case (name ^ " sequential") `Quick test_sequential;
+      Alcotest.test_case (name ^ " churn") `Quick test_churn;
+      Alcotest.test_case (name ^ " 2p small") `Quick
+        (test_random ~n:2 ~ops:300 ~range:16 ~seed:1);
+      Alcotest.test_case (name ^ " 4p contended") `Quick
+        (test_random ~n:4 ~ops:300 ~range:8 ~seed:2);
+      Alcotest.test_case (name ^ " 4p wide") `Quick
+        (test_random ~n:4 ~ops:300 ~range:512 ~seed:3);
+      Alcotest.test_case (name ^ " 6p oversubscribed") `Quick
+        (test_random ~n:6 ~ops:200 ~range:32 ~seed:4);
+    ]
+end
+
+module RM_none =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Direct)
+    (Reclaim.None_reclaimer.Make)
+module RM_ebr =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Ebr.Make)
+module RM_debra =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Debra.Make)
+module RM_hp =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Hp.Make)
+module RM_malloc =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Malloc) (Reclaim.Pool.Shared)
+    (Reclaim.Debra.Make)
+(* StackTrack's sandboxing needs arena-visible frees (generation bumps)
+   to detect reclaimed-memory accesses, so it pairs with Recycle+Direct. *)
+module RM_st =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Recycle) (Reclaim.Pool.Direct)
+    (Reclaim.Stacktrack.Make)
+module RM_ts =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Threadscan.Make)
+
+module H_none = Harness (RM_none)
+module H_ebr = Harness (RM_ebr)
+module H_debra = Harness (RM_debra)
+module H_hp = Harness (RM_hp)
+module H_malloc = Harness (RM_malloc)
+module H_st = Harness (RM_st)
+module H_ts = Harness (RM_ts)
+
+let () =
+  Alcotest.run "skiplist"
+    [
+      ("none", H_none.cases "none");
+      ("ebr", H_ebr.cases "ebr");
+      ("debra", H_debra.cases "debra");
+      ("hp", H_hp.cases "hp");
+      ("malloc+debra", H_malloc.cases "malloc");
+      ("stacktrack", H_st.cases "stacktrack");
+      ("threadscan", H_ts.cases "threadscan");
+    ]

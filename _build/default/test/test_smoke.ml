@@ -1,0 +1,20 @@
+let test_sim_counter () =
+  let group = Runtime.Group.create 4 in
+  let v = Runtime.Svar.make 0 in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    for _ = 1 to 100 do
+      let rec incr () =
+        let x = Runtime.Svar.get ctx v in
+        if not (Runtime.Svar.cas ctx v ~expect:x (x + 1)) then incr ()
+      in
+      incr ()
+    done
+  in
+  let r = Sim.run group (Array.init 4 body) in
+  Alcotest.(check int) "counter" 400 (Runtime.Svar.peek v);
+  Alcotest.(check bool) "time advanced" true (r.Sim.virtual_time > 0)
+
+let () =
+  Alcotest.run "smoke"
+    [ ("sim", [ Alcotest.test_case "atomic counter" `Quick test_sim_counter ]) ]

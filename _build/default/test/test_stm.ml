@@ -1,0 +1,107 @@
+(* Tests for the simulated best-effort transactions (Htm.Stm): isolation
+   under the simulator, conflict/capacity/freed aborts, and buffered
+   write-read consistency. *)
+
+let mk () =
+  let heap = Memory.Heap.create () in
+  let arena =
+    Memory.Heap.new_arena heap ~name:"acct" ~mut_fields:2 ~const_fields:0
+      ~capacity:1024
+  in
+  let stm = Htm.Stm.create heap in
+  (heap, arena, stm)
+
+let test_commit_and_read () =
+  let _, arena, stm = mk () in
+  let ctx = Runtime.Ctx.make ~pid:0 ~nprocs:1 ~seed:1 in
+  let p = Memory.Arena.claim_fresh ctx arena in
+  (match
+     Htm.Stm.attempt stm ctx (fun txn ->
+         Htm.Stm.write txn arena p 0 41;
+         Htm.Stm.write txn arena p 0 42;
+         (* read-your-own-write *)
+         Alcotest.(check int) "buffered" 42 (Htm.Stm.read txn arena p 0);
+         Htm.Stm.write txn arena p 1 7)
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "commit failed");
+  Alcotest.(check int) "field 0" 42 (Memory.Arena.peek arena p 0);
+  Alcotest.(check int) "field 1" 7 (Memory.Arena.peek arena p 1);
+  Alcotest.(check int) "commits" 1 (Htm.Stm.stats stm).Htm.Stm.commits
+
+let test_freed_abort () =
+  let heap, arena, stm = mk () in
+  let ctx = Runtime.Ctx.make ~pid:0 ~nprocs:1 ~seed:1 in
+  let p = Memory.Arena.claim_fresh ctx arena in
+  Memory.Heap.release heap ctx p ~recycle:false;
+  (match Htm.Stm.attempt stm ctx (fun txn -> Htm.Stm.read txn arena p 0) with
+  | Ok _ -> Alcotest.fail "read of freed record must abort"
+  | Error `Freed -> ()
+  | Error _ -> Alcotest.fail "wrong abort reason");
+  Alcotest.(check int) "freed aborts" 1 (Htm.Stm.stats stm).Htm.Stm.aborts_freed
+
+let test_capacity_abort () =
+  let heap, arena, _ = mk () in
+  let stm = Htm.Stm.create ~max_read_set:4 ~max_write_set:64 heap in
+  let ctx = Runtime.Ctx.make ~pid:0 ~nprocs:1 ~seed:1 in
+  let ps = Array.init 8 (fun _ -> Memory.Arena.claim_fresh ctx arena) in
+  (match
+     Htm.Stm.attempt stm ctx (fun txn ->
+         Array.iter (fun p -> ignore (Htm.Stm.read txn arena p 0)) ps)
+   with
+  | Ok _ -> Alcotest.fail "must abort on capacity"
+  | Error `Capacity -> ()
+  | Error _ -> Alcotest.fail "wrong abort reason")
+
+(* Two processes transfer value between two accounts transactionally; the
+   total must be conserved, and no transaction may observe a torn state. *)
+let test_bank_transfer () =
+  let _, arena, stm = mk () in
+  let group = Runtime.Group.create 4 in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  let a = Memory.Arena.claim_fresh ctx0 arena in
+  let b = Memory.Arena.claim_fresh ctx0 arena in
+  Memory.Arena.poke arena a 0 1000;
+  Memory.Arena.poke arena b 0 1000;
+  let torn = ref 0 in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    let rng = Random.State.make [| pid; 5 |] in
+    for _ = 1 to 200 do
+      let amount = Random.State.int rng 10 in
+      let rec retry () =
+        match
+          Htm.Stm.attempt stm ctx (fun txn ->
+              let va = Htm.Stm.read txn arena a 0 in
+              let vb = Htm.Stm.read txn arena b 0 in
+              if va + vb <> 2000 then incr torn;
+              Htm.Stm.write txn arena a 0 (va - amount);
+              Htm.Stm.write txn arena b 0 (vb + amount))
+        with
+        | Ok () -> ()
+        | Error _ -> retry ()
+      in
+      retry ()
+    done
+  in
+  ignore
+    (Sim.run ~machine:(Machine.Config.tiny ~contexts:4 ()) group
+       (Array.init 4 body));
+  Alcotest.(check int) "no torn reads" 0 !torn;
+  Alcotest.(check int) "conserved" 2000
+    (Memory.Arena.peek arena a 0 + Memory.Arena.peek arena b 0);
+  Alcotest.(check bool) "some commits" true
+    ((Htm.Stm.stats stm).Htm.Stm.commits >= 800)
+
+let () =
+  Alcotest.run "stm"
+    [
+      ( "stm",
+        [
+          Alcotest.test_case "commit and read" `Quick test_commit_and_read;
+          Alcotest.test_case "freed abort" `Quick test_freed_abort;
+          Alcotest.test_case "capacity abort" `Quick test_capacity_abort;
+          Alcotest.test_case "bank transfer isolation" `Quick
+            test_bank_transfer;
+        ] );
+    ]
