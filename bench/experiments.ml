@@ -30,6 +30,10 @@ let full_scale =
     sl_range = 200_000;
   }
 
+(* Set by bench/main.ml's --sanitize flag.  Default off: all numbers in
+   EXPERIMENTS.md are measured without the sanitizer attached. *)
+let sanitize = ref false
+
 let base_cfg ?(machine = Machine.Config.intel_i7_4770)
     ?(params = Reclaim.Intf.Params.default) ~scale ~range ~ins ~del n =
   {
@@ -42,6 +46,7 @@ let base_cfg ?(machine = Machine.Config.intel_i7_4770)
     del;
     seed = 7;
     capacity = range + 400_000;
+    sanitize = !sanitize;
   }
 
 let mixes = [ (50, 50); (25, 25) ]

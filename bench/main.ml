@@ -33,7 +33,8 @@ let run_one ~scale = function
   | "micro" -> Micro.run ()
   | name -> Printf.eprintf "unknown experiment %S\n" name
 
-let main experiments full =
+let main experiments full sanitize =
+  Experiments.sanitize := sanitize;
   let scale =
     if full then Experiments.full_scale else Experiments.quick_scale
   in
@@ -67,10 +68,19 @@ let full_arg =
   let doc = "Run at paper scale (large key ranges, dense thread grid)." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let sanitize_arg =
+  let doc =
+    "Run every trial under the shadow-state SMR sanitizer (lib/sanitizer): \
+     violations are reported on stderr and flagged !SAN in the tables.  \
+     Slows trials down and perturbs timing; all published numbers are \
+     measured with this off."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the DEBRA/DEBRA+ paper" in
   Cmd.v
     (Cmd.info "debra-bench" ~doc)
-    Term.(const main $ experiments_arg $ full_arg)
+    Term.(const main $ experiments_arg $ full_arg $ sanitize_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -9,7 +9,7 @@
 
 open Cmdliner
 
-let run ds scheme variant procs range ins del duration machine seed =
+let run ds scheme variant procs range ins del duration machine seed sanitize =
   let machine =
     match machine with
     | "t4" -> Machine.Config.oracle_t4_1
@@ -40,6 +40,7 @@ let run ds scheme variant procs range ins del duration machine seed =
           del;
           seed;
           capacity = range + 400_000;
+          sanitize;
         }
       in
       let o = r.Workload.Schemes.run cfg in
@@ -60,6 +61,11 @@ let run ds scheme variant procs range ins del duration machine seed =
         o.allocs o.frees o.limbo;
       Printf.printf "signals        : %d sent, %d neutralizations\n"
         o.signals_sent o.neutralized;
+      (match o.violations with
+      | Some v ->
+          Printf.printf "sanitizer      : %d violation(s)%s\n" v
+            (if v = 0 then "" else "  [SEE STDERR]")
+      | None -> ());
       (match o.cache with
       | Some c ->
           Printf.printf
@@ -93,9 +99,15 @@ let term =
   in
   let machine = Arg.(value & opt string "i7" & info [ "machine" ] ~doc:"i7 | t4") in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"workload seed") in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:"run under the shadow-state SMR sanitizer (slower)")
+  in
   Term.(
     const run $ ds $ scheme $ variant $ procs $ range $ ins $ del $ duration
-    $ machine $ seed)
+    $ machine $ seed $ sanitize)
 
 let () =
   exit

@@ -21,14 +21,16 @@ type t = {
   base_line : int;
   words_per_record : int;
   mutable checking : bool;
+  events : Smr_event.hub;
   live : int Atomic.t;
   peak : int Atomic.t;
   allocs : int Atomic.t;
   frees : int Atomic.t;
 }
 
-let create ~heap_id ~name ~mut_fields ~const_fields ~capacity =
+let create ?events ~heap_id ~name ~mut_fields ~const_fields ~capacity () =
   assert (capacity > 0 && mut_fields >= 0 && const_fields >= 0);
+  let events = match events with Some h -> h | None -> Smr_event.hub () in
   let words_per_record = mut_fields + const_fields in
   {
     heap_id;
@@ -46,6 +48,7 @@ let create ~heap_id ~name ~mut_fields ~const_fields ~capacity =
     base_line = Runtime.Addr.reserve_words (capacity * max 1 words_per_record);
     words_per_record;
     checking = true;
+    events;
     live = Atomic.make 0;
     peak = Atomic.make 0;
     allocs = Atomic.make 0;
@@ -54,6 +57,8 @@ let create ~heap_id ~name ~mut_fields ~const_fields ~capacity =
 
 let name t = t.name
 let heap_id t = t.heap_id
+let events t = t.events
+let emit t ctx ev = Smr_event.emit t.events ctx ev
 let capacity t = t.capacity
 let record_bytes t = 8 * (t.words_per_record + 1) (* +1: header word *)
 let set_checking t b = t.checking <- b
@@ -97,7 +102,9 @@ let claim_fresh ctx t =
   if slot >= t.capacity then raise (Arena_full t.name);
   t.state.(slot) <- state_allocated;
   note_alloc t ctx;
-  Ptr.make ~arena:t.heap_id ~slot ~gen:t.gen.(slot)
+  let p = Ptr.make ~arena:t.heap_id ~slot ~gen:t.gen.(slot) in
+  emit t ctx (Smr_event.Alloc p);
+  p
 
 let claim_recycled ctx t =
   Runtime.Ctx.work ctx 2;
@@ -114,10 +121,15 @@ let claim_recycled ctx t =
   | Some slot ->
       t.state.(slot) <- state_allocated;
       note_alloc t ctx;
-      Some (Ptr.make ~arena:t.heap_id ~slot ~gen:t.gen.(slot))
+      let p = Ptr.make ~arena:t.heap_id ~slot ~gen:t.gen.(slot) in
+      emit t ctx (Smr_event.Alloc p);
+      Some p
 
 let release ctx t p ~recycle =
   Runtime.Ctx.work ctx 2;
+  (* Emitted before validation so a shadow checker can classify the free
+     (double free, premature free) even when the arena itself raises. *)
+  emit t ctx (Smr_event.Free p);
   let slot = Ptr.slot p in
   if
     slot < 0 || slot >= t.capacity
@@ -151,6 +163,7 @@ let const_index t p f =
 
 let read ctx t p f =
   Runtime.Ctx.access ctx ~line:(line_of t (Ptr.slot p) f) Runtime.Ctx.Read;
+  emit t ctx (Smr_event.Access (p, Smr_event.Read));
   check t p;
   Atomic.get t.data_mut.(mut_index t p f)
 
@@ -160,11 +173,13 @@ let read_opt ctx t p f =
 
 let write ctx t p f v =
   Runtime.Ctx.access ctx ~line:(line_of t (Ptr.slot p) f) Runtime.Ctx.Write;
+  emit t ctx (Smr_event.Access (p, Smr_event.Write));
   check t p;
   Atomic.set t.data_mut.(mut_index t p f) v
 
 let cas ctx t p f ~expect v =
   Runtime.Ctx.access ctx ~line:(line_of t (Ptr.slot p) f) Runtime.Ctx.Cas;
+  emit t ctx (Smr_event.Access (p, Smr_event.Cas));
   check t p;
   Atomic.compare_and_set t.data_mut.(mut_index t p f) expect v
 
@@ -172,6 +187,7 @@ let get_const ctx t p f =
   Runtime.Ctx.access ctx
     ~line:(line_of t (Ptr.slot p) (t.mut_fields + f))
     Runtime.Ctx.Read;
+  emit t ctx (Smr_event.Access (p, Smr_event.Read));
   check t p;
   t.data_const.(const_index t p f)
 
@@ -179,6 +195,7 @@ let set_const ctx t p f v =
   Runtime.Ctx.access ctx
     ~line:(line_of t (Ptr.slot p) (t.mut_fields + f))
     Runtime.Ctx.Write;
+  emit t ctx (Smr_event.Access (p, Smr_event.Write));
   check t p;
   t.data_const.(const_index t p f) <- v
 

@@ -23,16 +23,26 @@ exception Arena_full of string
 
 type t
 
+(** [create ?events …] builds an arena.  When [events] is given, lifecycle
+    and access events are published on that hub (see {!Smr_event}); arenas of
+    one heap share the heap's hub. *)
 val create :
+  ?events:Smr_event.hub ->
   heap_id:int ->
   name:string ->
   mut_fields:int ->
   const_fields:int ->
   capacity:int ->
+  unit ->
   t
 
 val name : t -> string
 val heap_id : t -> int
+
+(** The arena's event hub and a shorthand for publishing on it. *)
+
+val events : t -> Smr_event.hub
+val emit : t -> Runtime.Ctx.t -> Smr_event.t -> unit
 val capacity : t -> int
 val record_bytes : t -> int
 

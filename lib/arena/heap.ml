@@ -1,12 +1,18 @@
-type t = { mutable arenas : Arena.t array }
+type t = { mutable arenas : Arena.t array; events : Smr_event.hub }
 
-let create () = { arenas = [||] }
+let create () = { arenas = [||]; events = Smr_event.hub () }
+let events t = t.events
+let emit t ctx ev = Smr_event.emit t.events ctx ev
+let set_sink t sink = Smr_event.set_sink t.events sink
 
 let new_arena t ~name ~mut_fields ~const_fields ~capacity =
   let id = Array.length t.arenas in
   if id >= Ptr.max_arenas then
     invalid_arg "Heap.new_arena: too many arenas in one heap";
-  let a = Arena.create ~heap_id:id ~name ~mut_fields ~const_fields ~capacity in
+  let a =
+    Arena.create ~events:t.events ~heap_id:id ~name ~mut_fields ~const_fields
+      ~capacity ()
+  in
   t.arenas <- Array.append t.arenas [| a |];
   a
 

@@ -6,6 +6,15 @@ type t
 
 val create : unit -> t
 
+(** Every arena of a heap shares one event hub (see {!Smr_event}).
+    [set_sink] attaches/detaches a shadow checker; [emit] lets reclamation
+    code publish protocol events (retire, protect, quiescence) on the same
+    bus as the arenas' lifecycle events. *)
+
+val events : t -> Smr_event.hub
+val emit : t -> Runtime.Ctx.t -> Smr_event.t -> unit
+val set_sink : t -> Smr_event.sink option -> unit
+
 (** [new_arena t ~name ~mut_fields ~const_fields ~capacity] creates an arena
     registered in this heap (at most {!Ptr.max_arenas}). *)
 val new_arena :

@@ -1,0 +1,44 @@
+(** The SMR event bus: lifecycle and protection events emitted by arenas,
+    pools and reclaimers, consumed by shadow-state checkers (lib/sanitizer).
+
+    A hub is owned by a {!Heap} and shared by every arena in it; reclamation
+    components reach it through their environment.  Emission is a single
+    option check when no sink is attached, so instrumented code pays nothing
+    in normal runs.
+
+    Events describe the {e record lifecycle} (alloc, retire, free, pool
+    put/take), the {e protection protocol} (protect/unprotect, rprotect),
+    and the {e quiescence protocol} (leave/enter).  Emission points are
+    placed so that a shadow checker sees every transition before the arena's
+    own generation check can raise: [Free] and [Access] fire before
+    validation, protection events fire strictly inside the window in which
+    the announcement is visible to concurrent scanners (after the announce
+    write, before the retract write). *)
+
+type access = Read | Write | Cas
+
+type t =
+  | Alloc of Ptr.t  (** record claimed from its arena *)
+  | Free of Ptr.t  (** record released to its arena (generation bumped) *)
+  | Access of Ptr.t * access  (** instrumented field access *)
+  | Pool_put of Ptr.t
+      (** record entered a reuse pool {e without} passing through the arena:
+          it may be handed out again with the same generation *)
+  | Pool_take of Ptr.t  (** record left a reuse pool to be reused *)
+  | Retire of Ptr.t  (** record handed to a reclaimer *)
+  | Protect of Ptr.t  (** announcement visible (HP slot, RC count, TS root) *)
+  | Unprotect of Ptr.t  (** announcement about to be retracted *)
+  | Unprotect_all  (** all of this process' announcements retracted *)
+  | Enter_q  (** process entered a quiescent state / passed a q-point *)
+  | Leave_q  (** process left its quiescent state (operation begins) *)
+  | Rprotect of Ptr.t  (** DEBRA+ recovery announcement visible *)
+  | Runprotect_all  (** all recovery announcements retracted *)
+
+type sink = Runtime.Ctx.t -> t -> unit
+type hub = { mutable sink : sink option }
+
+let hub () = { sink = None }
+let set_sink hub sink = hub.sink <- sink
+
+let emit hub ctx ev =
+  match hub.sink with None -> () | Some f -> f ctx ev

@@ -113,7 +113,12 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
         else if
           not
             (RM.protect t.rm ctx next ~verify:(fun () ->
-                 Memory.Arena.read ctx t.arena head f_next = next))
+                 (* Re-verify the *head*, not [head.next]: next pointers are
+                    immutable once set, so [head.next = next] would still
+                    hold after [next] itself was dequeued and retired.  Head
+                    still being [head] proves neither record has been
+                    retired (Michael's original re-check). *)
+                 Runtime.Svar.get ctx t.head = head))
         then begin
           RM.unprotect t.rm ctx head;
           attempt ()

@@ -81,7 +81,8 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let pid = ctx.Runtime.Ctx.pid in
     let l = t.locals.(pid) in
     l.ann <- l.ann lor 1;
-    Runtime.Shared_array.set ctx t.announce pid l.ann
+    Runtime.Shared_array.set ctx t.announce pid l.ann;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
 
   let is_quiescent t ctx = quiescent_bit t.locals.(ctx.Runtime.Ctx.pid).ann
 
@@ -103,6 +104,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let n = Intf.Env.nprocs t.env in
     let l = t.locals.(pid) in
     let params = t.env.Intf.Env.params in
+    Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q;
     let read_epoch = Runtime.Svar.get ctx t.epoch in
     if epoch_of l.ann <> read_epoch then begin
       (* New epoch: restart the incremental scan and reclaim the oldest
@@ -137,6 +139,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
     Runtime.Ctx.work ctx 2;
     let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add (current_bag l (Memory.Ptr.arena_id p)) p
 
@@ -152,4 +155,18 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
             Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc triple)
           acc l.bags)
       0 t.locals
+
+  let flush t ctx =
+    Array.iter
+      (fun l ->
+        Array.iter
+          (fun triple ->
+            Array.iter
+              (fun b ->
+                Scan_util.flush_bag ctx b
+                  ~keep:(fun _ -> false)
+                  ~release:(fun ctx p -> P.release t.pool ctx p))
+              triple)
+          l.bags)
+      t.locals
 end

@@ -55,7 +55,8 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let pid = ctx.Runtime.Ctx.pid in
     let l = t.locals.(pid) in
     l.ann <- l.ann lor 1;
-    Runtime.Shared_array.set ctx t.announce pid l.ann
+    Runtime.Shared_array.set ctx t.announce pid l.ann;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
 
   let create env pool =
     let n = Intf.Env.nprocs env in
@@ -126,9 +127,13 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       invalid_arg "Debra_plus.rprotect: out of RProtect slots (raise hp_slots)";
     Runtime.Shared_array.set ctx t.rp_rows.(pid) c (Memory.Ptr.unmark p);
     Runtime.Shared_array.set ctx t.rp_count pid (c + 1);
-    Runtime.Ctx.fence ctx
+    Runtime.Ctx.fence ctx;
+    (* After the count write: the announcement is now visible to scans. *)
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Rprotect (Memory.Ptr.unmark p))
 
   let runprotect_all t ctx =
+    (* Before the count write: the announcements are still visible. *)
+    Intf.Env.emit t.env ctx Memory.Smr_event.Runprotect_all;
     Runtime.Shared_array.set ctx t.rp_count ctx.Runtime.Ctx.pid 0
 
   let is_rprotected t ctx p =
@@ -171,6 +176,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let n = Intf.Env.nprocs t.env in
     let l = t.locals.(pid) in
     let params = t.env.Intf.Env.params in
+    Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q;
     let read_epoch = Runtime.Svar.get ctx t.epoch in
     if epoch_of l.ann <> read_epoch then begin
       l.ops_since_check <- 0;
@@ -206,6 +212,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
     Runtime.Ctx.work ctx 2;
     let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p).(l.index) p
 
@@ -217,4 +224,26 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
             Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc triple)
           acc l.bags)
       0 t.locals
+
+  let flush t ctx =
+    (* Records rprotected by an unfinished recovery stay in limbo; under the
+       quiescent-shutdown contract all rp rows are empty and the bags drain
+       completely. *)
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Scan_util.collect_announcements ctx ~into:scanning
+      ~nprocs:(Intf.Env.nprocs t.env)
+      ~row:(fun other -> t.rp_rows.(other))
+      ~count:(fun ctx other -> Runtime.Shared_array.get ctx t.rp_count other);
+    Array.iter
+      (fun l ->
+        Array.iter
+          (fun triple ->
+            Array.iter
+              (fun b ->
+                Scan_util.flush_bag ctx b
+                  ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+                  ~release:(fun ctx p -> P.release t.pool ctx p))
+              triple)
+          l.bags)
+      t.locals
 end

@@ -51,13 +51,15 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let enter_qstate t ctx =
     let pid = ctx.Runtime.Ctx.pid in
     t.my_ann.(pid) <- t.my_ann.(pid) lor 1;
-    Runtime.Shared_array.set ctx t.announce pid t.my_ann.(pid)
+    Runtime.Shared_array.set ctx t.announce pid t.my_ann.(pid);
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
 
   let is_quiescent t ctx = quiescent_bit t.my_ann.(ctx.Runtime.Ctx.pid)
 
   let leave_qstate t ctx =
     let pid = ctx.Runtime.Ctx.pid in
     let n = Intf.Env.nprocs t.env in
+    Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q;
     let e = Runtime.Svar.get ctx t.epoch in
     t.my_ann.(pid) <- e;
     Runtime.Shared_array.set ctx t.announce pid e;
@@ -92,8 +94,10 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let retire t ctx p =
     ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let e = Runtime.Svar.get ctx t.epoch in
-    Bag.Shared_intbag.push ctx (bag_of t e) (Memory.Ptr.unmark p)
+    Bag.Shared_intbag.push ctx (bag_of t e) p
 
   let rprotect _t _ctx _p = ()
   let runprotect_all _t _ctx = ()
@@ -101,4 +105,10 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
 
   let limbo_size t =
     Array.fold_left (fun acc b -> acc + Bag.Shared_intbag.size b) 0 t.limbo
+
+  let flush t ctx =
+    Array.iter
+      (fun b ->
+        ignore (Bag.Shared_intbag.drain ctx b (fun p -> P.release t.pool ctx p)))
+      t.limbo
 end

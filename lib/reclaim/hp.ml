@@ -61,11 +61,17 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       k;
     }
 
-  let leave_qstate _t _ctx = ()
+  let leave_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q
+
+  (* Protection events bracket the window in which the announcement is
+     visible to scanners: [Protect] is emitted after the announcing write,
+     [Unprotect] before the retracting one.  A shadow checker's hazard set
+     is then always a subset of what a concurrent scan can observe. *)
 
   let unprotect_all t ctx =
     let pid = ctx.Runtime.Ctx.pid in
     let l = t.locals.(pid) in
+    Intf.Env.emit t.env ctx Memory.Smr_event.Unprotect_all;
     for i = 0 to t.k - 1 do
       if l.slots_mirror.(i) <> 0 then begin
         l.slots_mirror.(i) <- 0;
@@ -74,7 +80,10 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     done
 
   (* Leaving an operation releases every hazard pointer. *)
-  let enter_qstate = unprotect_all
+  let enter_qstate t ctx =
+    unprotect_all t ctx;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
+
   let is_quiescent _t _ctx = false
 
   let protect t ctx p ~verify =
@@ -90,11 +99,13 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let i = free_slot 0 in
     l.slots_mirror.(i) <- p;
     Runtime.Shared_array.set ctx t.rows.(pid) i p;
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Protect p);
     (* The barrier that makes the announcement visible before the record is
        re-verified — the cost HP pays on every newly reached record. *)
     Runtime.Ctx.fence ctx;
     if verify () then true
     else begin
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
       l.slots_mirror.(i) <- 0;
       Runtime.Shared_array.set ctx t.rows.(pid) i 0;
       false
@@ -107,6 +118,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let rec go i =
       if i < t.k then
         if l.slots_mirror.(i) = p then begin
+          Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
           l.slots_mirror.(i) <- 0;
           Runtime.Shared_array.set ctx t.rows.(pid) i 0
         end
@@ -137,6 +149,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
     Runtime.Ctx.work ctx 2;
     let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p) p;
     let total = Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags in
@@ -151,4 +164,20 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       (fun acc l ->
         Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
       0 t.locals
+
+  let flush t ctx =
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Scan_util.collect_announcements ctx ~into:scanning
+      ~nprocs:(Intf.Env.nprocs t.env)
+      ~row:(fun other -> t.rows.(other))
+      ~count:(fun _ _ -> t.k);
+    Array.iter
+      (fun l ->
+        Array.iter
+          (fun b ->
+            Scan_util.flush_bag ctx b
+              ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+              ~release:(fun ctx p -> P.release t.pool ctx p))
+          l.bags)
+      t.locals
 end

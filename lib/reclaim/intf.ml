@@ -78,6 +78,10 @@ module Env = struct
     }
 
   let nprocs t = Runtime.Group.nprocs t.group
+
+  (** Publish an SMR protocol event on the heap's event bus (free when no
+      sink is attached; see {!Memory.Smr_event}). *)
+  let emit t ctx ev = Memory.Heap.emit t.heap ctx ev
 end
 
 module type ALLOCATOR = sig
@@ -170,6 +174,14 @@ module type RECLAIMER = sig
   (** Records retired but not yet handed to the pool, across all processes
       (uninstrumented; used by the memory experiments and bound tests). *)
   val limbo_size : t -> int
+
+  (** [flush t ctx] drains every limbo container whose records are no longer
+      protected, handing them to the pool.  The quiescent-shutdown API: the
+      caller asserts that all processes are quiescent (no operation in
+      flight, no recovery pending), so after it returns [limbo_size] is 0.
+      It may touch other processes' containers and must only be called when
+      no operation is concurrently running. *)
+  val flush : t -> Runtime.Ctx.t -> unit
 end
 
 module type MAKE_RECLAIMER = functor (P : POOL) -> RECLAIMER with module Pool = P
@@ -213,11 +225,15 @@ module type RECORD_MANAGER = sig
   val is_rprotected : t -> Runtime.Ctx.t -> Memory.Ptr.t -> bool
   val limbo_size : t -> int
 
+  (** See {!RECLAIMER.flush}: drain limbo under full quiescence. *)
+  val flush : t -> Runtime.Ctx.t -> unit
+
   (** [run_op t ctx ~recover body] executes one data structure operation
       with neutralization recovery (paper Fig. 5): when [body] is aborted by
-      {!Runtime.Ctx.Neutralized}, [recover] runs in a quiescent state and
-      either finishes the operation ([Some v]) or asks for a restart
-      ([None]). *)
+      {!Runtime.Ctx.Neutralized} — or, under a sandboxed scheme, by
+      {!Memory.Arena.Use_after_free}, the simulated transaction abort —
+      [recover] runs in a quiescent state and either finishes the operation
+      ([Some v]) or asks for a restart ([None]). *)
   val run_op :
     t -> Runtime.Ctx.t -> recover:(unit -> 'a option) -> (unit -> 'a) -> 'a
 end

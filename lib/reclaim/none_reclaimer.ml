@@ -6,27 +6,29 @@
 module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   module Pool = P
 
-  type t = unit
+  type t = Intf.Env.t
 
   let name = "none"
-  let create _env _pool = ()
+  let create env _pool = env
   let supports_crash_recovery = false
   let allows_retired_traversal = true
   let sandboxed = false
-  let leave_qstate () _ctx = ()
-  let enter_qstate () _ctx = ()
-  let is_quiescent () _ctx = true
-  let protect () _ctx _p ~verify:_ = true
-  let unprotect () _ctx _p = ()
-  let unprotect_all () _ctx = ()
-  let is_protected () _ctx _p = true
+  let leave_qstate t ctx = Intf.Env.emit t ctx Memory.Smr_event.Leave_q
+  let enter_qstate t ctx = Intf.Env.emit t ctx Memory.Smr_event.Enter_q
+  let is_quiescent _t _ctx = true
+  let protect _t _ctx _p ~verify:_ = true
+  let unprotect _t _ctx _p = ()
+  let unprotect_all _t _ctx = ()
+  let is_protected _t _ctx _p = true
 
-  let retire () ctx _p =
+  let retire t ctx p =
     ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
-      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    Intf.Env.emit t ctx (Memory.Smr_event.Retire (Memory.Ptr.unmark p))
 
-  let rprotect () _ctx _p = ()
-  let runprotect_all () _ctx = ()
-  let is_rprotected () _ctx _p = false
-  let limbo_size () = 0
+  let rprotect _t _ctx _p = ()
+  let runprotect_all _t _ctx = ()
+  let is_rprotected _t _ctx _p = false
+  let limbo_size _t = 0
+  let flush _t _ctx = ()
 end

@@ -64,10 +64,16 @@ module Shared (A : Intf.ALLOCATOR) : Intf.POOL with module Alloc = A = struct
         (Bag.Blockbag.move_all_full_blocks bag ~into:(fun b ->
              Bag.Shared_bag.push ctx t.shared.(aid) b))
 
+  (* Pooled records keep their generation: they will be handed out again
+     without passing through the arena, so put/take events are the only
+     trace of their reuse a shadow checker can see. *)
+  let emit_put t ctx p = Intf.Env.emit t.env ctx (Memory.Smr_event.Pool_put p)
+
   let release t ctx p =
     let aid = Memory.Ptr.arena_id p in
     let bag = t.local.(aid).(ctx.Runtime.Ctx.pid) in
     Runtime.Ctx.work ctx 2;
+    emit_put t ctx p;
     Bag.Blockbag.add bag p;
     spill_if_needed t ctx bag aid
 
@@ -77,6 +83,9 @@ module Shared (A : Intf.ALLOCATOR) : Intf.POOL with module Alloc = A = struct
       let aid = Memory.Ptr.arena_id b.Bag.Block.data.(0) in
       let bag = t.local.(aid).(ctx.Runtime.Ctx.pid) in
       Runtime.Ctx.work ctx 2;
+      for i = 0 to b.Bag.Block.count - 1 do
+        emit_put t ctx b.Bag.Block.data.(i)
+      done;
       Bag.Blockbag.add_block bag b;
       spill_if_needed t ctx bag aid
     end
@@ -92,14 +101,19 @@ module Shared (A : Intf.ALLOCATOR) : Intf.POOL with module Alloc = A = struct
     let aid = Memory.Arena.heap_id arena in
     let bag = t.local.(aid).(ctx.Runtime.Ctx.pid) in
     Runtime.Ctx.work ctx 2;
+    let took p = Intf.Env.emit t.env ctx (Memory.Smr_event.Pool_take p) in
     match Bag.Blockbag.pop bag with
-    | Some p -> p
+    | Some p ->
+        took p;
+        p
     | None -> (
         match Bag.Shared_bag.pop ctx t.shared.(aid) with
         | Some b ->
             Bag.Blockbag.add_block bag b;
             (match Bag.Blockbag.pop bag with
-            | Some p -> p
+            | Some p ->
+                took p;
+                p
             | None -> A.allocate t.alloc ctx arena)
         | None -> A.allocate t.alloc ctx arena)
 end

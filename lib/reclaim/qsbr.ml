@@ -108,6 +108,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let l = t.locals.(pid) in
     Runtime.Shared_array.set ctx t.counters pid
       (Runtime.Shared_array.peek t.counters pid + 1);
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q;
     l.since_check <- l.since_check + 1;
     if l.since_check >= t.env.Intf.Env.params.Intf.Params.check_thresh then begin
       l.since_check <- 0;
@@ -146,6 +147,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
     Runtime.Ctx.work ctx 2;
     let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add l.open_batch.bags.(Memory.Ptr.arena_id p) p;
     if batch_size l.open_batch >= t.batch_records then close_batch t ctx l
@@ -162,4 +164,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
           (acc + batch_size l.open_batch)
           l.closed)
       0 t.locals
+
+  let flush t ctx =
+    Array.iter
+      (fun l ->
+        List.iter (fun b -> free_batch t ctx b) l.closed;
+        l.closed <- [];
+        free_batch t ctx l.open_batch)
+      t.locals
 end

@@ -76,7 +76,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
         t.counts.(heap_id) <- Some c;
         c
 
-  let leave_qstate _t _ctx = ()
+  let leave_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q
   let is_quiescent _t _ctx = false
 
   let protect t ctx p ~verify =
@@ -84,6 +84,9 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let c = counts_of t (Memory.Ptr.arena_id p) in
     let slot = Memory.Ptr.slot p in
     ignore (Runtime.Shared_array.faa ctx c slot 1);
+    (* The increment is visible: the shadow hazard window opens here and is
+       closed (Unprotect) before the undo decrement on failure. *)
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Protect p);
     let arena = Memory.Heap.arena_of t.env.Intf.Env.heap p in
     if Memory.Arena.is_valid arena p && verify () then begin
       t.locals.(ctx.Runtime.Ctx.pid).held <-
@@ -91,6 +94,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       true
     end
     else begin
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
       ignore (Runtime.Shared_array.faa ctx c slot (-1));
       false
     end
@@ -109,6 +113,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     in
     match remove_first l.held with
     | Some held ->
+        Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
         l.held <- held;
         decrement t ctx p
     | None -> ()
@@ -117,11 +122,14 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
      operation drop everything it holds in one call. *)
   let unprotect_all t ctx =
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Intf.Env.emit t.env ctx Memory.Smr_event.Unprotect_all;
     List.iter (decrement t ctx) l.held;
     l.held <- []
 
   (* Finishing an operation releases every reference it still holds. *)
-  let enter_qstate = unprotect_all
+  let enter_qstate t ctx =
+    unprotect_all t ctx;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
 
   let is_protected t ctx p =
     let p = Memory.Ptr.unmark p in
@@ -156,6 +164,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
     Runtime.Ctx.work ctx 2;
     let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p) p;
     let total =
@@ -172,4 +181,18 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       (fun acc l ->
         Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
       0 t.locals
+
+  let flush t ctx =
+    Array.iter
+      (fun l ->
+        Array.iteri
+          (fun aid bag ->
+            if not (Bag.Blockbag.is_empty bag) then
+              let c = counts_of t aid in
+              Scan_util.flush_bag ctx bag
+                ~keep:(fun p ->
+                  Runtime.Shared_array.peek c (Memory.Ptr.slot p) > 0)
+                ~release:(fun ctx p -> P.release t.pool ctx p))
+          l.bags)
+      t.locals
 end

@@ -46,15 +46,28 @@ module Make
   let runprotect_all t ctx = Reclaimer.runprotect_all t.reclaimer ctx
   let is_rprotected t ctx p = Reclaimer.is_rprotected t.reclaimer ctx p
   let limbo_size t = Reclaimer.limbo_size t.reclaimer
+  let flush t ctx = Reclaimer.flush t.reclaimer ctx
 
   (* The operation wrapper of Fig. 5: catch neutralization, run recovery in
-     a quiescent state, restart when recovery asks for it. *)
-  let run_op _t _ctx ~recover body =
+     a quiescent state, restart when recovery asks for it.  Under a
+     sandboxed scheme (StackTrack), an access to reclaimed memory raises
+     {!Memory.Arena.Use_after_free} instead of segfaulting; that is the
+     simulated transaction abort, and it is recovered from exactly like a
+     neutralization: the recover closure either finishes the operation from
+     its published descriptor or asks for a restart. *)
+  let run_op t ctx ~recover body =
     let rec attempt () =
       match body () with
       | v -> v
       | exception Runtime.Ctx.Neutralized -> (
           match recover () with Some v -> v | None -> attempt ())
+      | exception Memory.Arena.Use_after_free _ when Reclaimer.sandboxed -> (
+          (* The aborted segment's register file is discarded with it. *)
+          Reclaimer.unprotect_all t.reclaimer ctx;
+          match recover () with
+          | Some v -> v
+          | None -> attempt ()
+          | exception Memory.Arena.Use_after_free _ -> attempt ())
     in
     attempt ()
 end

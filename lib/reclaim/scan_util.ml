@@ -19,6 +19,22 @@ let partition_and_release ctx bag ~protected ~release_block =
   done;
   Bag.Blockbag.move_full_blocks_after bag it2 ~into:release_block
 
+(* [flush_bag ctx bag ~keep ~release] pops every record out of [bag]; those
+   satisfying [keep] are re-added (still limbo), the rest go to [release].
+   The building block of each reclaimer's quiescent-shutdown [flush]: under
+   full quiescence [keep] never holds and the bag drains to empty. *)
+let flush_bag ctx bag ~keep ~release =
+  let kept = ref [] in
+  let rec drain () =
+    match Bag.Blockbag.pop bag with
+    | None -> ()
+    | Some p ->
+        if keep p then kept := p :: !kept else release ctx p;
+        drain ()
+  in
+  drain ();
+  List.iter (Bag.Blockbag.add bag) !kept
+
 (* [collect_announcements ctx ~into ~nprocs ~row ~count] hashes every
    announced pointer of every process: [count pid] bounds the live prefix of
    [row pid]. *)

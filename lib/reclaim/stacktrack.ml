@@ -103,18 +103,21 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let leave_qstate t ctx =
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     l.seg_fill <- 0;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q;
     Runtime.Ctx.work ctx 120 (* first segment begin + checkpoint *)
 
   let unprotect_all t ctx =
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
-    Array.fill l.mirror 0 t.k 0;
-    ignore ctx
+    Intf.Env.emit t.env ctx Memory.Smr_event.Unprotect_all;
+    Array.fill l.mirror 0 t.k 0
 
   let enter_qstate t ctx =
     (* Operation done: clear the register file and the published row. *)
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Intf.Env.emit t.env ctx Memory.Smr_event.Unprotect_all;
     Array.fill l.mirror 0 t.k 0;
-    commit_segment t ctx
+    commit_segment t ctx;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
 
   let is_quiescent _t _ctx = false
 
@@ -128,6 +131,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       else free_slot (i + 1)
     in
     l.mirror.(free_slot 0) <- p;
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Protect p);
     l.seg_fill <- l.seg_fill + 1;
     (* the runtime check deciding whether to start a new transaction *)
     Runtime.Ctx.work ctx 12;
@@ -138,10 +142,14 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     let p = Memory.Ptr.unmark p in
     let rec go i =
-      if i < t.k then if l.mirror.(i) = p then l.mirror.(i) <- 0 else go (i + 1)
+      if i < t.k then
+        if l.mirror.(i) = p then begin
+          Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
+          l.mirror.(i) <- 0
+        end
+        else go (i + 1)
     in
-    go 0;
-    ignore ctx
+    go 0
 
   let is_protected t ctx p =
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
@@ -169,6 +177,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
     Runtime.Ctx.work ctx 2;
     let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p) p;
     let total =
@@ -185,4 +194,25 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       (fun acc l ->
         Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
       0 t.locals
+
+  let flush t ctx =
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Bag.Hash_set.clear scanning;
+    Array.iteri
+      (fun pid l ->
+        Array.iter (fun r -> if r <> 0 then Bag.Hash_set.insert scanning r) l.mirror;
+        for i = 0 to t.k - 1 do
+          let r = Runtime.Shared_array.peek t.rows.(pid) i in
+          if r <> 0 then Bag.Hash_set.insert scanning r
+        done)
+      t.locals;
+    Array.iter
+      (fun l ->
+        Array.iter
+          (fun b ->
+            Scan_util.flush_bag ctx b
+              ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+              ~release:(fun ctx p -> P.release t.pool ctx p))
+          l.bags)
+      t.locals
 end

@@ -97,15 +97,18 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     t
 
   let leave_qstate t ctx =
-    Runtime.Shared_array.set ctx t.quiescent ctx.Runtime.Ctx.pid 0
+    Runtime.Shared_array.set ctx t.quiescent ctx.Runtime.Ctx.pid 0;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q
 
   let unprotect_all t ctx =
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Intf.Env.emit t.env ctx Memory.Smr_event.Unprotect_all;
     Array.fill l.mirror 0 t.k 0
 
   let enter_qstate t ctx =
     unprotect_all t ctx;
-    Runtime.Shared_array.set ctx t.quiescent ctx.Runtime.Ctx.pid 1
+    Runtime.Shared_array.set ctx t.quiescent ctx.Runtime.Ctx.pid 1;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
 
   let is_quiescent t ctx =
     Runtime.Shared_array.peek t.quiescent ctx.Runtime.Ctx.pid = 1
@@ -122,6 +125,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       else free_slot (i + 1)
     in
     l.mirror.(free_slot 0) <- p;
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Protect p);
     Runtime.Ctx.work ctx 1;
     true
 
@@ -129,7 +133,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     let p = Memory.Ptr.unmark p in
     let rec go i =
-      if i < t.k then if l.mirror.(i) = p then l.mirror.(i) <- 0 else go (i + 1)
+      if i < t.k then
+        if l.mirror.(i) = p then begin
+          Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
+          l.mirror.(i) <- 0
+        end
+        else go (i + 1)
     in
     go 0;
     Runtime.Ctx.work ctx 1
@@ -190,6 +199,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
     Runtime.Ctx.work ctx 2;
     let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p) p;
     let total =
@@ -206,4 +216,21 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       (fun acc l ->
         Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
       0 t.locals
+
+  let flush t ctx =
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Bag.Hash_set.clear scanning;
+    Array.iter
+      (fun l ->
+        Array.iter (fun r -> if r <> 0 then Bag.Hash_set.insert scanning r) l.mirror)
+      t.locals;
+    Array.iter
+      (fun l ->
+        Array.iter
+          (fun b ->
+            Scan_util.flush_bag ctx b
+              ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+              ~release:(fun ctx p -> P.release t.pool ctx p))
+          l.bags)
+      t.locals
 end

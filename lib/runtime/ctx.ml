@@ -76,6 +76,14 @@ let access ctx ~line kind =
   | Work c -> s.local_work <- s.local_work + c);
   ctx.hook ctx ~line kind
 
+let add_hook ctx f =
+  let prev = ctx.hook in
+  ctx.hook <-
+    (fun c ~line kind ->
+      f c ~line kind;
+      prev c ~line kind);
+  fun () -> ctx.hook <- prev
+
 let work ctx cost = access ctx ~line:0 (Work cost)
 let fence ctx = access ctx ~line:0 Fence
 let now ctx = ctx.now_impl ()

@@ -73,6 +73,12 @@ val poll : t -> unit
     polls the signal flag, updates statistics, and invokes the hook. *)
 val access : t -> line:int -> access_kind -> unit
 
+(** [add_hook ctx f] composes [f] in front of the currently-installed hook
+    (both run on every access, [f] first) and returns a thunk restoring the
+    previous hook.  Layers that install hooks — the simulator, the sanitizer
+    — must compose rather than overwrite so they can stack. *)
+val add_hook : t -> (t -> line:int -> access_kind -> unit) -> unit -> unit
+
 (** [work ctx cost] charges [cost] cycles of local computation. *)
 val work : t -> int -> unit
 

@@ -1,0 +1,427 @@
+(** Shadow-state SMR sanitizer — implementation.
+
+    The shadow state is keyed by unmarked pointer value.  Because the arena
+    generation tag is part of the pointer, a recycled slot gets a fresh key
+    per incarnation when it goes through the arena ([Alloc]/[Free]); a slot
+    recycled through a {e pool} keeps its generation, so [Pool_take] resets
+    the existing binding instead.  One deliberate blind spot follows: the
+    sanitizer cannot distinguish two pool-reuse incarnations of the same
+    record by pointer value alone, which is exactly the ABA the pools
+    reintroduce — protections are therefore tracked as per-incarnation
+    sequence numbers, not just membership.
+
+    Soundness of the free checks (why real schemes never trip them):
+    - [Grace_session]: the retire-time snapshot records every open session,
+      including the retirer's own.  An epoch-based scheme frees a record
+      only after every process has either announced a later epoch (which it
+      can only do from [leave_qstate], i.e. a {e new} session) or declared
+      quiescence ([enter_qstate], closing the session) — so by free time no
+      snapshotted session is still open.
+    - [Grace_qpoint]: QSBR frees a batch once every counter strictly
+      exceeds the close-time snapshot, which is ≥ the retire-time snapshot
+      replayed here.
+    - [Hazard_scan]: only protections registered {e before} the retire
+      block a free: a scan may legitimately miss an announcement made after
+      it read the announcement array — that is the race the HP validation
+      step exists for, and the racing protector's verify is what fails.
+    - rprotect announcements block a free regardless of when they were made:
+      DEBRA+'s signal handshake (signal, handler rprotects, ack, then scan)
+      guarantees the scan sees every recovery announcement. *)
+
+type access_discipline = Lenient | Epoch | Hazard
+type free_discipline = Skip | Grace_session | Grace_qpoint | Hazard_scan
+
+module Config = struct
+  type t = {
+    scheme : string;
+    access : access_discipline;
+    free : free_discipline;
+    track_limbo : bool;
+  }
+
+  let make ?(track_limbo = true) ~scheme ~access ~free () =
+    { scheme; access; free; track_limbo }
+
+  let of_flags ~scheme ~supports_crash_recovery:_ ~allows_retired_traversal
+      ~sandboxed () =
+    if sandboxed then
+      (* StackTrack: reading reclaimed memory is the abort mechanism, and a
+         scan cannot see other processes' unpublished register pointers. *)
+      make ~scheme ~access:Lenient ~free:Skip ()
+    else
+      match scheme with
+      | "none" -> make ~scheme ~access:Epoch ~free:Skip ~track_limbo:false ()
+      | "qsbr" -> make ~scheme ~access:Epoch ~free:Grace_qpoint ()
+      | "threadscan" -> make ~scheme ~access:Epoch ~free:Hazard_scan ()
+      | _ ->
+          if allows_retired_traversal then
+            make ~scheme ~access:Epoch ~free:Grace_session ()
+          else make ~scheme ~access:Hazard ~free:Hazard_scan ()
+end
+
+type kind =
+  | Use_after_free
+  | Unprotected_access
+  | Premature_free
+  | Double_retire
+  | Free_without_retire
+  | Double_free
+  | Leak
+
+let kind_name = function
+  | Use_after_free -> "use-after-free"
+  | Unprotected_access -> "unprotected-access"
+  | Premature_free -> "premature-free"
+  | Double_retire -> "double-retire"
+  | Free_without_retire -> "free-without-retire"
+  | Double_free -> "double-free"
+  | Leak -> "leak"
+
+type violation = {
+  kind : kind;
+  pid : int;
+  time : int;
+  seq : int;
+  ptr : Memory.Ptr.t;
+  detail : string;
+}
+
+(* Shadow record lifecycle.  Fresh records become Published on the first
+   access by a non-owner process (the only publication signal that cannot
+   alias: packed update-words can look like pointers, so stores are not
+   sniffed).  Fresh → Retired without publication is legal (operation
+   descriptors, queue dummies). *)
+type rstate = Fresh | Published | Retired | Freed
+
+type rinfo = {
+  mutable state : rstate;
+  mutable owner : int;
+  mutable alloc_seq : int;
+  mutable retire_seq : int;
+  mutable retire_pid : int;
+  mutable grace : (int * int) array;  (* open (pid, session) at retire *)
+  mutable qsnap : int array;  (* qcount vector at retire *)
+}
+
+type pstate = {
+  mutable in_session : bool;
+  mutable session : int;  (* bumped at every Leave_q *)
+  mutable qcount : int;  (* bumped at every Enter_q *)
+  hazards : (int, int list ref) Hashtbl.t;  (* key → protect seqs, newest first *)
+  rprotects : (int, int list ref) Hashtbl.t;
+}
+
+type t = {
+  config : Config.t;
+  heap : Memory.Heap.t;
+  group : Runtime.Group.t;
+  records : (int, rinfo) Hashtbl.t;
+  procs : pstate array;
+  mutable seq : int;
+  mutable ledger : int;  (* retired, not yet freed *)
+  mutable events : int;
+  mutable accesses : int;
+  mutable viols : violation list;  (* newest first *)
+  mutable nviols : int;
+  seen : (kind * int, unit) Hashtbl.t;  (* de-dup per (kind, record) *)
+}
+
+let create ~config ~heap ~group =
+  {
+    config;
+    heap;
+    group;
+    records = Hashtbl.create 4096;
+    procs =
+      Array.init (Runtime.Group.nprocs group) (fun _ ->
+          {
+            in_session = false;
+            session = 0;
+            qcount = 0;
+            hazards = Hashtbl.create 16;
+            rprotects = Hashtbl.create 16;
+          });
+    seq = 0;
+    ledger = 0;
+    events = 0;
+    accesses = 0;
+    viols = [];
+    nviols = 0;
+    seen = Hashtbl.create 64;
+  }
+
+let flag t ctx kind ~ptr ~detail =
+  let dkey = (kind, ptr) in
+  if not (Hashtbl.mem t.seen dkey) then begin
+    Hashtbl.add t.seen dkey ();
+    t.nviols <- t.nviols + 1;
+    t.viols <-
+      {
+        kind;
+        pid = ctx.Runtime.Ctx.pid;
+        time = Runtime.Ctx.now ctx;
+        seq = t.seq;
+        ptr;
+        detail;
+      }
+      :: t.viols
+  end
+
+let provenance r =
+  Printf.sprintf "alloc by pid %d at #%d%s" r.owner r.alloc_seq
+    (if r.retire_seq >= 0 then
+       Printf.sprintf ", retired by pid %d at #%d" r.retire_pid r.retire_seq
+     else "")
+
+let fresh_rinfo ~owner ~seq ~state =
+  {
+    state;
+    owner;
+    alloc_seq = seq;
+    retire_seq = -1;
+    retire_pid = -1;
+    grace = [||];
+    qsnap = [||];
+  }
+
+(* Per-process protection multisets. *)
+
+let push_prot tbl key seq =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := seq :: !l
+  | None -> Hashtbl.add tbl key (ref [ seq ])
+
+let pop_prot tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> (
+      match !l with
+      | [] | [ _ ] -> Hashtbl.remove tbl key
+      | _ :: rest -> l := rest)
+  | None -> ()
+
+let holds_before tbl key ~retire =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> List.exists (fun s -> s < retire) !l
+  | None -> false
+
+let holds_any tbl key = Hashtbl.mem tbl key
+
+(* Free-time grace/hazard checks (the record is Retired). *)
+let check_free t ctx r key =
+  let ptr = key in
+  (match t.config.free with
+  | Skip -> ()
+  | Grace_session ->
+      Array.iter
+        (fun (pid, session) ->
+          let p = t.procs.(pid) in
+          if p.in_session && p.session = session then
+            flag t ctx Premature_free ~ptr
+              ~detail:
+                (Printf.sprintf
+                   "pid %d is still inside the session open at retire (%s)" pid
+                   (provenance r)))
+        r.grace
+  | Grace_qpoint ->
+      Array.iteri
+        (fun pid snap ->
+          if t.procs.(pid).qcount = snap then
+            flag t ctx Premature_free ~ptr
+              ~detail:
+                (Printf.sprintf
+                   "pid %d passed no quiescent point since retire (%s)" pid
+                   (provenance r)))
+        r.qsnap
+  | Hazard_scan ->
+      Array.iteri
+        (fun pid p ->
+          if holds_before p.hazards key ~retire:r.retire_seq then
+            flag t ctx Premature_free ~ptr
+              ~detail:
+                (Printf.sprintf
+                   "pid %d holds a protection registered before retire (%s)"
+                   pid (provenance r)))
+        t.procs);
+  if t.config.free <> Skip then
+    Array.iteri
+      (fun pid p ->
+        if holds_any p.rprotects key then
+          flag t ctx Premature_free ~ptr
+            ~detail:
+              (Printf.sprintf "pid %d holds a recovery announcement (%s)" pid
+                 (provenance r)))
+      t.procs
+
+(* A record left limbo back to its allocator: Free (through the arena,
+   generation bumped) or Pool_put (generation kept). *)
+let on_free t ctx key ~via =
+  match Hashtbl.find_opt t.records key with
+  | None ->
+      (* Born before the sanitizer attached; record the death silently. *)
+      Hashtbl.replace t.records key (fresh_rinfo ~owner:(-1) ~seq:t.seq ~state:Freed)
+  | Some r -> (
+      match r.state with
+      | Fresh -> r.state <- Freed (* unpublished dealloc, always legal *)
+      | Published ->
+          flag t ctx Free_without_retire ~ptr:key
+            ~detail:
+              (Printf.sprintf "%s freed while logically in the structure (%s)"
+                 via (provenance r));
+          r.state <- Freed
+      | Retired ->
+          check_free t ctx r key;
+          if t.config.track_limbo then t.ledger <- t.ledger - 1;
+          r.state <- Freed
+      | Freed ->
+          flag t ctx Double_free ~ptr:key
+            ~detail:(Printf.sprintf "second %s (%s)" via (provenance r)))
+
+let on_event t ctx (ev : Memory.Smr_event.t) =
+  t.seq <- t.seq + 1;
+  let pid = ctx.Runtime.Ctx.pid in
+  let ps = t.procs.(pid) in
+  match ev with
+  | Alloc p | Pool_take p ->
+      let key = Memory.Ptr.unmark p in
+      Hashtbl.replace t.records key
+        (fresh_rinfo ~owner:pid ~seq:t.seq ~state:Fresh)
+  | Free p -> on_free t ctx (Memory.Ptr.unmark p) ~via:"arena free"
+  | Pool_put p -> on_free t ctx (Memory.Ptr.unmark p) ~via:"pool put"
+  | Access (p, _) -> (
+      t.events <- t.events + 1;
+      let key = Memory.Ptr.unmark p in
+      match Hashtbl.find_opt t.records key with
+      | None ->
+          (* Born before attach: assume live and published. *)
+          Hashtbl.replace t.records key
+            (fresh_rinfo ~owner:(-1) ~seq:t.seq ~state:Published)
+      | Some r -> (
+          match r.state with
+          | Fresh -> if pid <> r.owner then r.state <- Published
+          | Published -> ()
+          | Retired ->
+              if
+                t.config.access = Hazard
+                && not (holds_before ps.hazards key ~retire:r.retire_seq)
+              then
+                flag t ctx Unprotected_access ~ptr:key
+                  ~detail:
+                    (Printf.sprintf
+                       "access to retired record without a protection \
+                        registered before retire (%s)"
+                       (provenance r))
+          | Freed ->
+              if t.config.access <> Lenient then
+                flag t ctx Use_after_free ~ptr:key
+                  ~detail:
+                    (Printf.sprintf "access to freed record (%s)"
+                       (provenance r))))
+  | Retire p -> (
+      let key = Memory.Ptr.unmark p in
+      let r =
+        match Hashtbl.find_opt t.records key with
+        | Some r -> r
+        | None ->
+            let r = fresh_rinfo ~owner:(-1) ~seq:t.seq ~state:Published in
+            Hashtbl.replace t.records key r;
+            r
+      in
+      match r.state with
+      | Retired ->
+          flag t ctx Double_retire ~ptr:key
+            ~detail:(Printf.sprintf "record already in limbo (%s)" (provenance r))
+      | Freed ->
+          flag t ctx Double_retire ~ptr:key
+            ~detail:
+              (Printf.sprintf "retire of an already-freed record (%s)"
+                 (provenance r))
+      | Fresh | Published ->
+          r.state <- Retired;
+          r.retire_seq <- t.seq;
+          r.retire_pid <- pid;
+          if t.config.track_limbo then t.ledger <- t.ledger + 1;
+          (match t.config.free with
+          | Grace_session ->
+              let open_sessions = ref [] in
+              Array.iteri
+                (fun i p ->
+                  if p.in_session then
+                    open_sessions := (i, p.session) :: !open_sessions)
+                t.procs;
+              r.grace <- Array.of_list !open_sessions
+          | Grace_qpoint ->
+              r.qsnap <- Array.map (fun p -> p.qcount) t.procs
+          | Skip | Hazard_scan -> ()))
+  | Protect p -> push_prot ps.hazards (Memory.Ptr.unmark p) t.seq
+  | Unprotect p -> pop_prot ps.hazards (Memory.Ptr.unmark p)
+  | Unprotect_all -> Hashtbl.reset ps.hazards
+  | Rprotect p -> push_prot ps.rprotects (Memory.Ptr.unmark p) t.seq
+  | Runprotect_all -> Hashtbl.reset ps.rprotects
+  | Leave_q ->
+      ps.session <- ps.session + 1;
+      ps.in_session <- true
+  | Enter_q ->
+      ps.in_session <- false;
+      ps.qcount <- ps.qcount + 1
+
+let with_checks t f =
+  Memory.Heap.set_sink t.heap (Some (fun ctx ev -> on_event t ctx ev));
+  let restores =
+    Array.map
+      (fun ctx ->
+        Runtime.Ctx.add_hook ctx (fun _ ~line:_ _ ->
+            t.accesses <- t.accesses + 1))
+      t.group.Runtime.Group.ctxs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Memory.Heap.set_sink t.heap None;
+      Array.iter (fun restore -> restore ()) restores)
+    f
+
+let leak_check t ~limbo_size =
+  if t.config.track_limbo && t.ledger <> limbo_size then begin
+    t.seq <- t.seq + 1;
+    let dkey = (Leak, Memory.Ptr.null) in
+    if not (Hashtbl.mem t.seen dkey) then begin
+      Hashtbl.add t.seen dkey ();
+      t.nviols <- t.nviols + 1;
+      t.viols <-
+        {
+          kind = Leak;
+          pid = 0;
+          time = 0;
+          seq = t.seq;
+          ptr = Memory.Ptr.null;
+          detail =
+            Printf.sprintf
+              "shadow ledger says %d records in limbo, reclaimer reports %d"
+              t.ledger limbo_size;
+        }
+        :: t.viols
+    end
+  end
+
+let violations t = List.rev t.viols
+let violation_count t = t.nviols
+let has t kind = List.exists (fun v -> v.kind = kind) t.viols
+let retired_unfreed t = t.ledger
+let events_seen t = t.seq
+let accesses_checked t = t.accesses
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] pid %d, t=%d, event #%d, record %s: %s"
+    (kind_name v.kind) v.pid v.time v.seq
+    (Memory.Ptr.to_string v.ptr)
+    v.detail
+
+let report t =
+  if t.nviols = 0 then ""
+  else
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    Format.fprintf fmt "%d violation(s) under scheme %s:@." t.nviols
+      t.config.scheme;
+    List.iter (fun v -> Format.fprintf fmt "  %a@." pp_violation v) (violations t);
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf

@@ -1,0 +1,131 @@
+(** Shadow-state SMR sanitizer.
+
+    Consumes the {!Memory.Smr_event} stream of one heap and replays it
+    against a shadow copy of every record's lifecycle
+    (fresh → published → retired → freed → recycled) and of every process'
+    protection/quiescence state.  Scheme-specific invariants — what makes a
+    free premature, which accesses need a covering hazard — are selected by
+    a {!Config.t} derived from the reclaimer's capability flags.
+
+    The sanitizer is a checker, not a scheme: it never blocks a free or an
+    access, it only records {!violation}s (de-duplicated per record and
+    kind).  Wrap any run in {!with_checks}; call {!leak_check} after the
+    final [flush] to reconcile the shadow limbo ledger with the reclaimer's
+    own [limbo_size].
+
+    See DESIGN.md §"Sanitizer" for the state machine and the per-scheme
+    invariant table. *)
+
+(** What an instrumented field access is checked against.
+
+    - [Lenient]: accesses are not checked (StackTrack: reading reclaimed
+      memory is the sanctioned transaction-abort mechanism).
+    - [Epoch]: only access to a {e freed} record is a violation — retired
+      records remain safe to traverse (EBR/QSBR/DEBRA family, ThreadScan).
+    - [Hazard]: additionally, access to a {e retired} record is a violation
+      unless the accessing process registered a protection {e before} the
+      retire (HP, RC). *)
+type access_discipline = Lenient | Epoch | Hazard
+
+(** What a free of a retired record is checked against.
+
+    - [Skip]: frees are not checked ([none] never frees; StackTrack frees
+      under other processes' unpublished register pointers by design).
+    - [Grace_session]: a free is premature while any process is still inside
+      the operation (session) that was open when the record was retired
+      (EBR, DEBRA, DEBRA+).
+    - [Grace_qpoint]: a free is premature while any process has not passed a
+      quiescent point since the retire (QSBR).
+    - [Hazard_scan]: a free is premature while any process holds a
+      protection registered before the retire (HP, RC, ThreadScan). *)
+type free_discipline = Skip | Grace_session | Grace_qpoint | Hazard_scan
+
+module Config : sig
+  type t = {
+    scheme : string;
+    access : access_discipline;
+    free : free_discipline;
+    track_limbo : bool;
+        (** maintain the shadow limbo ledger and check it in {!leak_check};
+            off for [none] (leaks by design) and for deliberately broken
+            schemes under test *)
+  }
+
+  val make :
+    ?track_limbo:bool ->
+    scheme:string ->
+    access:access_discipline ->
+    free:free_discipline ->
+    unit ->
+    t
+
+  (** Derive the discipline from a reclaimer's capability flags (plus
+      name-based refinements: ["qsbr"] has quiescent {e points} rather than
+      sessions, ["threadscan"] scans roots rather than waiting for grace,
+      ["none"] never frees). *)
+  val of_flags :
+    scheme:string ->
+    supports_crash_recovery:bool ->
+    allows_retired_traversal:bool ->
+    sandboxed:bool ->
+    unit ->
+    t
+end
+
+type kind =
+  | Use_after_free  (** access to a freed record *)
+  | Unprotected_access
+      (** access to a retired record without a covering protection *)
+  | Premature_free
+      (** free while a grace period was open or a protection held *)
+  | Double_retire
+  | Free_without_retire  (** published record freed without being retired *)
+  | Double_free
+  | Leak  (** shadow ledger and reclaimer limbo disagree at the end *)
+
+type violation = {
+  kind : kind;
+  pid : int;  (** process on whose context the offending event fired *)
+  time : int;  (** virtual time ({!Runtime.Ctx.now}) at the event *)
+  seq : int;  (** global event sequence number *)
+  ptr : Memory.Ptr.t;  (** offending record (unmarked); null for [Leak] *)
+  detail : string;  (** provenance: allocator/retirer pids and sequences *)
+}
+
+type t
+
+val create :
+  config:Config.t -> heap:Memory.Heap.t -> group:Runtime.Group.t -> t
+
+(** [with_checks t f] attaches the sanitizer to the heap's event hub and to
+    every context's instrumentation hook (composing with — not replacing —
+    hooks installed by e.g. the simulator), runs [f], and detaches, even on
+    exception.  Nesting is not supported: one sanitizer per heap at a
+    time. *)
+val with_checks : t -> (unit -> 'a) -> 'a
+
+(** [leak_check t ~limbo_size] reconciles the shadow ledger (records retired
+    but never freed) against the reclaimer's reported [limbo_size]; any
+    disagreement is recorded as a {!Leak} violation.  Call after quiescing
+    and [flush]ing the reclaimer.  No-op when [track_limbo] is off. *)
+val leak_check : t -> limbo_size:int -> unit
+
+val violations : t -> violation list
+(** chronological order *)
+
+val violation_count : t -> int
+val has : t -> kind -> bool
+
+val retired_unfreed : t -> int
+(** current shadow limbo ledger *)
+
+val events_seen : t -> int
+val accesses_checked : t -> int
+(** instrumented accesses observed through the context hook; nonzero proves
+    the hook chain is wired *)
+
+val kind_name : kind -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+val report : t -> string
+(** human-readable summary of all violations (empty string when clean) *)

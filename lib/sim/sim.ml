@@ -84,8 +84,13 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
   let install pid =
     let ctx = Group.ctx group pid in
     let context = core_of pid in
+    (* Chain any hook installed before the run (e.g. a sanitizer's) rather
+       than overwriting it: it observes the access, then we charge the cache
+       model and yield to the scheduler. *)
+    let prev = saved_hooks.(pid) in
     ctx.Ctx.hook <-
-      (fun _ ~line kind ->
+      (fun c ~line kind ->
+        prev c ~line kind;
         let cost = Machine.Cache.access cache ~context kind ~line in
         perform (Yield cost));
     ctx.Ctx.now_impl <- (fun () -> cores.(context).time);

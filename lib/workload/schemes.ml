@@ -21,6 +21,7 @@ type cfg = {
   del : int;
   seed : int;
   capacity : int;
+  sanitize : bool;  (** run the trial under the shadow-state sanitizer *)
 }
 
 type runner = { rname : string; run : cfg -> Trial.outcome }
@@ -67,8 +68,8 @@ module Make_bst_runner (RM : Intf.RECORD_MANAGER) = struct
           R.trial
             (module T)
             ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
-            ~del:cfg.del ~seed:cfg.seed ());
+            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ~n:cfg.n
+            ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
 
@@ -92,8 +93,8 @@ module Make_skiplist_runner (RM : Intf.RECORD_MANAGER) = struct
           R.trial
             (module S)
             ~machine:cfg.machine ~params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
-            ~del:cfg.del ~seed:cfg.seed ());
+            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ~n:cfg.n
+            ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
 
@@ -109,8 +110,8 @@ module Make_list_runner (RM : Intf.RECORD_MANAGER) = struct
           R.trial
             (module L)
             ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
-            ~del:cfg.del ~seed:cfg.seed ());
+            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ~n:cfg.n
+            ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
 
@@ -217,6 +218,11 @@ let run_panel ~title ~runners ~threads ~cfg_of =
                pts := (n, o.Trial.mops) :: !pts;
                let cell =
                  if o.Trial.oom then "OOM" else Report.fmt_mops o.Trial.mops
+               in
+               let cell =
+                 match o.Trial.violations with
+                 | Some v when v > 0 -> cell ^ "!SAN"
+                 | _ -> cell
                in
                if r.rname = "none" then [ cell ]
                else [ cell; Report.fmt_pct (Report.rel ~base o.Trial.mops) ])

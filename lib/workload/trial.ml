@@ -30,6 +30,10 @@ type outcome = {
   frees : int;
   oom : bool;  (** the arena filled up: the scheme failed to reclaim *)
   cache : Machine.Cache.stats option;
+  violations : int option;
+      (** sanitizer violation count; [None] when the trial ran without the
+          sanitizer (the default — see EXPERIMENTS.md: all reported numbers
+          are sanitizer-off) *)
 }
 
 let mops_of ~ops ~virtual_time =
@@ -50,42 +54,84 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     val contains : t -> Runtime.Ctx.t -> int -> bool
   end
 
+  (* Base scheme name ("debra+", "hp", ...) out of "debra+(pool,bump)". *)
+  let base_scheme =
+    match String.index_opt RM.scheme_name '(' with
+    | Some i -> String.sub RM.scheme_name 0 i
+    | None -> RM.scheme_name
+
   let trial (module S : SET) ?(machine = Machine.Config.intel_i7_4770)
       ?(params = Reclaim.Intf.Params.default) ?(duration = 2_000_000)
-      ?(capacity = 0) ~n ~range ~ins ~del ~seed () =
+      ?(capacity = 0) ?(sanitize = false) ~n ~range ~ins ~del ~seed () =
     let group = Runtime.Group.create ~seed n in
     let heap = Memory.Heap.create () in
     let env = Reclaim.Intf.Env.create ~params group heap in
     let rm = RM.create env in
     let capacity = if capacity > 0 then capacity else range + 200_000 in
-    let s = S.create rm ~capacity in
-    (* Prefill to half the key range (uninstrumented: hooks are not yet
-       installed, so this costs no simulated time). *)
-    let ctx0 = Runtime.Group.ctx group 0 in
-    let rng = Random.State.make [| seed; 4242 |] in
-    let target = range / 2 in
-    let filled = ref 0 in
-    while !filled < target do
-      let key = 1 + Random.State.int rng range in
-      if S.insert s ctx0 ~key ~value:key then incr filled
-    done;
-    Array.iter Runtime.Ctx.reset_stats group.Runtime.Group.ctxs;
-    let base_claimed = Memory.Heap.bytes_claimed heap in
-    let body pid () =
-      let ctx = Runtime.Group.ctx group pid in
-      let rng = Random.State.make [| seed; pid; 41 |] in
-      while Runtime.Ctx.now ctx < duration do
-        let key = 1 + Random.State.int rng range in
-        let r = Random.State.int rng 100 in
-        if r < ins then ignore (S.insert s ctx ~key ~value:key)
-        else if r < ins + del then ignore (S.delete s ctx key)
-        else ignore (S.contains s ctx key)
-      done
+    let san =
+      if sanitize then
+        Some
+          (Sanitizer.create
+             ~config:
+               (Sanitizer.Config.of_flags ~scheme:base_scheme
+                  ~supports_crash_recovery:RM.supports_crash_recovery
+                  ~allows_retired_traversal:RM.allows_retired_traversal
+                  ~sandboxed:RM.sandboxed ())
+             ~heap ~group)
+      else None
     in
-    let sim_result =
-      match Sim.run ~machine group (Array.init n body) with
-      | r -> Ok r
-      | exception Memory.Arena.Arena_full a -> Error a
+    let ctx0 = Runtime.Group.ctx group 0 in
+    let checked f =
+      match san with None -> f () | Some sa -> Sanitizer.with_checks sa f
+    in
+    let sim_result, base_claimed, limbo =
+      checked (fun () ->
+          let s = S.create rm ~capacity in
+          (* Prefill to half the key range (uninstrumented: simulator hooks
+             are not yet installed, so this costs no simulated time). *)
+          let rng = Random.State.make [| seed; 4242 |] in
+          let target = range / 2 in
+          let filled = ref 0 in
+          while !filled < target do
+            let key = 1 + Random.State.int rng range in
+            if S.insert s ctx0 ~key ~value:key then incr filled
+          done;
+          Array.iter Runtime.Ctx.reset_stats group.Runtime.Group.ctxs;
+          let base_claimed = Memory.Heap.bytes_claimed heap in
+          let body pid () =
+            let ctx = Runtime.Group.ctx group pid in
+            let rng = Random.State.make [| seed; pid; 41 |] in
+            while Runtime.Ctx.now ctx < duration do
+              let key = 1 + Random.State.int rng range in
+              let r = Random.State.int rng 100 in
+              if r < ins then ignore (S.insert s ctx ~key ~value:key)
+              else if r < ins + del then ignore (S.delete s ctx key)
+              else ignore (S.contains s ctx key)
+            done
+          in
+          let sim_result =
+            match Sim.run ~machine group (Array.init n body) with
+            | r -> Ok r
+            | exception Memory.Arena.Arena_full a -> Error a
+          in
+          let limbo = RM.limbo_size rm in
+          (* Under the sanitizer, shut down quiescently so the shadow leak
+             ledger can be reconciled against the reclaimer's limbo. *)
+          (match san with
+          | None -> ()
+          | Some sa ->
+              for _ = 1 to 30 do
+                Array.iter
+                  (fun ctx ->
+                    RM.leave_qstate rm ctx;
+                    RM.enter_qstate rm ctx)
+                  group.Runtime.Group.ctxs
+              done;
+              RM.flush rm ctx0;
+              Sanitizer.leak_check sa ~limbo_size:(RM.limbo_size rm);
+              let r = Sanitizer.report sa in
+              if r <> "" then prerr_string r);
+          (sim_result, base_claimed, limbo))
     in
     let stat f = Runtime.Group.sum_stats group f in
     let ops = stat (fun s -> s.Runtime.Ctx.ops) in
@@ -103,12 +149,13 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       bytes_claimed = Memory.Heap.bytes_claimed heap;
       bytes_claimed_trial = Memory.Heap.bytes_claimed heap - base_claimed;
       bytes_peak = Memory.Heap.bytes_peak heap;
-      limbo = RM.limbo_size rm;
+      limbo;
       neutralized = stat (fun s -> s.Runtime.Ctx.neutralized);
       signals_sent = stat (fun s -> s.Runtime.Ctx.signals_sent);
       allocs = stat (fun s -> s.Runtime.Ctx.allocs);
       frees = stat (fun s -> s.Runtime.Ctx.frees);
       oom;
       cache;
+      violations = Option.map Sanitizer.violation_count san;
     }
 end

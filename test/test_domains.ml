@@ -81,7 +81,7 @@ let test_arena_freelist_parallel () =
   let n = 4 in
   let arena =
     Memory.Arena.create ~heap_id:0 ~name:"par" ~mut_fields:1 ~const_fields:0
-      ~capacity:4096
+      ~capacity:4096 ()
   in
   let group = Runtime.Group.create ~seed:9 n in
   let body pid () =

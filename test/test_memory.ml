@@ -39,7 +39,7 @@ let test_null () =
 
 let mk_arena () =
   Memory.Arena.create ~heap_id:0 ~name:"t" ~mut_fields:2 ~const_fields:1
-    ~capacity:64
+    ~capacity:64 ()
 
 let test_lifecycle () =
   let c = ctx () in
@@ -93,7 +93,7 @@ let test_capacity () =
   let c = ctx () in
   let a =
     Memory.Arena.create ~heap_id:0 ~name:"small" ~mut_fields:1 ~const_fields:0
-      ~capacity:2
+      ~capacity:2 ()
   in
   ignore (Memory.Arena.claim_fresh c a);
   ignore (Memory.Arena.claim_fresh c a);
@@ -109,7 +109,7 @@ let prop_arena_model =
       let c = ctx () in
       let a =
         Memory.Arena.create ~heap_id:1 ~name:"m" ~mut_fields:1 ~const_fields:0
-          ~capacity:512
+          ~capacity:512 ()
       in
       let live = Hashtbl.create 16 in
       let ok = ref true in

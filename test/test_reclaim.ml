@@ -394,9 +394,95 @@ let test_threadscan_unsound_retired_chain () =
     "ThreadScan frees a record reachable from a registered retired record"
     true !uaf
 
+module RM_st =
+  Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Stacktrack.Make)
+module RM_none =
+  Record_manager.Make (Alloc.Bump) (Pool.Direct) (None_reclaimer.Make)
+
+(* Limbo must drain to exactly zero after a quiescent shutdown ([flush]),
+   for every scheme — cross-checked against the sanitizer's shadow ledger,
+   which counts every Retire and Free on the event bus independently of the
+   reclaimer's own bookkeeping. *)
+module Drain (RM : Intf.RECORD_MANAGER) = struct
+  let run ~scheme () =
+    let group = Runtime.Group.create ~seed:7 2 in
+    let heap = Memory.Heap.create () in
+    let env = Intf.Env.create ~params:params_tiny group heap in
+    let rm = RM.create env in
+    let arena =
+      Memory.Heap.new_arena heap ~name:"d" ~mut_fields:1 ~const_fields:1
+        ~capacity:4096
+    in
+    let config =
+      Sanitizer.Config.of_flags ~scheme
+        ~supports_crash_recovery:RM.supports_crash_recovery
+        ~allows_retired_traversal:RM.allows_retired_traversal
+        ~sandboxed:RM.sandboxed ()
+    in
+    let san = Sanitizer.create ~config ~heap ~group in
+    let ctx0 = Runtime.Group.ctx group 0 in
+    let ctx1 = Runtime.Group.ctx group 1 in
+    Sanitizer.with_checks san (fun () ->
+        (* Two processes allocate and retire across interleaved sessions. *)
+        for round = 1 to 10 do
+          List.iter
+            (fun ctx ->
+              RM.leave_qstate rm ctx;
+              for i = 1 to 6 do
+                let p = RM.alloc rm ctx arena in
+                Memory.Arena.set_const ctx arena p 0 (round + i);
+                RM.retire rm ctx p
+              done;
+              RM.enter_qstate rm ctx)
+            [ ctx0; ctx1 ]
+        done;
+        if config.Sanitizer.Config.track_limbo then
+          Alcotest.(check int) "mid-run: shadow ledger mirrors limbo"
+            (RM.limbo_size rm)
+            (Sanitizer.retired_unfreed san);
+        (* Quiescent shutdown: expire every grace period, then flush. *)
+        for _ = 1 to 30 do
+          List.iter
+            (fun ctx ->
+              RM.leave_qstate rm ctx;
+              RM.enter_qstate rm ctx)
+            [ ctx0; ctx1 ]
+        done;
+        RM.flush rm ctx0;
+        Sanitizer.leak_check san ~limbo_size:(RM.limbo_size rm));
+    Alcotest.(check string) "no violations" "" (Sanitizer.report san);
+    Alcotest.(check int) "limbo empty after flush" 0 (RM.limbo_size rm);
+    if config.Sanitizer.Config.track_limbo then
+      Alcotest.(check int) "shadow ledger empty" 0
+        (Sanitizer.retired_unfreed san)
+end
+
+module D_ebr = Drain (RM_ebr)
+module D_qsbr = Drain (RM_qsbr)
+module D_debra = Drain (RM_debra)
+module D_debra_plus = Drain (RM_debra_plus)
+module D_hp = Drain (RM_hp)
+module D_rc = Drain (RM_rc)
+module D_ts = Drain (RM_ts)
+module D_st = Drain (RM_st)
+module D_none = Drain (RM_none)
+
 let () =
   Alcotest.run "reclaim"
     [
+      ( "limbo-drains",
+        [
+          Alcotest.test_case "ebr" `Quick (D_ebr.run ~scheme:"ebr");
+          Alcotest.test_case "qsbr" `Quick (D_qsbr.run ~scheme:"qsbr");
+          Alcotest.test_case "debra" `Quick (D_debra.run ~scheme:"debra");
+          Alcotest.test_case "debra+" `Quick
+            (D_debra_plus.run ~scheme:"debra+");
+          Alcotest.test_case "hp" `Quick (D_hp.run ~scheme:"hp");
+          Alcotest.test_case "rc" `Quick (D_rc.run ~scheme:"rc");
+          Alcotest.test_case "threadscan" `Quick (D_ts.run ~scheme:"threadscan");
+          Alcotest.test_case "stacktrack" `Quick (D_st.run ~scheme:"stacktrack");
+          Alcotest.test_case "none" `Quick (D_none.run ~scheme:"none");
+        ] );
       ( "debra",
         [
           Alcotest.test_case "grace period" `Quick test_debra_grace_period;

@@ -1,0 +1,508 @@
+(* Interleaving fuzz for the shadow-state SMR sanitizer (lib/sanitizer).
+
+   Two directions of evidence:
+   - every real scheme, on every structure, across a sweep of `Random_walk
+     schedules, produces ZERO violations and drains its limbo to zero after
+     a quiescent shutdown (the shadow ledger agrees with the reclaimer's own
+     limbo_size);
+   - two deliberately broken reclaimers are caught and correctly
+     classified: an EBR that skips the grace period (premature-free) and an
+     HP that skips the post-announce validation (unprotected-access).
+
+   ThreadScan runs with a delete-buffer threshold its workload never
+   reaches, so all collection happens in the final flush: TS's signal-scan
+   is genuinely unsound for structures whose traversals cross retired
+   records (paper §3, reproduced by test_threadscan.ml), and the sanitizer
+   would — correctly — flag it.  See DESIGN.md §"Sanitizer". *)
+
+open Reclaim
+
+let seeds = [ 11; 23; 37; 41; 59; 101; 211; 307 ]
+
+let fuzz_params =
+  {
+    Intf.Params.default with
+    Intf.Params.block_capacity = 4;
+    check_thresh = 1;
+    incr_thresh = 1;
+    pool_cap_blocks = 2;
+    hp_slots = 24;
+    hp_retire_factor = 1;
+    suspect_blocks = 1;
+    st_segment_accesses = 4;
+    (* never reached: ThreadScan collects only in the final flush *)
+    ts_buffer_blocks = 1000;
+  }
+
+let machine = Machine.Config.tiny ~contexts:4 ()
+let nprocs = 3
+let ops_per_proc = 60
+let key_range = 16
+let capacity = 4096
+
+(* The real matrix: shared pool behind the epoch schemes, direct pool for
+   the HP family (generation checks then give a faithful freed-oracle),
+   recycling allocator for StackTrack, as in the benchmark matrix. *)
+module RM_ebr = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Ebr.Make)
+module RM_qsbr = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Qsbr.Make)
+module RM_debra = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Debra.Make)
+module RM_debra_plus =
+  Record_manager.Make (Alloc.Bump) (Pool.Shared) (Debra_plus.Make)
+module RM_hp = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Hp.Make)
+module RM_rc = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Rc.Make)
+module RM_ts = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Threadscan.Make)
+module RM_st =
+  Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Stacktrack.Make)
+module RM_none =
+  Record_manager.Make (Alloc.Bump) (Pool.Direct) (None_reclaimer.Make)
+
+module Fuzz (RM : Intf.RECORD_MANAGER) = struct
+  module L = Ds.Hm_list.Make (RM)
+  module B = Ds.Efrb_bst.Make (RM)
+  module Q = Ds.Ms_queue.Make (RM)
+
+  let config ~scheme =
+    Sanitizer.Config.of_flags ~scheme
+      ~supports_crash_recovery:RM.supports_crash_recovery
+      ~allows_retired_traversal:RM.allows_retired_traversal
+      ~sandboxed:RM.sandboxed ()
+
+  (* Quiescent shutdown: cycle every process through enough operation
+     boundaries that every grace period expires and every announcement is
+     retracted, then flush whatever is still in limbo. *)
+  let drain group rm =
+    for _ = 1 to 30 do
+      Array.iter
+        (fun ctx ->
+          RM.leave_qstate rm ctx;
+          RM.enter_qstate rm ctx)
+        group.Runtime.Group.ctxs
+    done;
+    RM.flush rm (Runtime.Group.ctx group 0)
+
+  (* Build the structure, run one `Random_walk schedule, shut down
+     quiescently, reconcile the leak ledger — all under the sanitizer. *)
+  let exercise ?config:cfg ~scheme ~seed build =
+    let group = Runtime.Group.create ~seed nprocs in
+    let heap = Memory.Heap.create () in
+    let env = Intf.Env.create ~params:fuzz_params group heap in
+    let rm = RM.create env in
+    let config =
+      match cfg with Some c -> c | None -> config ~scheme
+    in
+    let san = Sanitizer.create ~config ~heap ~group in
+    let crashed = ref false in
+    (try
+       Sanitizer.with_checks san (fun () ->
+           let bodies = build group rm in
+           ignore
+             (Sim.run ~machine ~policy:(`Random_walk seed) group bodies);
+           drain group rm;
+           Sanitizer.leak_check san ~limbo_size:(RM.limbo_size rm))
+     with
+    | Memory.Arena.Use_after_free _ | Memory.Arena.Double_free _ | Sim.Stuck _
+      ->
+        (* Only the deliberately broken schemes get here: the arena's own
+           generation check fired after the sanitizer already recorded the
+           violation.  The clean-matrix assertions reject any crash. *)
+        crashed := true);
+    (san, rm, !crashed)
+
+  let build_list group rm =
+    let t = L.create rm ~capacity in
+    Array.init nprocs (fun pid () ->
+        let ctx = Runtime.Group.ctx group pid in
+        let rng = Random.State.make [| 0xda7a; pid |] in
+        for _ = 1 to ops_per_proc do
+          let key = Random.State.int rng key_range in
+          match Random.State.int rng 3 with
+          | 0 -> ignore (L.insert t ctx ~key ~value:(key * 2))
+          | 1 -> ignore (L.delete t ctx key)
+          | _ -> ignore (L.contains t ctx key)
+        done)
+
+  let build_bst group rm =
+    let t = B.create rm ~capacity in
+    Array.init nprocs (fun pid () ->
+        let ctx = Runtime.Group.ctx group pid in
+        let rng = Random.State.make [| 0xb57; pid |] in
+        for _ = 1 to ops_per_proc do
+          let key = Random.State.int rng key_range in
+          match Random.State.int rng 3 with
+          | 0 -> ignore (B.insert t ctx ~key ~value:(key * 2))
+          | 1 -> ignore (B.delete t ctx key)
+          | _ -> ignore (B.contains t ctx key)
+        done)
+
+  let build_queue group rm =
+    let t = Q.create rm ~capacity in
+    Array.init nprocs (fun pid () ->
+        let ctx = Runtime.Group.ctx group pid in
+        let rng = Random.State.make [| 0xc0ffee; pid |] in
+        for _ = 1 to ops_per_proc do
+          if Random.State.int rng 5 < 3 then
+            Q.enqueue t ctx (Random.State.int rng 1000)
+          else ignore (Q.dequeue t ctx)
+        done)
+
+  let assert_clean ~name (san, rm, crashed) =
+    Alcotest.(check bool) (name ^ ": no crash") false crashed;
+    Alcotest.(check string) (name ^ ": violations") "" (Sanitizer.report san);
+    Alcotest.(check int) (name ^ ": limbo drained") 0 (RM.limbo_size rm);
+    Alcotest.(check int)
+      (name ^ ": shadow ledger drained")
+      0
+      (Sanitizer.retired_unfreed san);
+    Alcotest.(check bool)
+      (name ^ ": hook chain wired")
+      true
+      (Sanitizer.accesses_checked san > 0)
+
+  let clean ~scheme build_name build () =
+    List.iter
+      (fun seed ->
+        let name = Printf.sprintf "%s/%s/seed=%d" scheme build_name seed in
+        assert_clean ~name (exercise ~scheme ~seed build))
+      seeds
+
+  let tests ~scheme =
+    [
+      Alcotest.test_case
+        (Printf.sprintf "%s list clean" scheme)
+        `Quick
+        (clean ~scheme "hm_list" build_list);
+      Alcotest.test_case
+        (Printf.sprintf "%s bst clean" scheme)
+        `Quick
+        (clean ~scheme "efrb_bst" build_bst);
+      Alcotest.test_case
+        (Printf.sprintf "%s queue clean" scheme)
+        `Quick
+        (clean ~scheme "ms_queue" build_queue);
+    ]
+end
+
+module F_ebr = Fuzz (RM_ebr)
+module F_qsbr = Fuzz (RM_qsbr)
+module F_debra = Fuzz (RM_debra)
+module F_debra_plus = Fuzz (RM_debra_plus)
+module F_hp = Fuzz (RM_hp)
+module F_rc = Fuzz (RM_rc)
+module F_ts = Fuzz (RM_ts)
+module F_st = Fuzz (RM_st)
+module F_none = Fuzz (RM_none)
+
+(* ------------------------------------------------------------------ *)
+(* Deliberately broken schemes: the sanitizer must catch and classify. *)
+
+(* EBR with the grace period deleted: retire frees immediately.  Every
+   retire happens inside the retirer's own session, so the very first free
+   is flagged premature against the retire-time session snapshot. *)
+module Broken_ebr (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P =
+struct
+  module Pool = P
+
+  type t = { env : Intf.Env.t; pool : P.t }
+
+  let name = "broken-ebr"
+  let create env pool = { env; pool }
+  let supports_crash_recovery = false
+  let allows_retired_traversal = true
+  let sandboxed = false
+  let leave_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q
+  let enter_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
+  let is_quiescent _t _ctx = false
+  let protect _t _ctx _p ~verify:_ = true
+  let unprotect _t _ctx _p = ()
+  let unprotect_all _t _ctx = ()
+  let is_protected _t _ctx _p = true
+
+  let retire t ctx p =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
+    (* The bug: no grace period. *)
+    P.release t.pool ctx p
+
+  let rprotect _t _ctx _p = ()
+  let runprotect_all _t _ctx = ()
+  let is_rprotected _t _ctx _p = false
+  let limbo_size _t = 0
+  let flush _t _ctx = ()
+end
+
+(* HP with the post-announce validation deleted: announce, skip the fence
+   and the verify, trust the pointer.  The scan itself is honest (it keeps
+   every announced record) — the only bug is the protect/scan race the
+   validation step exists to close, which surfaces as an access to a
+   retired (or already freed) record under a too-late hazard. *)
+module Broken_hp (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P =
+struct
+  module Pool = P
+
+  type local = { bags : Bag.Blockbag.t array }
+
+  type t = {
+    env : Intf.Env.t;
+    pool : P.t;
+    rows : Runtime.Shared_array.t array;
+    locals : local array;
+    scanning : Bag.Hash_set.t array;
+    threshold : int;
+    k : int;
+  }
+
+  let name = "broken-hp"
+  let supports_crash_recovery = false
+  let allows_retired_traversal = false
+  let sandboxed = false
+
+  let create env pool =
+    let n = Intf.Env.nprocs env in
+    let params = env.Intf.Env.params in
+    let k = params.Intf.Params.hp_slots in
+    {
+      env;
+      pool;
+      rows = Array.init n (fun _ -> Runtime.Shared_array.create k);
+      locals =
+        Array.init n (fun pid ->
+            {
+              bags =
+                Array.init Memory.Ptr.max_arenas (fun _ ->
+                    Bag.Blockbag.create env.Intf.Env.block_pools.(pid));
+            });
+      scanning = Array.init n (fun _ -> Bag.Hash_set.create ~expected:(n * k));
+      threshold = max 8 (params.Intf.Params.hp_retire_factor * n * k);
+      k;
+    }
+
+  let leave_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q
+
+  let unprotect_all t ctx =
+    Intf.Env.emit t.env ctx Memory.Smr_event.Unprotect_all;
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    for i = 0 to t.k - 1 do
+      if Runtime.Shared_array.peek row i <> 0 then
+        Runtime.Shared_array.set ctx row i 0
+    done
+
+  let enter_qstate t ctx =
+    unprotect_all t ctx;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
+
+  let is_quiescent _t _ctx = false
+
+  let protect t ctx p ~verify:_ =
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec free_slot i =
+      if i >= t.k then invalid_arg "Broken_hp.protect: out of slots"
+      else if Runtime.Shared_array.peek row i = 0 then i
+      else free_slot (i + 1)
+    in
+    Runtime.Shared_array.set ctx row (free_slot 0) p;
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Protect p);
+    (* The bug: no fence, no verify — the announcement may already be too
+       late, and nobody checks. *)
+    true
+
+  let unprotect t ctx p =
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec go i =
+      if i < t.k then
+        if Runtime.Shared_array.peek row i = p then begin
+          Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
+          Runtime.Shared_array.set ctx row i 0
+        end
+        else go (i + 1)
+    in
+    go 0
+
+  let is_protected t ctx p =
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec go i =
+      i < t.k
+      && (Runtime.Shared_array.peek row i = p || go (i + 1))
+    in
+    go 0
+
+  let scan t ctx l =
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Scan_util.collect_announcements ctx ~into:scanning
+      ~nprocs:(Intf.Env.nprocs t.env)
+      ~row:(fun other -> t.rows.(other))
+      ~count:(fun _ _ -> t.k);
+    Array.iter
+      (fun bag ->
+        ignore
+          (Scan_util.partition_and_release ctx bag ~protected:scanning
+             ~release_block:(fun b -> P.release_block t.pool ctx b)))
+      l.bags
+
+  let retire t ctx p =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p) p;
+    let total =
+      Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags
+    in
+    if total >= t.threshold then scan t ctx l
+
+  let rprotect _t _ctx _p = ()
+  let runprotect_all _t _ctx = ()
+  let is_rprotected _t _ctx _p = false
+
+  let limbo_size t =
+    Array.fold_left
+      (fun acc l ->
+        Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
+      0 t.locals
+
+  let flush t ctx =
+    Array.iter
+      (fun l ->
+        Array.iter
+          (fun b ->
+            Scan_util.flush_bag ctx b
+              ~keep:(fun _ -> false)
+              ~release:(fun ctx p -> P.release t.pool ctx p))
+          l.bags)
+      t.locals
+end
+
+module RM_broken_ebr =
+  Record_manager.Make (Alloc.Bump) (Pool.Direct) (Broken_ebr)
+module RM_broken_hp = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Broken_hp)
+module F_broken_ebr = Fuzz (RM_broken_ebr)
+module F_broken_hp = Fuzz (RM_broken_hp)
+
+(* The broken runs are expected to crash the arena sooner or later; the
+   shadow ledger is meaningless for them.  What matters is the
+   classification: premature-free for the missing grace period,
+   unprotected-access for the missing validation. *)
+let broken_config ~scheme ~access ~free =
+  Sanitizer.Config.make ~track_limbo:false ~scheme ~access ~free ()
+
+let test_broken_ebr () =
+  let caught =
+    List.exists
+      (fun seed ->
+        let san, _rm, _crashed =
+          F_broken_ebr.exercise
+            ~config:
+              (broken_config ~scheme:"broken-ebr" ~access:Sanitizer.Epoch
+                 ~free:Sanitizer.Grace_session)
+            ~scheme:"broken-ebr" ~seed F_broken_ebr.build_list
+        in
+        Sanitizer.has san Sanitizer.Premature_free)
+      seeds
+  in
+  Alcotest.(check bool) "premature-free caught" true caught
+
+let test_broken_ebr_classification () =
+  (* Single-seed determinism: the first concurrent retire is already
+     premature (the retirer itself is still inside its session). *)
+  let san, _rm, _crashed =
+    F_broken_ebr.exercise
+      ~config:
+        (broken_config ~scheme:"broken-ebr" ~access:Sanitizer.Epoch
+           ~free:Sanitizer.Grace_session)
+      ~scheme:"broken-ebr" ~seed:11 F_broken_ebr.build_list
+  in
+  Alcotest.(check bool)
+    "at least one violation" true
+    (Sanitizer.violation_count san > 0);
+  List.iter
+    (fun v ->
+      match v.Sanitizer.kind with
+      | Sanitizer.Premature_free | Sanitizer.Use_after_free
+      | Sanitizer.Double_free ->
+          ()
+      | k ->
+          Alcotest.failf "unexpected violation kind %s"
+            (Sanitizer.kind_name k))
+    (Sanitizer.violations san)
+
+let test_broken_hp () =
+  let caught =
+    List.exists
+      (fun seed ->
+        let san, _rm, _crashed =
+          F_broken_hp.exercise
+            ~config:
+              (broken_config ~scheme:"broken-hp" ~access:Sanitizer.Hazard
+                 ~free:Sanitizer.Hazard_scan)
+            ~scheme:"broken-hp" ~seed F_broken_hp.build_list
+        in
+        Sanitizer.has san Sanitizer.Unprotected_access)
+      seeds
+  in
+  Alcotest.(check bool) "unprotected-access caught" true caught
+
+(* The sanitizer's own state machine, exercised directly (no simulator):
+   double retire and access-after-free on a half-instrumented toy. *)
+let test_state_machine_direct () =
+  let group = Runtime.Group.create ~seed:1 2 in
+  let heap = Memory.Heap.create () in
+  let arena =
+    Memory.Heap.new_arena heap ~name:"toy" ~mut_fields:1 ~const_fields:0
+      ~capacity:64
+  in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  let config =
+    Sanitizer.Config.make ~scheme:"toy" ~access:Sanitizer.Epoch
+      ~free:Sanitizer.Grace_session ()
+  in
+  let san = Sanitizer.create ~config ~heap ~group in
+  Sanitizer.with_checks san (fun () ->
+      let p = Memory.Arena.claim_fresh ctx0 arena in
+      Memory.Arena.write ctx0 arena p 0 1;
+      (* publication: a non-owner access *)
+      ignore (Memory.Arena.read ctx1 arena p 0);
+      Memory.Heap.emit heap ctx1 Memory.Smr_event.Leave_q;
+      Memory.Heap.emit heap ctx0 (Memory.Smr_event.Retire p);
+      Memory.Heap.emit heap ctx0 (Memory.Smr_event.Retire p);
+      (* freeing while pid 1 is still in the session open at retire *)
+      Memory.Arena.release ctx0 arena p ~recycle:true;
+      (* the record is freed now: any instrumented access is flagged *)
+      (try ignore (Memory.Arena.read ctx1 arena p 0)
+       with Memory.Arena.Use_after_free _ -> ());
+      Sanitizer.leak_check san ~limbo_size:0);
+  Alcotest.(check bool) "double retire" true
+    (Sanitizer.has san Sanitizer.Double_retire);
+  Alcotest.(check bool) "premature free" true
+    (Sanitizer.has san Sanitizer.Premature_free);
+  Alcotest.(check bool) "use after free" true
+    (Sanitizer.has san Sanitizer.Use_after_free);
+  Alcotest.(check bool) "no leak flagged" false
+    (Sanitizer.has san Sanitizer.Leak)
+
+let () =
+  Alcotest.run "sanitizer"
+    [
+      ("state-machine", [ Alcotest.test_case "direct" `Quick test_state_machine_direct ]);
+      ("ebr", F_ebr.tests ~scheme:"ebr");
+      ("qsbr", F_qsbr.tests ~scheme:"qsbr");
+      ("debra", F_debra.tests ~scheme:"debra");
+      ("debra+", F_debra_plus.tests ~scheme:"debra+");
+      ("hp", F_hp.tests ~scheme:"hp");
+      ("rc", F_rc.tests ~scheme:"rc");
+      ("threadscan", F_ts.tests ~scheme:"threadscan");
+      ("stacktrack", F_st.tests ~scheme:"stacktrack");
+      ("none", F_none.tests ~scheme:"none");
+      ( "broken",
+        [
+          Alcotest.test_case "broken ebr caught" `Quick test_broken_ebr;
+          Alcotest.test_case "broken ebr classified" `Quick
+            test_broken_ebr_classification;
+          Alcotest.test_case "broken hp caught" `Quick test_broken_hp;
+        ] );
+    ]
