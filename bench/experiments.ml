@@ -34,6 +34,49 @@ let full_scale =
    EXPERIMENTS.md are measured without the sanitizer attached. *)
 let sanitize = ref false
 
+(* Set by bench/main.ml's --json flag: every trial gets a fresh telemetry
+   recorder (so outcomes carry latency percentiles) and every outcome is
+   appended to [json_rows]; main.ml drains the list into one
+   BENCH_<experiment>.json per experiment. *)
+let json = ref false
+let json_rows : Telemetry.Json.t list ref = ref []
+
+let percentile_key p =
+  if Float.is_integer p then Printf.sprintf "p%.0f" p
+  else
+    "p"
+    ^ String.concat ""
+        (String.split_on_char '.' (Printf.sprintf "%.1f" p))
+
+let outcome_json (o : Workload.Trial.outcome) =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("scheme", String o.Workload.Trial.scheme);
+      ("nprocs", Int o.Workload.Trial.nprocs);
+      ("ops", Int o.Workload.Trial.ops);
+      ("mops", Float o.Workload.Trial.mops);
+      ("bytes_peak", Int o.Workload.Trial.bytes_peak);
+      ("bytes_claimed", Int o.Workload.Trial.bytes_claimed);
+      ("limbo", Int o.Workload.Trial.limbo);
+      ("neutralized", Int o.Workload.Trial.neutralized);
+      ("oom", Bool o.Workload.Trial.oom);
+      ( "latency_ns",
+        Obj
+          (List.map
+             (fun (kind, ps) ->
+               ( kind,
+                 Obj (List.map (fun (p, v) -> (percentile_key p, Int v)) ps) ))
+             o.Workload.Trial.latency) );
+    ]
+
+let record_outcome o = if !json then json_rows := outcome_json o :: !json_rows
+
+(* Shadow Common's run_panel so every panel in this file feeds the JSON
+   accumulator. *)
+let run_panel ~title ~runners ~threads ~cfg_of =
+  run_panel ~on_outcome:record_outcome ~title ~runners ~threads ~cfg_of ()
+
 let base_cfg ?(machine = Machine.Config.intel_i7_4770)
     ?(params = Reclaim.Intf.Params.default) ~scale ~range ~ins ~del n =
   {
@@ -47,6 +90,14 @@ let base_cfg ?(machine = Machine.Config.intel_i7_4770)
     seed = 7;
     capacity = range + 400_000;
     sanitize = !sanitize;
+    telemetry =
+      (if !json then
+         Some
+           (Telemetry.Recorder.create
+              ~cycles_per_ns:(Workload.Trial.cycles_per_second /. 1.0e9)
+              ~nprocs:n ())
+       else None);
+    stall = None;
   }
 
 let mixes = [ (50, 50); (25, 25) ]
@@ -151,6 +202,7 @@ let memfig ~scale =
         :: List.concat_map
              (fun r ->
                let o = r.run cfg in
+               record_outcome o;
                let mem =
                  Workload.Report.fmt_bytes o.Workload.Trial.bytes_claimed_trial
                in

@@ -10,15 +10,18 @@
     - summary  §7/§8 scalar claims, paper vs measured
     - ablate   DEBRA design-choice ablations (§4)
     - micro    Bechamel microbenchmarks of the Record Manager primitives
+    - e-stall  stalled-process campaign: limbo time series, DEBRA vs DEBRA+
     - all      everything above
 
     [--full] uses the paper-scale key ranges and thread counts (slow); the
-    default "quick" scale shrinks the big key range and the grid. *)
+    default "quick" scale shrinks the big key range and the grid.
+    [--json] also writes one BENCH_<experiment>.json per experiment;
+    [--trace FILE] / [--metrics-out FILE] apply to e-stall. *)
 
 let known =
   [
     "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "schemes"; "summary";
-    "ablate"; "micro"; "all";
+    "ablate"; "micro"; "e-stall"; "all";
   ]
 
 let run_one ~scale = function
@@ -31,10 +34,36 @@ let run_one ~scale = function
   | "summary" -> Summary.run ~scale
   | "ablate" -> Experiments.ablate ~scale
   | "micro" -> Micro.run ()
+  | "e-stall" -> Stall.run ~scale
   | name -> Printf.eprintf "unknown experiment %S\n" name
 
-let main experiments full sanitize =
+(* With --json, each experiment's outcomes (accumulated by
+   Experiments.record_outcome) are drained into BENCH_<experiment>.json. *)
+let run_one_json ~scale name =
+  Experiments.json_rows := [];
+  run_one ~scale name;
+  if !Experiments.json then begin
+    let file = Printf.sprintf "BENCH_%s.json" name in
+    let doc =
+      Telemetry.Json.Obj
+        [
+          ("experiment", Telemetry.Json.String name);
+          ( "results",
+            Telemetry.Json.List (List.rev !Experiments.json_rows) );
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (Telemetry.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "json results written to %s\n%!" file
+  end
+
+let main experiments full sanitize json trace metrics_out =
   Experiments.sanitize := sanitize;
+  Experiments.json := json;
+  Stall.trace_file := trace;
+  Stall.metrics_file := metrics_out;
   let scale =
     if full then Experiments.full_scale else Experiments.quick_scale
   in
@@ -43,7 +72,7 @@ let main experiments full sanitize =
     if List.mem "all" experiments then
       [
         "schemes"; "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "summary";
-        "ablate"; "micro";
+        "ablate"; "micro"; "e-stall";
       ]
     else experiments
   in
@@ -54,7 +83,7 @@ let main experiments full sanitize =
     (if full then "full" else "quick")
     Machine.Config.intel_i7_4770.Machine.Config.name
     Machine.Config.oracle_t4_1.Machine.Config.name;
-  List.iter (run_one ~scale) experiments
+  List.iter (run_one_json ~scale) experiments
 
 open Cmdliner
 
@@ -77,10 +106,35 @@ let sanitize_arg =
   in
   Arg.(value & flag & info [ "sanitize" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Attach a telemetry recorder to every trial and write one \
+     BENCH_<experiment>.json per experiment (scheme, nprocs, Mops/s, peak \
+     bytes, limbo, latency percentiles)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event (catapult JSON) file for the e-stall \
+     experiment's DEBRA+ run; load it in chrome://tracing or Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the e-stall experiment's full sampled time series (limbo, epoch \
+     lag, pool occupancy per scheme) as JSON to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the DEBRA/DEBRA+ paper" in
   Cmd.v
     (Cmd.info "debra-bench" ~doc)
-    Term.(const main $ experiments_arg $ full_arg $ sanitize_arg)
+    Term.(
+      const main $ experiments_arg $ full_arg $ sanitize_arg $ json_arg
+      $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

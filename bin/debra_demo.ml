@@ -9,7 +9,8 @@
 
 open Cmdliner
 
-let run ds scheme variant procs range ins del duration machine seed sanitize =
+let run ds scheme variant procs range ins del duration machine seed sanitize
+    trace metrics_out =
   let machine =
     match machine with
     | "t4" -> Machine.Config.oracle_t4_1
@@ -29,6 +30,27 @@ let run ds scheme variant procs range ins del duration machine seed sanitize =
         Workload.Schemes.by_name;
       exit 1
   | Some r ->
+      (* A telemetry recorder is attached whenever any of its outputs is
+         requested (trace file, metrics file) — percentiles then come for
+         free in the printout. *)
+      let telemetry =
+        if trace = None && metrics_out = None then None
+        else
+          let tr =
+            Option.map
+              (fun _ ->
+                Telemetry.Trace.create
+                  ~cycles_per_us:(Workload.Trial.cycles_per_second /. 1.0e6)
+                  ())
+              trace
+          in
+          Some
+            (Telemetry.Recorder.create
+               ~sample_every:(max 10_000 (duration / 100))
+               ?trace:tr
+               ~cycles_per_ns:(Workload.Trial.cycles_per_second /. 1.0e9)
+               ~nprocs:procs ())
+      in
       let cfg =
         {
           Workload.Schemes.machine;
@@ -41,6 +63,8 @@ let run ds scheme variant procs range ins del duration machine seed sanitize =
           seed;
           capacity = range + 400_000;
           sanitize;
+          telemetry;
+          stall = None;
         }
       in
       let o = r.Workload.Schemes.run cfg in
@@ -73,7 +97,32 @@ let run ds scheme variant procs range ins del duration machine seed sanitize =
              invalidations\n"
             c.Machine.Cache.l1_hits c.Machine.Cache.llc_hits
             c.Machine.Cache.mem_accesses c.Machine.Cache.invalidations
-      | None -> ())
+      | None -> ());
+      List.iter
+        (fun (kind, ps) ->
+          Printf.printf "latency %-7s:%s (simulated ns)\n" kind
+            (String.concat ""
+               (List.map
+                  (fun (p, v) -> Printf.sprintf "  p%g=%d" p v)
+                  ps)))
+        o.latency;
+      (match telemetry with
+      | None -> ()
+      | Some rec_ -> (
+          (match metrics_out with
+          | None -> ()
+          | Some file ->
+              Telemetry.Recorder.write_metrics rec_ file;
+              Printf.printf "metrics        : written to %s\n" file);
+          match (trace, Telemetry.Recorder.trace rec_) with
+          | Some file, Some tr ->
+              Telemetry.Trace.write_file tr file;
+              Printf.printf "chrome trace   : %d events written to %s%s\n"
+                (Telemetry.Trace.events tr)
+                file
+                (let d = Telemetry.Trace.dropped tr in
+                 if d > 0 then Printf.sprintf " (%d dropped)" d else "")
+          | _ -> ()))
 
 let term =
   let ds =
@@ -105,9 +154,27 @@ let term =
       & info [ "sanitize" ]
           ~doc:"run under the shadow-state SMR sanitizer (slower)")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "write a Chrome trace-event (catapult JSON) file: op spans, \
+             epoch advances, neutralization signals, sweeps")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "write telemetry metrics JSON: latency histograms, limbo/epoch \
+             lag/pool time series, event counters")
+  in
   Term.(
     const run $ ds $ scheme $ variant $ procs $ range $ ins $ del $ duration
-    $ machine $ seed $ sanitize)
+    $ machine $ seed $ sanitize $ trace $ metrics_out)
 
 let () =
   exit

@@ -3,7 +3,8 @@ type t = { mutable arenas : Arena.t array; events : Smr_event.hub }
 let create () = { arenas = [||]; events = Smr_event.hub () }
 let events t = t.events
 let emit t ctx ev = Smr_event.emit t.events ctx ev
-let set_sink t sink = Smr_event.set_sink t.events sink
+let add_sink t sink = Smr_event.add_sink t.events sink
+let remove_sink t sub = Smr_event.remove_sink t.events sub
 
 let new_arena t ~name ~mut_fields ~const_fields ~capacity =
   let id = Array.length t.arenas in

@@ -7,13 +7,16 @@ type t
 val create : unit -> t
 
 (** Every arena of a heap shares one event hub (see {!Smr_event}).
-    [set_sink] attaches/detaches a shadow checker; [emit] lets reclamation
-    code publish protocol events (retire, protect, quiescence) on the same
-    bus as the arenas' lifecycle events. *)
+    [add_sink] attaches a consumer (a shadow checker, a telemetry recorder —
+    several may be attached at once) and returns the subscription that
+    [remove_sink] cancels; [emit] lets reclamation code publish protocol
+    events (retire, protect, quiescence) on the same bus as the arenas'
+    lifecycle events. *)
 
 val events : t -> Smr_event.hub
 val emit : t -> Runtime.Ctx.t -> Smr_event.t -> unit
-val set_sink : t -> Smr_event.sink option -> unit
+val add_sink : t -> Smr_event.sink -> Smr_event.subscription
+val remove_sink : t -> Smr_event.subscription -> unit
 
 (** [new_arena t ~name ~mut_fields ~const_fields ~capacity] creates an arena
     registered in this heap (at most {!Ptr.max_arenas}). *)

@@ -92,12 +92,16 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
      are reclaimed in a later rotation (paper §4, "Block bags"). *)
   let rotate_and_reclaim t ctx l =
     l.index <- (l.index + 1) mod 3;
+    let released = ref 0 in
     Array.iter
       (fun triple ->
-        ignore
-          (Bag.Blockbag.move_all_full_blocks triple.(l.index) ~into:(fun b ->
-               P.release_block t.pool ctx b)))
-      l.bags
+        released :=
+          !released
+          + Bag.Blockbag.move_all_full_blocks triple.(l.index) ~into:(fun b ->
+                P.release_block t.pool ctx b))
+      l.bags;
+    if !released > 0 then
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released)
 
   let leave_qstate t ctx =
     let pid = ctx.Runtime.Ctx.pid in
@@ -120,10 +124,13 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       let a = Runtime.Shared_array.get ctx t.announce other in
       if epoch_of a = read_epoch || quiescent_bit a then begin
         l.check_next <- l.check_next + 1;
-        if l.check_next >= n && l.check_next >= params.Intf.Params.incr_thresh
+        if
+          l.check_next >= n
+          && l.check_next >= params.Intf.Params.incr_thresh
+          && Runtime.Svar.cas ctx t.epoch ~expect:read_epoch (read_epoch + 2)
         then
-          ignore
-            (Runtime.Svar.cas ctx t.epoch ~expect:read_epoch (read_epoch + 2))
+          Intf.Env.emit t.env ctx
+            (Memory.Smr_event.Epoch_advance (read_epoch + 2))
       end
     end;
     l.ann <- read_epoch;
@@ -147,14 +154,21 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let runprotect_all _t _ctx = ()
   let is_rprotected _t _ctx _p = false
 
-  let limbo_size t =
+  let local_limbo l =
     Array.fold_left
-      (fun acc l ->
-        Array.fold_left
-          (fun acc triple ->
-            Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc triple)
-          acc l.bags)
-      0 t.locals
+      (fun acc triple ->
+        Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc triple)
+      0 l.bags
+
+  let limbo_per_proc t = Array.map local_limbo t.locals
+  let limbo_size t = Array.fold_left (fun acc l -> acc + local_limbo l) 0 t.locals
+
+  let epoch_lag t =
+    let e = Runtime.Svar.peek t.epoch in
+    Array.map
+      (fun l ->
+        if quiescent_bit l.ann then 0 else max 0 ((e - epoch_of l.ann) / 2))
+      t.locals
 
   let flush t ctx =
     Array.iter

@@ -158,18 +158,26 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
         ~nprocs:(Intf.Env.nprocs t.env)
         ~row:(fun other -> t.rp_rows.(other))
         ~count:(fun ctx other -> Runtime.Shared_array.get ctx t.rp_count other);
+      let released = ref 0 in
       Array.iter
         (fun triple ->
-          ignore
-            (Scan_util.partition_and_release ctx triple.(l.index)
-               ~protected:scanning ~release_block:(fun b ->
-                 P.release_block t.pool ctx b)))
-        l.bags
+          released :=
+            !released
+            + Scan_util.partition_and_release ctx triple.(l.index)
+                ~protected:scanning ~release_block:(fun b ->
+                  P.release_block t.pool ctx b))
+        l.bags;
+      if !released > 0 then
+        Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released)
     end
 
   let suspect_neutralized t ctx l other =
     current_blocks l >= t.env.Intf.Env.params.Intf.Params.suspect_blocks
     && Runtime.Group.send_signal t.env.Intf.Env.group ~from:ctx ~target:other
+    && begin
+         Intf.Env.emit t.env ctx (Memory.Smr_event.Signal_sent other);
+         true
+       end
 
   let leave_qstate t ctx =
     let pid = ctx.Runtime.Ctx.pid in
@@ -193,10 +201,13 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
         || (other <> pid && suspect_neutralized t ctx l other)
       then begin
         l.check_next <- l.check_next + 1;
-        if l.check_next >= n && l.check_next >= params.Intf.Params.incr_thresh
+        if
+          l.check_next >= n
+          && l.check_next >= params.Intf.Params.incr_thresh
+          && Runtime.Svar.cas ctx t.epoch ~expect:read_epoch (read_epoch + 2)
         then
-          ignore
-            (Runtime.Svar.cas ctx t.epoch ~expect:read_epoch (read_epoch + 2))
+          Intf.Env.emit t.env ctx
+            (Memory.Smr_event.Epoch_advance (read_epoch + 2))
       end
     end;
     l.ann <- read_epoch;
@@ -216,14 +227,21 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let l = t.locals.(ctx.Runtime.Ctx.pid) in
     Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p).(l.index) p
 
-  let limbo_size t =
+  let local_limbo l =
     Array.fold_left
-      (fun acc l ->
-        Array.fold_left
-          (fun acc triple ->
-            Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc triple)
-          acc l.bags)
-      0 t.locals
+      (fun acc triple ->
+        Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc triple)
+      0 l.bags
+
+  let limbo_per_proc t = Array.map local_limbo t.locals
+  let limbo_size t = Array.fold_left (fun acc l -> acc + local_limbo l) 0 t.locals
+
+  let epoch_lag t =
+    let e = Runtime.Svar.peek t.epoch in
+    Array.map
+      (fun l ->
+        if quiescent_bit l.ann then 0 else max 0 ((e - epoch_of l.ann) / 2))
+      t.locals
 
   let flush t ctx =
     (* Records rprotected by an unfinished recovery stay in limbo; under the

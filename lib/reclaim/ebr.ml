@@ -70,10 +70,14 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       if not (epoch_of a = e || quiescent_bit a) then all_ok := false
     done;
     if !all_ok && Runtime.Svar.cas ctx t.epoch ~expect:e (e + 2) then begin
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Epoch_advance (e + 2));
       (* The new epoch is e+2; records retired in epoch e-2 are now safe. *)
       let safe = bag_of t (e + 4) (* (e+4)/2 mod 3 = (e-2)/2 mod 3 *) in
-      ignore
-        (Bag.Shared_intbag.drain ctx safe (fun p -> P.release t.pool ctx p))
+      let released =
+        Bag.Shared_intbag.drain ctx safe (fun p -> P.release t.pool ctx p)
+      in
+      if released > 0 then
+        Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep released)
     end
 
   let protect _t _ctx _p ~verify:_ = true
@@ -105,6 +109,19 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
 
   let limbo_size t =
     Array.fold_left (fun acc b -> acc + Bag.Shared_intbag.size b) 0 t.limbo
+
+  (* Classical EBR keeps its limbo in shared bags, so the population cannot
+     be attributed to the retiring process: report it all on process 0. *)
+  let limbo_per_proc t =
+    let a = Array.make (Intf.Env.nprocs t.env) 0 in
+    a.(0) <- limbo_size t;
+    a
+
+  let epoch_lag t =
+    let e = Runtime.Svar.peek t.epoch in
+    Array.map
+      (fun ann -> if quiescent_bit ann then 0 else max 0 ((e - epoch_of ann) / 2))
+      t.my_ann
 
   let flush t ctx =
     Array.iter

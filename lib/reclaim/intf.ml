@@ -113,6 +113,11 @@ module type POOL = sig
   (** [release_block t ctx b] accepts a full block of safe records, taking
       ownership of the block. *)
   val release_block : t -> Runtime.Ctx.t -> Bag.Block.t -> unit
+
+  (** Records currently parked in the pool awaiting reuse, across all
+      processes and the shared bag (uninstrumented telemetry gauge; [Direct]
+      pools hold nothing). *)
+  val population : t -> int
 end
 
 module type MAKE_POOL = functor (A : ALLOCATOR) -> POOL with module Alloc = A
@@ -175,6 +180,23 @@ module type RECLAIMER = sig
       (uninstrumented; used by the memory experiments and bound tests). *)
   val limbo_size : t -> int
 
+  (** Telemetry gauges: uninstrumented snapshots with no simulated cost,
+      safe to call from the simulator's tick callback while a run is in
+      flight.
+
+      [limbo_per_proc] attributes records awaiting reclamation to the
+      process whose container holds them; schemes with shared limbo
+      containers (classical EBR) attribute the whole population to
+      process 0.
+
+      [epoch_lag] is how many advance steps each process' announcement
+      trails the global reclamation clock (the epoch for EBR/DEBRA/DEBRA+,
+      the most advanced quiescent counter for QSBR); quiescent processes
+      and schemes without a global clock report 0. *)
+
+  val limbo_per_proc : t -> int array
+  val epoch_lag : t -> int array
+
   (** [flush t ctx] drains every limbo container whose records are no longer
       protected, handing them to the pool.  The quiescent-shutdown API: the
       caller asserts that all processes are quiescent (no operation in
@@ -224,6 +246,13 @@ module type RECORD_MANAGER = sig
   val runprotect_all : t -> Runtime.Ctx.t -> unit
   val is_rprotected : t -> Runtime.Ctx.t -> Memory.Ptr.t -> bool
   val limbo_size : t -> int
+
+  (** See {!RECLAIMER.limbo_per_proc} / {!RECLAIMER.epoch_lag} /
+      {!POOL.population}: uninstrumented telemetry gauges. *)
+
+  val limbo_per_proc : t -> int array
+  val epoch_lag : t -> int array
+  val pool_population : t -> int
 
   (** See {!RECLAIMER.flush}: drain limbo under full quiescence. *)
   val flush : t -> Runtime.Ctx.t -> unit

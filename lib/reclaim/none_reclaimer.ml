@@ -30,5 +30,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let runprotect_all _t _ctx = ()
   let is_rprotected _t _ctx _p = false
   let limbo_size _t = 0
+  let limbo_per_proc t = Array.make (Intf.Env.nprocs t) 0
+  let epoch_lag t = Array.make (Intf.Env.nprocs t) 0
   let flush _t _ctx = ()
 end

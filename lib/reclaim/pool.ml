@@ -26,6 +26,8 @@ module Direct (A : Intf.ALLOCATOR) : Intf.POOL with module Alloc = A = struct
     done;
     b.Bag.Block.count <- 0;
     Bag.Block_pool.put t.env.Intf.Env.block_pools.(ctx.Runtime.Ctx.pid) b
+
+  let population _t = 0
 end
 
 module Shared (A : Intf.ALLOCATOR) : Intf.POOL with module Alloc = A = struct
@@ -116,4 +118,17 @@ module Shared (A : Intf.ALLOCATOR) : Intf.POOL with module Alloc = A = struct
                 p
             | None -> A.allocate t.alloc ctx arena)
         | None -> A.allocate t.alloc ctx arena)
+
+  (* Shared bags hold full blocks only, so their record population is exact
+     at B records per block. *)
+  let population t =
+    let b = t.env.Intf.Env.params.Intf.Params.block_capacity in
+    Array.fold_left
+      (fun acc per_pid ->
+        Array.fold_left (fun acc bag -> acc + Bag.Blockbag.size bag) acc per_pid)
+      0 t.local
+    + b
+      * Array.fold_left
+          (fun acc sh -> acc + Bag.Shared_bag.size_in_blocks sh)
+          0 t.shared
 end

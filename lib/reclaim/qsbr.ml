@@ -116,7 +116,10 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       | [] -> ()
       | oldest :: _ ->
           if batch_safe t ctx oldest then begin
+            let released = batch_size oldest in
             free_batch t ctx oldest;
+            if released > 0 then
+              Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep released);
             l.closed <-
               List.filter (fun b -> not (b == oldest)) l.closed
           end
@@ -156,14 +159,23 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let runprotect_all _t _ctx = ()
   let is_rprotected _t _ctx _p = false
 
-  let limbo_size t =
-    Array.fold_left
-      (fun acc l ->
-        List.fold_left
-          (fun acc b -> acc + batch_size b)
-          (acc + batch_size l.open_batch)
-          l.closed)
-      0 t.locals
+  let local_limbo l =
+    List.fold_left
+      (fun acc b -> acc + batch_size b)
+      (batch_size l.open_batch) l.closed
+
+  let limbo_per_proc t = Array.map local_limbo t.locals
+  let limbo_size t = Array.fold_left (fun acc l -> acc + local_limbo l) 0 t.locals
+
+  (* QSBR's reclamation clock is the quiescent-counter vector: a process'
+     lag is how far its counter trails the most advanced one. *)
+  let epoch_lag t =
+    let n = Intf.Env.nprocs t.env in
+    let counters =
+      Array.init n (fun i -> Runtime.Shared_array.peek t.counters i)
+    in
+    let mx = Array.fold_left max 0 counters in
+    Array.map (fun c -> mx - c) counters
 
   let flush t ctx =
     Array.iter

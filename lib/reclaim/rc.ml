@@ -138,6 +138,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     > 0
 
   let scan t ctx l =
+    let released = ref 0 in
     Array.iteri
       (fun aid bag ->
         if not (Bag.Blockbag.is_empty bag) then begin
@@ -153,11 +154,14 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
             end;
             Bag.Blockbag.advance it1
           done;
-          ignore
-            (Bag.Blockbag.move_full_blocks_after bag it2 ~into:(fun b ->
-                 P.release_block t.pool ctx b))
+          released :=
+            !released
+            + Bag.Blockbag.move_full_blocks_after bag it2 ~into:(fun b ->
+                  P.release_block t.pool ctx b)
         end)
-      l.bags
+      l.bags;
+    if !released > 0 then
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released)
 
   let retire t ctx p =
     ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
@@ -176,11 +180,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let runprotect_all _t _ctx = ()
   let is_rprotected _t _ctx _p = false
 
-  let limbo_size t =
-    Array.fold_left
-      (fun acc l ->
-        Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
-      0 t.locals
+  let local_limbo l =
+    Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags
+
+  let limbo_per_proc t = Array.map local_limbo t.locals
+  let limbo_size t = Array.fold_left (fun acc l -> acc + local_limbo l) 0 t.locals
+  let epoch_lag t = Array.make (Array.length t.locals) 0
 
   let flush t ctx =
     Array.iter

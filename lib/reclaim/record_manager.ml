@@ -46,6 +46,9 @@ module Make
   let runprotect_all t ctx = Reclaimer.runprotect_all t.reclaimer ctx
   let is_rprotected t ctx p = Reclaimer.is_rprotected t.reclaimer ctx p
   let limbo_size t = Reclaimer.limbo_size t.reclaimer
+  let limbo_per_proc t = Reclaimer.limbo_per_proc t.reclaimer
+  let epoch_lag t = Reclaimer.epoch_lag t.reclaimer
+  let pool_population t = Pool.population t.pool
   let flush t ctx = Reclaimer.flush t.reclaimer ctx
 
   (* The operation wrapper of Fig. 5: catch neutralization, run recovery in

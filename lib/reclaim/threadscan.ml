@@ -186,12 +186,16 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     Array.iter
       (fun r -> if r <> 0 then Bag.Hash_set.insert scanning r)
       t.locals.(pid).mirror;
+    let released = ref 0 in
     Array.iter
       (fun bag ->
-        ignore
-          (Scan_util.partition_and_release ctx bag ~protected:scanning
-             ~release_block:(fun b -> P.release_block t.pool ctx b)))
+        released :=
+          !released
+          + Scan_util.partition_and_release ctx bag ~protected:scanning
+              ~release_block:(fun b -> P.release_block t.pool ctx b))
       t.locals.(pid).bags;
+    if !released > 0 then
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);
     Runtime.Svar.set ctx t.glock 0
 
   let retire t ctx p =
@@ -211,11 +215,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   let runprotect_all _t _ctx = ()
   let is_rprotected _t _ctx _p = false
 
-  let limbo_size t =
-    Array.fold_left
-      (fun acc l ->
-        Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
-      0 t.locals
+  let local_limbo l =
+    Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags
+
+  let limbo_per_proc t = Array.map local_limbo t.locals
+  let limbo_size t = Array.fold_left (fun acc l -> acc + local_limbo l) 0 t.locals
+  let epoch_lag t = Array.make (Array.length t.locals) 0
 
   let flush t ctx =
     let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in

@@ -363,9 +363,14 @@ let on_event t ctx (ev : Memory.Smr_event.t) =
   | Enter_q ->
       ps.in_session <- false;
       ps.qcount <- ps.qcount + 1
+  | Epoch_advance _ | Signal_sent _ | Sweep _ ->
+      (* Reclamation control-plane events: observability only, no shadow
+         state transitions.  Soundness is judged from the lifecycle and
+         protection events alone. *)
+      ()
 
 let with_checks t f =
-  Memory.Heap.set_sink t.heap (Some (fun ctx ev -> on_event t ctx ev));
+  let sub = Memory.Heap.add_sink t.heap (fun ctx ev -> on_event t ctx ev) in
   let restores =
     Array.map
       (fun ctx ->
@@ -375,7 +380,7 @@ let with_checks t f =
   in
   Fun.protect
     ~finally:(fun () ->
-      Memory.Heap.set_sink t.heap None;
+      Memory.Heap.remove_sink t.heap sub;
       Array.iter (fun restore -> restore ()) restores)
     f
 

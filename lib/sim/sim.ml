@@ -59,7 +59,7 @@ let handler : (unit, outcome) Effect.Deep.handler =
 type policy = [ `Min_time | `Random_walk of int ]
 
 let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
-    ?(policy = `Min_time) group bodies =
+    ?(policy = `Min_time) ?tick group bodies =
   let open Runtime in
   let n = Group.nprocs group in
   assert (Array.length bodies = n);
@@ -175,6 +175,19 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
     decr live;
     core.quantum_left <- machine.Machine.Config.quantum
   in
+  (* Virtual-time tick hook (telemetry sampling).  Under [`Min_time] the
+     picked core always has the minimal clock among runnable cores, so its
+     time is a monotone global "now": boundaries are fired exactly once, in
+     order, with their nominal timestamp.  The callback runs in scheduler
+     context, outside every fiber — it must not perform simulated accesses,
+     only uninstrumented [peek]s. *)
+  let tick_state =
+    match tick with
+    | None -> None
+    | Some (every, f) ->
+        if every <= 0 then invalid_arg "Sim.run: tick interval must be > 0";
+        Some (every, f, ref every)
+  in
   (while !live > 0 && !failure = None do
      incr steps;
      if !steps > max_steps then raise (Stuck "scheduler step budget exceeded");
@@ -182,6 +195,13 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
      if c < 0 then
        raise (Stuck "live processes but empty run queues (internal error)");
      let core = cores.(c) in
+     (match tick_state with
+     | Some (every, f, next) ->
+         while !next <= core.time do
+           f !next;
+           next := !next + every
+         done
+     | None -> ());
      if prepare_front core then begin
      let pid = Queue.peek core.runq in
      let p = procs.(pid) in

@@ -39,11 +39,19 @@ type policy = [ `Min_time | `Random_walk of int ]
 (** [run ~machine group bodies] runs [bodies.(pid)] for each pid to
     completion and returns the outcome.  Installs simulator hooks on each
     context for the duration of the run.  Exceptions other than
-    [Ctx.Crashed] escaping a body abort the simulation and are re-raised. *)
+    [Ctx.Crashed] escaping a body abort the simulation and are re-raised.
+
+    [?tick:(interval, f)] fires [f now] once per [interval]-cycle boundary
+    of global virtual time, in order and with the nominal boundary time —
+    the telemetry sampling hook.  [f] runs in scheduler context (no fiber
+    is active): it must not perform simulated accesses or effects, only
+    uninstrumented reads ([peek]-style gauges).  Boundary times are only
+    meaningful under [`Min_time]. *)
 val run :
   ?machine:Machine.Config.t ->
   ?max_steps:int ->
   ?policy:policy ->
+  ?tick:int * (int -> unit) ->
   Runtime.Group.t ->
   (unit -> unit) array ->
   result

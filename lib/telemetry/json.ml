@@ -1,0 +1,230 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then
+        (* %.17g round-trips any double but litters the file; 12 significant
+           digits is enough for µs timestamps and rates. *)
+        let s = Printf.sprintf "%.12g" f in
+        Buffer.add_string buf s
+      else Buffer.add_string buf "null"
+  | String s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse_error of string
+
+type state = { s : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    &&
+    match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = lit then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" lit)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string"
+    else
+      let c = st.s.[st.pos] in
+      st.pos <- st.pos + 1;
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if st.pos >= String.length st.s then fail st "unterminated escape";
+          let e = st.s.[st.pos] in
+          st.pos <- st.pos + 1;
+          match e with
+          | '"' -> Buffer.add_char buf '"'; go ()
+          | '\\' -> Buffer.add_char buf '\\'; go ()
+          | '/' -> Buffer.add_char buf '/'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'u' ->
+              if st.pos + 4 > String.length st.s then fail st "short \\u escape";
+              let hex = String.sub st.s st.pos 4 in
+              st.pos <- st.pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail st "bad \\u escape"
+              in
+              (* Telemetry files only contain ASCII; anything else keeps its
+                 low byte, which is fine for a test-oriented parser. *)
+              Buffer.add_char buf (Char.chr (code land 0xff));
+              go ()
+          | _ -> fail st "bad escape")
+      | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.s && is_num_char st.s.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  if tok = "" then fail st "expected number";
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail st "bad float"
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        expect st '}';
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              members ((k, v) :: acc)
+          | Some '}' ->
+              expect st '}';
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        expect st ']';
+        List []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              elements (v :: acc)
+          | Some ']' ->
+              expect st ']';
+              List (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elements []
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

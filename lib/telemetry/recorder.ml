@@ -1,0 +1,213 @@
+type gauge = {
+  gname : string;
+  read : unit -> int array;
+  mutable samples : (int * int array) list;  (* newest first *)
+}
+
+(* Event-bus counters: a flat record, bumped on the emission fast path when
+   telemetry is attached — no hashing, no allocation. *)
+type counts = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable retires : int;
+  mutable pool_puts : int;
+  mutable pool_takes : int;
+  mutable epoch_advances : int;
+  mutable signals_sent : int;
+  mutable sweeps : int;
+  mutable records_swept : int;
+}
+
+type t = {
+  sub_bits : int;
+  sample_every : int;
+  cycles_per_ns : float;
+  nprocs : int;
+  trace : Trace.t option;
+  mutable gauges : gauge list;  (* registration order *)
+  mutable hists : (string * Histogram.t) list;  (* per op kind *)
+  counts : counts;
+}
+
+let create ?(sub_bits = 5) ?(sample_every = 50_000) ?trace ~cycles_per_ns
+    ~nprocs () =
+  if cycles_per_ns <= 0.0 then
+    invalid_arg "Recorder.create: cycles_per_ns must be positive";
+  if sample_every <= 0 then
+    invalid_arg "Recorder.create: sample_every must be positive";
+  (match trace with
+  | None -> ()
+  | Some tr ->
+      for pid = 0 to nprocs - 1 do
+        Trace.thread_name tr ~pid (Printf.sprintf "process %d" pid)
+      done);
+  {
+    sub_bits;
+    sample_every;
+    cycles_per_ns;
+    nprocs;
+    trace;
+    gauges = [];
+    hists = [];
+    counts =
+      {
+        allocs = 0;
+        frees = 0;
+        retires = 0;
+        pool_puts = 0;
+        pool_takes = 0;
+        epoch_advances = 0;
+        signals_sent = 0;
+        sweeps = 0;
+        records_swept = 0;
+      };
+  }
+
+let sample_every t = t.sample_every
+let nprocs t = t.nprocs
+let trace t = t.trace
+
+let add_gauge t ~name read =
+  t.gauges <- t.gauges @ [ { gname = name; read; samples = [] } ]
+
+let tick t now =
+  List.iter (fun g -> g.samples <- (now, g.read ()) :: g.samples) t.gauges
+
+let ns_of t cycles = int_of_float (float_of_int cycles /. t.cycles_per_ns)
+
+let hist_for t kind =
+  match List.assoc_opt kind t.hists with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create ~sub_bits:t.sub_bits () in
+      t.hists <- t.hists @ [ (kind, h) ];
+      h
+
+let op t ~pid ~kind ~start ~finish =
+  Histogram.record (hist_for t kind) (ns_of t (finish - start));
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.complete tr ~pid ~name:kind ~cat:"op" ~start ~finish
+
+let sink t : Memory.Smr_event.sink =
+  let c = t.counts in
+  fun ctx ev ->
+    match ev with
+    | Memory.Smr_event.Alloc _ -> c.allocs <- c.allocs + 1
+    | Free _ -> c.frees <- c.frees + 1
+    | Retire _ -> c.retires <- c.retires + 1
+    | Pool_put _ -> c.pool_puts <- c.pool_puts + 1
+    | Pool_take _ -> c.pool_takes <- c.pool_takes + 1
+    | Epoch_advance e -> (
+        c.epoch_advances <- c.epoch_advances + 1;
+        match t.trace with
+        | None -> ()
+        | Some tr ->
+            Trace.instant tr ~pid:ctx.Runtime.Ctx.pid ~name:"epoch_advance"
+              ~cat:"smr"
+              ~at:(Runtime.Ctx.now ctx)
+              ~args:[ ("epoch", Json.Int e) ]
+              ())
+    | Signal_sent target -> (
+        c.signals_sent <- c.signals_sent + 1;
+        match t.trace with
+        | None -> ()
+        | Some tr ->
+            Trace.instant tr ~pid:ctx.Runtime.Ctx.pid ~name:"neutralize_signal"
+              ~cat:"smr"
+              ~at:(Runtime.Ctx.now ctx)
+              ~args:[ ("target", Json.Int target) ]
+              ())
+    | Sweep released -> (
+        c.sweeps <- c.sweeps + 1;
+        c.records_swept <- c.records_swept + released;
+        match t.trace with
+        | None -> ()
+        | Some tr ->
+            Trace.instant tr ~pid:ctx.Runtime.Ctx.pid ~name:"sweep" ~cat:"smr"
+              ~at:(Runtime.Ctx.now ctx)
+              ~args:[ ("released", Json.Int released) ]
+              ())
+    | Access _ | Protect _ | Unprotect _ | Unprotect_all | Enter_q | Leave_q
+    | Rprotect _ | Runprotect_all ->
+        ()
+
+let histogram t kind = List.assoc_opt kind t.hists
+
+let latency_percentiles t =
+  List.map (fun (kind, h) -> (kind, Histogram.percentiles h)) t.hists
+
+let series t = List.map (fun g -> (g.gname, List.rev g.samples)) t.gauges
+
+let series_total t name =
+  match List.find_opt (fun g -> g.gname = name) t.gauges with
+  | None -> []
+  | Some g ->
+      List.rev_map
+        (fun (now, vs) -> (now, Array.fold_left ( + ) 0 vs))
+        g.samples
+
+let counters t =
+  let c = t.counts in
+  [
+    ("allocs", c.allocs);
+    ("frees", c.frees);
+    ("retires", c.retires);
+    ("pool_puts", c.pool_puts);
+    ("pool_takes", c.pool_takes);
+    ("epoch_advances", c.epoch_advances);
+    ("signals_sent", c.signals_sent);
+    ("sweeps", c.sweeps);
+    ("records_swept", c.records_swept);
+  ]
+
+let hist_json h =
+  Json.Obj
+    ([
+       ("count", Json.Int (Histogram.count h));
+       ("min", Json.Int (Histogram.min_value h));
+       ("max", Json.Int (Histogram.max_value h));
+       ("mean", Json.Float (Histogram.mean h));
+     ]
+    @ List.map
+        (fun (p, v) ->
+          let key =
+            if Float.is_integer p then Printf.sprintf "p%.0f" p
+            else "p" ^ String.concat "" (String.split_on_char '.' (Printf.sprintf "%.1f" p))
+          in
+          (key, Json.Int v))
+        (Histogram.percentiles h))
+
+let series_json g =
+  let samples = List.rev g.samples in
+  Json.Obj
+    [
+      ("t", Json.List (List.map (fun (now, _) -> Json.Int now) samples));
+      ( "values",
+        Json.List
+          (List.map
+             (fun (_, vs) ->
+               Json.List (Array.to_list (Array.map (fun v -> Json.Int v) vs)))
+             samples) );
+    ]
+
+let metrics_json t =
+  Json.Obj
+    [
+      ("sample_every", Json.Int t.sample_every);
+      ("nprocs", Json.Int t.nprocs);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ( "latency_ns",
+        Json.Obj (List.map (fun (kind, h) -> (kind, hist_json h)) t.hists) );
+      ("series", Json.Obj (List.map (fun g -> (g.gname, series_json g)) t.gauges));
+    ]
+
+let write_metrics t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Json.to_buffer buf (metrics_json t);
+      Buffer.output_buffer oc buf;
+      output_char oc '\n')

@@ -1,0 +1,80 @@
+(** The telemetry recorder: one object that a trial threads through the
+    simulator tick hook, the SMR event bus and the operation loop, and that
+    renders everything it collected as a metrics JSON document and
+    (optionally) a Chrome trace.
+
+    Three collection channels, all host-side (recording never costs
+    simulated cycles — see DESIGN.md §8):
+
+    - {b Latency histograms.}  {!op} records one completed data-structure
+      operation: virtual-cycle duration converted to simulated nanoseconds
+      into a per-kind log-bucketed histogram, plus (when tracing) an ["X"]
+      span on the process' track.
+    - {b Time series.}  {!tick}, driven by [Sim.run ~tick], reads every
+      registered gauge and appends one sample per series.  Gauges are
+      uninstrumented reads of simulation state (limbo populations, epoch
+      lag, pool occupancy, bytes in use) performed in scheduler context.
+    - {b Event counters.}  {!sink} attached to the heap's {!Memory.Smr_event}
+      bus counts lifecycle traffic (allocs, frees, retires, pool puts and
+      takes) and the reclamation control plane (epoch advances,
+      neutralization signals, sweeps); control-plane events also become
+      trace instants. *)
+
+type t
+
+val create :
+  ?sub_bits:int ->
+  ?sample_every:int ->
+  ?trace:Trace.t ->
+  cycles_per_ns:float ->
+  nprocs:int ->
+  unit ->
+  t
+(** [sample_every] (default 50_000 cycles) is the gauge sampling period the
+    trial should pass to [Sim.run ~tick].  [trace], when given, receives op
+    spans and control-plane instants; process tracks are named at creation.
+    Raises [Invalid_argument] if [cycles_per_ns <= 0] or
+    [sample_every <= 0]. *)
+
+val sample_every : t -> int
+val nprocs : t -> int
+val trace : t -> Trace.t option
+
+val add_gauge : t -> name:string -> (unit -> int array) -> unit
+(** Register a per-process gauge (a scalar gauge returns a 1-element
+    array).  Sampled on every {!tick}. *)
+
+val tick : t -> int -> unit
+(** Sample all gauges at virtual time [now] (cycles). *)
+
+val sink : t -> Memory.Smr_event.sink
+(** The event-bus sink to attach with [Memory.Heap.add_sink]. *)
+
+val op : t -> pid:int -> kind:string -> start:int -> finish:int -> unit
+(** Record one completed operation ([start]/[finish] in virtual cycles). *)
+
+val histogram : t -> string -> Histogram.t option
+(** The latency histogram (in simulated ns) for an operation kind. *)
+
+val latency_percentiles : t -> (string * (float * int) list) list
+(** Per kind (sorted), the p50/p90/p99/p99.9 row in simulated ns. *)
+
+val series : t -> (string * (int * int array) list) list
+(** Per gauge, samples in chronological order as [(now, values)]. *)
+
+val series_total : t -> string -> (int * int) list
+(** A gauge's samples summed across processes — the limbo time-series view
+    the E-stall experiment plots. *)
+
+val counters : t -> (string * int) list
+(** Event-bus counters, fixed order: allocs, frees, retires, pool_puts,
+    pool_takes, epoch_advances, signals_sent, sweeps, records_swept. *)
+
+val metrics_json : t -> Json.t
+(** Everything above as one JSON object:
+    [{ "sample_every": _, "counters": {...},
+       "latency_ns": { kind: {count,min,max,mean,p50,p90,p99,p999} },
+       "series": { name: {"t": [...], "values": [[per-proc]...]} } }]. *)
+
+val write_metrics : t -> string -> unit
+(** Render {!metrics_json} to a file. *)

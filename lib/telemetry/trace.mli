@@ -1,0 +1,46 @@
+(** Chrome trace-event ("catapult") builder.
+
+    Collects trace events in host memory during a simulated trial and
+    renders them as the JSON Object Format
+    ([{"traceEvents": [...], ...}]) that [chrome://tracing] and Perfetto
+    load directly.  Timestamps are in microseconds of {e virtual} time:
+    the simulator's cycle clock divided by the configured cycles-per-µs.
+
+    Event vocabulary used by the telemetry recorder:
+    - ["X"] complete events: one span per data-structure operation, on the
+      track of the process that ran it;
+    - ["i"] instant events: epoch advances, neutralization signals,
+      reclamation sweeps;
+    - ["M"] metadata events: human-readable track names. *)
+
+type t
+
+val create : ?max_events:int -> cycles_per_us:float -> unit -> t
+(** [max_events] (default 1_000_000) caps memory; past the cap events are
+    counted but dropped ({!dropped}).  Raises [Invalid_argument] if
+    [cycles_per_us <= 0]. *)
+
+val thread_name : t -> pid:int -> string -> unit
+(** Emit an ["M"] metadata record naming process [pid]'s track. *)
+
+val complete : t -> pid:int -> name:string -> cat:string -> start:int -> finish:int -> unit
+(** A ["X"] span on [pid]'s track; [start]/[finish] in simulated cycles. *)
+
+val instant :
+  t -> pid:int -> name:string -> cat:string -> at:int ->
+  ?args:(string * Json.t) list -> unit -> unit
+(** An ["i"] thread-scoped instant at cycle [at]. *)
+
+val events : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events discarded because [max_events] was reached. *)
+
+val to_json : t -> Json.t
+(** The full document, events in emission order.  Includes a
+    ["displayTimeUnit": "ns"] hint and, when [dropped > 0], a
+    ["telemetryDroppedEvents"] count in the top-level object. *)
+
+val write_file : t -> string -> unit
+(** Render {!to_json} to [file] (streaming through a buffer). *)

@@ -48,7 +48,8 @@ let table ~title ~header ~rows =
 (** [chart ~title ~series] renders line series (one mark per scheme) as an
     ASCII plot — the textual rendition of a paper figure panel.  X values
     are positioned proportionally (the paper's thread axis is linear). *)
-let chart ?(width = 64) ?(height = 16) ~title ~series () =
+let chart ?(width = 64) ?(height = 16) ?(xlabel = "(processes)") ~title
+    ~series () =
   match series with
   | [] -> ()
   | _ ->
@@ -86,7 +87,7 @@ let chart ?(width = 64) ?(height = 16) ~title ~series () =
           else Printf.printf "         │%s\n" body)
         grid;
       Printf.printf "%8.2f └%s\n" 0. (String.make width '-');
-      Printf.printf "          %-8d%*d   (processes)\n" xmin (width - 10) xmax;
+      Printf.printf "          %-8d%*d   %s\n" xmin (width - 10) xmax xlabel;
       Printf.printf "          legend: %s\n"
         (String.concat "  "
            (List.mapi

@@ -22,6 +22,12 @@ type cfg = {
   seed : int;
   capacity : int;
   sanitize : bool;  (** run the trial under the shadow-state sanitizer *)
+  telemetry : Telemetry.Recorder.t option;
+      (** attach a telemetry recorder: latency histograms, gauge time
+          series, optional Chrome trace *)
+  stall : (int * int) option;
+      (** [(at, cycles)]: park the highest-pid process mid-operation at
+          virtual time [at] for [cycles] — the E-stall campaign *)
 }
 
 type runner = { rname : string; run : cfg -> Trial.outcome }
@@ -68,7 +74,8 @@ module Make_bst_runner (RM : Intf.RECORD_MANAGER) = struct
           R.trial
             (module T)
             ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ~n:cfg.n
+            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
+            ?stall:cfg.stall ~n:cfg.n
             ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
@@ -93,7 +100,8 @@ module Make_skiplist_runner (RM : Intf.RECORD_MANAGER) = struct
           R.trial
             (module S)
             ~machine:cfg.machine ~params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ~n:cfg.n
+            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
+            ?stall:cfg.stall ~n:cfg.n
             ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
@@ -110,7 +118,8 @@ module Make_list_runner (RM : Intf.RECORD_MANAGER) = struct
           R.trial
             (module L)
             ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ~n:cfg.n
+            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
+            ?stall:cfg.stall ~n:cfg.n
             ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
@@ -195,7 +204,8 @@ let skiplist_runners_exp3 =
 (* Panel driver: one table per (structure, range, mix); schemes as columns,
    process counts as rows; cells in Mops/s with % overhead vs the first
    (baseline) column. *)
-let run_panel ~title ~runners ~threads ~cfg_of =
+let run_panel ?(on_outcome = fun (_ : Trial.outcome) -> ()) ~title ~runners
+    ~threads ~cfg_of () =
   let header =
     "procs"
     :: List.concat_map
@@ -207,7 +217,14 @@ let run_panel ~title ~runners ~threads ~cfg_of =
   let rows =
     List.map
       (fun n ->
-        let outcomes = List.map (fun r -> (r, r.run (cfg_of n))) runners in
+        let outcomes =
+          List.map
+            (fun r ->
+              let o = r.run (cfg_of n) in
+              on_outcome o;
+              (r, o))
+            runners
+        in
         let base =
           match outcomes with (_, o) :: _ -> o.Trial.mops | [] -> 0.
         in

@@ -11,6 +11,7 @@
    throughput in Mops/s on that scale so numbers are comparable in magnitude
    to the paper's. *)
 let cycles_per_second = 3.0e9
+let cycles_per_ns = cycles_per_second /. 1.0e9
 
 type outcome = {
   scheme : string;
@@ -34,6 +35,10 @@ type outcome = {
       (** sanitizer violation count; [None] when the trial ran without the
           sanitizer (the default — see EXPERIMENTS.md: all reported numbers
           are sanitizer-off) *)
+  latency : (string * (float * int) list) list;
+      (** per-operation-kind latency percentiles in simulated ns, as
+          [(percentile, value)] rows; empty when the trial ran without a
+          telemetry recorder *)
 }
 
 let mops_of ~ops ~virtual_time =
@@ -62,7 +67,8 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   let trial (module S : SET) ?(machine = Machine.Config.intel_i7_4770)
       ?(params = Reclaim.Intf.Params.default) ?(duration = 2_000_000)
-      ?(capacity = 0) ?(sanitize = false) ~n ~range ~ins ~del ~seed () =
+      ?(capacity = 0) ?(sanitize = false) ?telemetry ?stall ~n ~range ~ins
+      ~del ~seed () =
     let group = Runtime.Group.create ~seed n in
     let heap = Memory.Heap.create () in
     let env = Reclaim.Intf.Env.create ~params group heap in
@@ -98,7 +104,57 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           done;
           Array.iter Runtime.Ctx.reset_stats group.Runtime.Group.ctxs;
           let base_claimed = Memory.Heap.bytes_claimed heap in
-          let body pid () =
+          (* Telemetry gauges read simulation state with uninstrumented
+             peeks: sampling never costs virtual time. *)
+          (match telemetry with
+          | None -> ()
+          | Some rec_ ->
+              Telemetry.Recorder.add_gauge rec_ ~name:"limbo" (fun () ->
+                  RM.limbo_per_proc rm);
+              Telemetry.Recorder.add_gauge rec_ ~name:"epoch_lag" (fun () ->
+                  RM.epoch_lag rm);
+              Telemetry.Recorder.add_gauge rec_ ~name:"pool_population"
+                (fun () -> [| RM.pool_population rm |]);
+              Telemetry.Recorder.add_gauge rec_ ~name:"live_records" (fun () ->
+                  [| Memory.Heap.live_records heap |]);
+              Telemetry.Recorder.add_gauge rec_ ~name:"bytes_claimed"
+                (fun () -> [| Memory.Heap.bytes_claimed heap |]));
+          let tel_sub =
+            Option.map
+              (fun rec_ ->
+                Memory.Heap.add_sink heap (Telemetry.Recorder.sink rec_))
+              telemetry
+          in
+          let tick =
+            Option.map
+              (fun rec_ ->
+                ( Telemetry.Recorder.sample_every rec_,
+                  fun now -> Telemetry.Recorder.tick rec_ now ))
+              telemetry
+          in
+          (* Stalled-process campaign (E-stall): park the victim — the
+             highest pid — mid-operation at its first instrumented access
+             past [at], for [cycles] of virtual time.  A signal sent to the
+             parked process is handled at its next access after waking, as
+             a POSIX signal interrupts a descheduled thread on resume. *)
+          let restore_stall =
+            match stall with
+            | None -> None
+            | Some (at, cycles) ->
+                let victim = Runtime.Group.ctx group (n - 1) in
+                let fired = ref false in
+                Some
+                  (Runtime.Ctx.add_hook victim (fun c ~line:_ _kind ->
+                       if
+                         (not !fired)
+                         && Runtime.Ctx.now c >= at
+                         && not (RM.is_quiescent rm c)
+                       then begin
+                         fired := true;
+                         Runtime.Ctx.stall c cycles
+                       end))
+          in
+          let plain_body pid () =
             let ctx = Runtime.Group.ctx group pid in
             let rng = Random.State.make [| seed; pid; 41 |] in
             while Runtime.Ctx.now ctx < duration do
@@ -109,11 +165,45 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
               else ignore (S.contains s ctx key)
             done
           in
+          (* Same loop with per-operation timestamping.  Kept separate so
+             the telemetry-off path contains no recording code at all. *)
+          let recording_body rec_ pid () =
+            let ctx = Runtime.Group.ctx group pid in
+            let rng = Random.State.make [| seed; pid; 41 |] in
+            while Runtime.Ctx.now ctx < duration do
+              let key = 1 + Random.State.int rng range in
+              let r = Random.State.int rng 100 in
+              let start = Runtime.Ctx.now ctx in
+              let kind =
+                if r < ins then begin
+                  ignore (S.insert s ctx ~key ~value:key);
+                  "insert"
+                end
+                else if r < ins + del then begin
+                  ignore (S.delete s ctx key);
+                  "delete"
+                end
+                else begin
+                  ignore (S.contains s ctx key);
+                  "search"
+                end
+              in
+              Telemetry.Recorder.op rec_ ~pid ~kind ~start
+                ~finish:(Runtime.Ctx.now ctx)
+            done
+          in
+          let body =
+            match telemetry with
+            | None -> plain_body
+            | Some rec_ -> recording_body rec_
+          in
           let sim_result =
-            match Sim.run ~machine group (Array.init n body) with
+            match Sim.run ~machine ?tick group (Array.init n body) with
             | r -> Ok r
             | exception Memory.Arena.Arena_full a -> Error a
           in
+          Option.iter (fun restore -> restore ()) restore_stall;
+          Option.iter (fun sub -> Memory.Heap.remove_sink heap sub) tel_sub;
           let limbo = RM.limbo_size rm in
           (* Under the sanitizer, shut down quiescently so the shadow leak
              ledger can be reconciled against the reclaimer's limbo. *)
@@ -157,5 +247,9 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       oom;
       cache;
       violations = Option.map Sanitizer.violation_count san;
+      latency =
+        (match telemetry with
+        | None -> []
+        | Some rec_ -> Telemetry.Recorder.latency_percentiles rec_);
     }
 end

@@ -229,6 +229,8 @@ struct
   let runprotect_all _t _ctx = ()
   let is_rprotected _t _ctx _p = false
   let limbo_size _t = 0
+  let limbo_per_proc t = Array.make (Intf.Env.nprocs t.env) 0
+  let epoch_lag t = Array.make (Intf.Env.nprocs t.env) 0
   let flush _t _ctx = ()
 end
 
@@ -364,6 +366,13 @@ struct
       (fun acc l ->
         Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
       0 t.locals
+
+  let limbo_per_proc t =
+    Array.map
+      (fun l -> Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags)
+      t.locals
+
+  let epoch_lag t = Array.make (Array.length t.locals) 0
 
   let flush t ctx =
     Array.iter

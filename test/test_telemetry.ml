@@ -1,0 +1,334 @@
+(** Telemetry subsystem tests: histogram quantiles against an exact
+    sorted-sample reference, event-hub fan-out, JSON codec round-trips,
+    Chrome-trace well-formedness on a real traced trial, telemetry under
+    the sanitizer, and the E-stall limbo-bound regression. *)
+
+let seeded n = Random.State.make [| 0x7e1e; n |]
+
+(* ------------------------------------------------------------------ *)
+(* Histogram: quantiles vs exact reference                             *)
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let rank = if rank < 1 then 1 else rank in
+  sorted.(rank - 1)
+
+let check_quantiles ~name ~sub_bits values =
+  let h = Telemetry.Histogram.create ~sub_bits () in
+  Array.iter (Telemetry.Histogram.record h) values;
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  Alcotest.(check int) (name ^ ": count") (Array.length values)
+    (Telemetry.Histogram.count h);
+  List.iter
+    (fun q ->
+      let e = exact_quantile sorted q in
+      let v = Telemetry.Histogram.quantile h q in
+      (* The histogram returns the midpoint of the bucket holding the
+         exact quantile, so the error is at most one bucket width:
+         relative 2^-sub_bits, absolute 1 for the tiny exact buckets. *)
+      let tol =
+        max 1 (int_of_float (float_of_int e /. float_of_int (1 lsl sub_bits)))
+      in
+      if abs (v - e) > tol then
+        Alcotest.failf "%s: q=%.3f histogram %d vs exact %d (tol %d)" name q
+          v e tol)
+    [ 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let test_histogram_quantiles () =
+  let rng = seeded 1 in
+  (* Uniform small values: exact buckets. *)
+  check_quantiles ~name:"uniform small" ~sub_bits:5
+    (Array.init 10_000 (fun _ -> Random.State.int rng 30));
+  (* Uniform large. *)
+  check_quantiles ~name:"uniform large" ~sub_bits:5
+    (Array.init 10_000 (fun _ -> Random.State.int rng 5_000_000));
+  (* Long-tailed: exponential-ish via multiplication. *)
+  check_quantiles ~name:"long tail" ~sub_bits:5
+    (Array.init 10_000 (fun _ ->
+         int_of_float (exp (Random.State.float rng 14.0))));
+  (* Coarser buckets, looser tolerance. *)
+  check_quantiles ~name:"sub_bits=2" ~sub_bits:2
+    (Array.init 2_000 (fun _ -> Random.State.int rng 100_000));
+  (* Finer buckets. *)
+  check_quantiles ~name:"sub_bits=8" ~sub_bits:8
+    (Array.init 2_000 (fun _ -> Random.State.int rng 100_000))
+
+let test_histogram_stats () =
+  let h = Telemetry.Histogram.create () in
+  Alcotest.(check int) "empty quantile" 0 (Telemetry.Histogram.quantile h 0.5);
+  Alcotest.(check int) "empty min" 0 (Telemetry.Histogram.min_value h);
+  List.iter (Telemetry.Histogram.record h) [ 5; 10; 15 ];
+  Alcotest.(check int) "min" 5 (Telemetry.Histogram.min_value h);
+  Alcotest.(check int) "max" 15 (Telemetry.Histogram.max_value h);
+  Alcotest.(check int) "count" 3 (Telemetry.Histogram.count h);
+  Alcotest.(check (float 0.01)) "mean" 10.0 (Telemetry.Histogram.mean h);
+  let h2 = Telemetry.Histogram.create () in
+  Telemetry.Histogram.record h2 1_000_000;
+  Telemetry.Histogram.merge_into h2 ~into:h;
+  Alcotest.(check int) "merged count" 4 (Telemetry.Histogram.count h);
+  let m = Telemetry.Histogram.max_value h in
+  Alcotest.(check bool) "merged max" true (m >= 1_000_000 * 31 / 32)
+
+(* ------------------------------------------------------------------ *)
+(* Event hub: multi-sink fan-out                                       *)
+
+let test_hub_fanout () =
+  let group = Runtime.Group.create ~seed:1 1 in
+  let ctx = Runtime.Group.ctx group 0 in
+  let hub = Memory.Smr_event.hub () in
+  let a = ref 0 and b = ref 0 in
+  Memory.Smr_event.emit hub ctx Memory.Smr_event.Enter_q;
+  Alcotest.(check int) "no sinks: no delivery" 0 !a;
+  let sa = Memory.Smr_event.add_sink hub (fun _ _ -> incr a) in
+  let sb = Memory.Smr_event.add_sink hub (fun _ _ -> incr b) in
+  Alcotest.(check int) "two sinks" 2 (Memory.Smr_event.sink_count hub);
+  Memory.Smr_event.emit hub ctx Memory.Smr_event.Enter_q;
+  Alcotest.(check int) "fan-out a" 1 !a;
+  Alcotest.(check int) "fan-out b" 1 !b;
+  Memory.Smr_event.remove_sink hub sa;
+  Memory.Smr_event.emit hub ctx Memory.Smr_event.Leave_q;
+  Alcotest.(check int) "removed sink silent" 1 !a;
+  Alcotest.(check int) "remaining sink live" 2 !b;
+  Memory.Smr_event.remove_sink hub sb;
+  Alcotest.(check int) "all removed" 0 (Memory.Smr_event.sink_count hub);
+  Memory.Smr_event.emit hub ctx Memory.Smr_event.Enter_q;
+  Alcotest.(check int) "fast path restored" 2 !b
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec round-trip                                               *)
+
+let test_json_roundtrip () =
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("s", String "he\"llo\n\tworld\\");
+        ("i", Int (-42));
+        ("f", Float 3.25);
+        ("b", Bool true);
+        ("n", Null);
+        ("l", List [ Int 1; Int 2; Obj [ ("x", Int 3) ] ]);
+        ("empty_l", List []);
+        ("empty_o", Obj []);
+      ]
+  in
+  let parsed = of_string (to_string doc) in
+  Alcotest.(check bool) "round-trip" true (parsed = doc);
+  Alcotest.(check bool) "member" true (member "i" parsed = Some (Int (-42)));
+  (match of_string "  [1, 2.5, \"x\", null, true] " with
+  | List [ Int 1; Float 2.5; String "x"; Null; Bool true ] -> ()
+  | _ -> Alcotest.fail "whitespace/mixed list parse");
+  List.iter
+    (fun bad ->
+      match of_string bad with
+      | exception Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" bad)
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Traced trial: Chrome trace parses back and is well-formed           *)
+
+let small_cfg ?telemetry ?stall ?(duration = 300_000) ?(n = 4) () =
+  {
+    Workload.Schemes.machine = Machine.Config.intel_i7_4770;
+    params = Reclaim.Intf.Params.default;
+    duration;
+    n;
+    range = 2_000;
+    ins = 50;
+    del = 50;
+    seed = 11;
+    capacity = 200_000;
+    sanitize = false;
+    telemetry;
+    stall;
+  }
+
+let test_trace_well_formed () =
+  let trace = Telemetry.Trace.create ~cycles_per_us:3000.0 () in
+  let rec_ =
+    Telemetry.Recorder.create ~sample_every:30_000 ~trace ~cycles_per_ns:3.0
+      ~nprocs:4 ()
+  in
+  let r = Workload.Schemes.B2_debra_plus.runner "debra+" in
+  let o = r.Workload.Schemes.run (small_cfg ~telemetry:rec_ ()) in
+  Alcotest.(check bool) "trial ran" true (o.Workload.Trial.ops > 0);
+  Alcotest.(check bool) "latency collected" true
+    (o.Workload.Trial.latency <> []);
+  let open Telemetry.Json in
+  let doc = of_string (to_string (Telemetry.Trace.to_json trace)) in
+  let events =
+    match member "traceEvents" doc with
+    | Some (List evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  Alcotest.(check bool) "trace non-empty" true (List.length events > 0);
+  let phases = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let str k =
+        match member k ev with
+        | Some (String s) -> s
+        | _ -> Alcotest.failf "event missing string %S" k
+      in
+      let num k =
+        match member k ev with
+        | Some (Int _ | Float _) -> ()
+        | _ -> Alcotest.failf "event missing number %S" k
+      in
+      Alcotest.(check bool) "name non-empty" true (str "name" <> "");
+      num "ts";
+      num "pid";
+      num "tid";
+      let ph = str "ph" in
+      if ph = "X" then num "dur";
+      Hashtbl.replace phases ph ())
+    events;
+  (* The run must have produced op spans and track metadata at least. *)
+  Alcotest.(check bool) "has op spans" true (Hashtbl.mem phases "X");
+  Alcotest.(check bool) "has metadata" true (Hashtbl.mem phases "M");
+  (* Sampled series have the tick cadence. *)
+  let series = Telemetry.Recorder.series rec_ in
+  let limbo = List.assoc "limbo" series in
+  Alcotest.(check bool) "series sampled" true (List.length limbo > 2);
+  ignore
+    (List.fold_left
+       (fun prev (t, vs) ->
+         Alcotest.(check int) "per-proc width" 4 (Array.length vs);
+         Alcotest.(check bool) "ticks increase" true (t > prev);
+         t)
+       (-1) limbo)
+
+let test_metrics_json () =
+  let rec_ =
+    Telemetry.Recorder.create ~sample_every:30_000 ~cycles_per_ns:3.0
+      ~nprocs:4 ()
+  in
+  let r = Workload.Schemes.B2_debra.runner "debra" in
+  let _o = r.Workload.Schemes.run (small_cfg ~telemetry:rec_ ()) in
+  let open Telemetry.Json in
+  let doc = of_string (to_string (Telemetry.Recorder.metrics_json rec_)) in
+  (match member "counters" doc with
+  | Some (Obj kvs) ->
+      Alcotest.(check bool) "counts retires" true
+        (match List.assoc_opt "retires" kvs with
+        | Some (Int n) -> n > 0
+        | _ -> false)
+  | _ -> Alcotest.fail "counters missing");
+  match member "latency_ns" doc with
+  | Some (Obj kvs) ->
+      Alcotest.(check bool) "has insert histogram" true
+        (List.mem_assoc "insert" kvs)
+  | _ -> Alcotest.fail "latency_ns missing"
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry and sanitizer share the bus                               *)
+
+let test_telemetry_with_sanitizer () =
+  let trace = Telemetry.Trace.create ~cycles_per_us:3000.0 () in
+  let rec_ =
+    Telemetry.Recorder.create ~sample_every:30_000 ~trace ~cycles_per_ns:3.0
+      ~nprocs:4 ()
+  in
+  let r = Workload.Schemes.B2_debra_plus.runner "debra+" in
+  let cfg = small_cfg ~telemetry:rec_ () in
+  let o = r.Workload.Schemes.run { cfg with Workload.Schemes.sanitize = true } in
+  Alcotest.(check (option int)) "no violations" (Some 0)
+    o.Workload.Trial.violations;
+  Alcotest.(check bool) "trace collected alongside sanitizer" true
+    (Telemetry.Trace.events trace > 0);
+  Alcotest.(check bool) "percentiles collected alongside sanitizer" true
+    (o.Workload.Trial.latency <> [])
+
+(* ------------------------------------------------------------------ *)
+(* E-stall regression: DEBRA+ bounded, DEBRA unbounded                 *)
+
+let test_estall_bound () =
+  (* Mirrors bench/stall.ml at reduced duration: one process parks
+     non-quiescent at t=duration/5; DEBRA's epoch freezes and its limbo
+     grows for the rest of the trial, DEBRA+ neutralizes the victim and
+     stays under the paper's O(mn^2) bound. *)
+  let n = 8 in
+  let duration = 2_400_000 in
+  let stall_at = duration / 5 in
+  let block_capacity = 64 in
+  let bound = 3 * n * n * block_capacity in
+  let params =
+    {
+      Reclaim.Intf.Params.default with
+      Reclaim.Intf.Params.block_capacity;
+      incr_thresh = n;
+    }
+  in
+  let run (r : Workload.Schemes.runner) =
+    let rec_ =
+      Telemetry.Recorder.create ~sample_every:(duration / 100)
+        ~cycles_per_ns:3.0 ~nprocs:n ()
+    in
+    let cfg =
+      {
+        (small_cfg ~telemetry:rec_ ~stall:(stall_at, duration - stall_at)
+           ~duration ~n ())
+        with
+        Workload.Schemes.params;
+        range = 10_000;
+      }
+    in
+    let o = r.Workload.Schemes.run cfg in
+    Alcotest.(check bool) (r.Workload.Schemes.rname ^ " ran") true
+      (o.Workload.Trial.ops > 0);
+    Telemetry.Recorder.series_total rec_ "limbo"
+  in
+  let peak s = List.fold_left (fun acc (_, v) -> max acc v) 0 s in
+  let final s = match List.rev s with (_, v) :: _ -> v | [] -> 0 in
+  let at_stall s =
+    List.fold_left (fun acc (t, v) -> if t <= stall_at then v else acc) 0 s
+  in
+  let dplus = run (Workload.Schemes.B2_debra_plus.runner "debra+") in
+  let debra = run (Workload.Schemes.B2_debra.runner "debra") in
+  let ebr = run (Workload.Schemes.B2_ebr.runner "ebr") in
+  (* DEBRA+ neutralizes the stalled process: bounded plateau. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "debra+ peak %d under bound %d" (peak dplus) bound)
+    true
+    (peak dplus <= bound);
+  (* DEBRA's frozen epoch: limbo grows past the bound by trial end. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stalled debra final %d exceeds bound %d" (final debra)
+       bound)
+    true
+    (final debra > bound);
+  (* EBR also freezes: monotone growth after the stall. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stalled ebr grows (%d -> %d)" (at_stall ebr) (final ebr))
+    true
+    (final ebr > 2 * max 1 (at_stall ebr) && final ebr > peak dplus)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles vs exact reference" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "stats and merge" `Quick test_histogram_stats;
+        ] );
+      ( "event hub",
+        [ Alcotest.test_case "multi-sink fan-out" `Quick test_hub_fanout ] );
+      ( "json",
+        [ Alcotest.test_case "codec round-trip" `Quick test_json_roundtrip ] );
+      ( "trace",
+        [
+          Alcotest.test_case "traced trial is well-formed catapult JSON"
+            `Quick test_trace_well_formed;
+          Alcotest.test_case "metrics document shape" `Quick test_metrics_json;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "telemetry under the sanitizer" `Quick
+            test_telemetry_with_sanitizer;
+          Alcotest.test_case "E-stall limbo bound" `Slow test_estall_bound;
+        ] );
+    ]
