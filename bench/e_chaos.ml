@@ -1,0 +1,349 @@
+(** E-crash / E-oom: the fault-injection campaign (DESIGN.md §9,
+    EXPERIMENTS.md).
+
+    Sweeps schemes × structures × fault kinds, every trial under the
+    shadow-state sanitizer with post-fault invariant validation, and
+    checks the graceful-degradation contract of each scheme:
+
+    - {e crash faults} (a process dies mid-operation, inside its signal
+      handler, or right after neutralizing): survivors must finish the
+      workload, the structure must pass its invariant walk, the sanitizer
+      must stay silent — and the limbo consequences must match the paper's
+      story: DEBRA+ neutralizes the dead process (ESRCH counts as
+      permanently quiescent) and keeps limbo bounded by the E-stall bound,
+      while EBR/QSBR/DEBRA can never advance past it and grow without
+      bound;
+    - {e signal faults} (dropped / delayed deliveries): DEBRA+'s
+      retry-with-backoff path must still neutralize, keeping limbo
+      bounded;
+    - {e bounded memory} (E-oom): with allocation headroom above the
+      prefilled live set capped at the limbo bound, schemes with a working
+      emergency-reclamation path (DEBRA, DEBRA+, HP ...) must complete the
+      trial — their pipeline inventory stays within the bound — while
+      [none], which never frees, must exhaust the headroom and report it
+      cleanly.
+
+    Every trial's plan derives from one printed seed; a failing
+    configuration prints the exact replay command. *)
+
+open Common
+
+(* Set by bench/main.ml's --chaos-seed flag: replay one seed instead of the
+   default sweep. *)
+let replay_seed : int option ref = ref None
+
+(* CI gate: number of verdict failures; main.ml exits non-zero if any. *)
+let failures = ref 0
+
+let nprocs = 8
+let default_seeds = [ 42 ]
+
+let limbo_bound ~n ~block_capacity = 3 * n * n * block_capacity
+
+type verdict = {
+  v_structure : string;
+  v_scheme : string;
+  v_fault : string;
+  v_seed : int;
+  v_outcome : Workload.Trial.outcome option;  (* None = wedged (Sim.Stuck) *)
+  v_errors : string list;  (* empty = pass *)
+}
+
+let check_verdict ~expect_oom ~expect_crash ~limbo_check ~bound
+    (o : Workload.Trial.outcome) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (match o.Workload.Trial.violations with
+  | Some v when v > 0 -> err "%d sanitizer violation(s)" v
+  | _ -> ());
+  (match o.Workload.Trial.invariant_failure with
+  | Some msg -> err "structure invariant broken: %s" msg
+  | None -> ());
+  if expect_oom && not o.Workload.Trial.oom then
+    err "expected exhaustion, but the trial completed";
+  if (not expect_oom) && o.Workload.Trial.oom then
+    err "allocation failed (emergency reclamation did not free enough)";
+  if expect_crash && o.Workload.Trial.crashed = 0 then
+    err "crash fault never fired";
+  (match limbo_check with
+  | `Bounded ->
+      if o.Workload.Trial.limbo > bound then
+        err "limbo %d exceeds bound %d (neutralization failed)"
+          o.Workload.Trial.limbo bound
+  | `Unbounded ->
+      (* Whether growth crosses the full m*n^2*B bound within the trial
+         depends on its length; what must hold is that the pinned scheme's
+         limbo keeps growing well past any steady-state level.  A quarter
+         of the bound is far above every scheme's fault-free steady state
+         at this scale and far below where pinned growth lands. *)
+      let floor = bound / 4 in
+      if o.Workload.Trial.limbo <= floor then
+        err "limbo %d below growth floor %d (crashed process did not pin \
+             reclamation?)"
+          o.Workload.Trial.limbo floor
+  | `Ignore -> ());
+  List.rev !errs
+
+let verdict_json v =
+  let open Telemetry.Json in
+  Obj
+    ([
+       ("structure", String v.v_structure);
+       ("scheme", String v.v_scheme);
+       ("fault", String v.v_fault);
+       ("seed", Int v.v_seed);
+       ("pass", Bool (v.v_errors = []));
+       ("errors", List (List.map (fun e -> String e) v.v_errors));
+     ]
+    @
+    match v.v_outcome with
+    | None -> [ ("wedged", Bool true) ]
+    | Some o ->
+        [
+          ("ops", Int o.Workload.Trial.ops);
+          ("crashed", Int o.Workload.Trial.crashed);
+          ("limbo", Int o.Workload.Trial.limbo);
+          ("oom", Bool o.Workload.Trial.oom);
+          ( "chaos",
+            match o.Workload.Trial.chaos with
+            | None -> Null
+            | Some s ->
+                Obj
+                  [
+                    ("crashes", Int s.Chaos.crashes);
+                    ("handler_crashes", Int s.Chaos.handler_crashes);
+                    ("signals_dropped", Int s.Chaos.signals_dropped);
+                    ("signals_delayed", Int s.Chaos.signals_delayed);
+                    ( "signals_delivered_late",
+                      Int s.Chaos.signals_delivered_late );
+                  ] );
+        ])
+
+let fault_name = function
+  | `Crash -> "crash"
+  | `Crash_in_handler -> "crash-in-handler"
+  | `Crash_neutralizer -> "crash-neutralizer"
+  | `Drop -> "drop-signals"
+  | `Delay -> "delay-signals"
+  | `Oom _ -> "oom"
+
+let run ~scale =
+  let duration = max scale.Experiments.duration 1_200_000 in
+  let n = nprocs in
+  let range = scale.Experiments.small_range in
+  let block_capacity = 64 in
+  let params =
+    {
+      Reclaim.Intf.Params.default with
+      Reclaim.Intf.Params.block_capacity;
+      incr_thresh = n;
+    }
+  in
+  let bound = limbo_bound ~n ~block_capacity in
+  let seeds =
+    match !replay_seed with Some s -> [ s ] | None -> default_seeds
+  in
+  Printf.printf
+    "\n\
+     ===== E-crash / E-oom: fault-injection campaign =====\n\
+     %d processes, keys [1,%d], 50i-50d, %d cycles; sanitizer + post-fault \
+     invariant checks on every trial.\n\
+     Limbo bound (m*n^2*B): %d records.  Seeds: %s.\n"
+    n range duration bound
+    (String.concat ", " (List.map string_of_int seeds));
+  let verdicts = ref [] in
+  let trial ?(params = params) ~structure ~(runner : runner) ~fault ~seed
+      ~expect_oom ~limbo_check ~budget () =
+    let kind = [ fault ] in
+    let plan = Chaos.random_plan ~seed ~nprocs:n kind in
+    let expect_crash =
+      match fault with
+      | `Crash | `Crash_in_handler | `Crash_neutralizer -> true
+      | _ -> false
+    in
+    let cfg =
+      {
+        (Experiments.base_cfg ~params
+           ~scale:{ scale with Experiments.duration }
+           ~range ~ins:50 ~del:50 n)
+        with
+        Workload.Schemes.sanitize = true;
+        chaos = Some plan;
+        budget;
+        max_steps = Some 40_000_000;
+        seed;
+      }
+    in
+    let fname = fault_name fault in
+    let v =
+      match runner.run cfg with
+      | o ->
+          Experiments.record_outcome o;
+          {
+            v_structure = structure;
+            v_scheme = runner.rname;
+            v_fault = fname;
+            v_seed = seed;
+            v_outcome = Some o;
+            v_errors =
+              check_verdict ~expect_oom ~expect_crash ~limbo_check ~bound o;
+          }
+      | exception Sim.Stuck info ->
+          {
+            v_structure = structure;
+            v_scheme = runner.rname;
+            v_fault = fname;
+            v_seed = seed;
+            v_outcome = None;
+            v_errors =
+              [
+                Printf.sprintf "wedged: %s (after %d steps)" info.Sim.s_reason
+                  info.Sim.s_steps;
+              ];
+          }
+    in
+    verdicts := v :: !verdicts;
+    if v.v_errors <> [] then begin
+      incr failures;
+      Printf.printf "FAIL %-8s %-10s %-16s seed %d\n" structure
+        runner.rname fname seed;
+      List.iter (fun e -> Printf.printf "       %s\n" e) v.v_errors;
+      Printf.printf "       plan: %s\n" (Chaos.plan_to_string plan);
+      Printf.printf "       replay: debra-bench e-chaos --chaos-seed %d\n" seed
+    end;
+    v
+  in
+  (* --- E-crash: one process dies mid-operation. ------------------- *)
+  List.iter
+    (fun seed ->
+      (* Epoch schemes without neutralization: the dead non-quiescent
+         process pins the epoch/qpoint forever; limbo must blow through
+         the bound.  DEBRA+ gets ESRCH, counts the corpse as permanently
+         quiescent, and stays bounded. *)
+      List.iter
+        (fun (runner, limbo_check) ->
+          ignore
+            (trial ~structure:"bst" ~runner ~fault:`Crash ~seed
+               ~expect_oom:false ~limbo_check ~budget:(-1) ()))
+        [
+          (B2_ebr.runner "ebr", `Unbounded);
+          (B2_qsbr.runner "qsbr", `Unbounded);
+          (B2_debra.runner "debra", `Unbounded);
+          (B2_debra_plus.runner "debra+", `Bounded);
+          (* Per-record schemes: a crash leaks at most k records; limbo
+             stays bounded by their ordinary thresholds. *)
+          (B2_hp.runner "hp", `Bounded);
+          (B2_rc.runner "rc", `Bounded);
+        ];
+      (* Same story on the list structure, for the schemes where the
+         contrast matters. *)
+      List.iter
+        (fun (runner, limbo_check) ->
+          ignore
+            (trial ~structure:"list" ~runner ~fault:`Crash ~seed
+               ~expect_oom:false ~limbo_check ~budget:(-1) ()))
+        (match List.assoc_opt ("list", "exp2") Workload.Schemes.by_name with
+        | None -> []
+        | Some rs ->
+            List.filter_map
+              (fun (r : runner) ->
+                match r.rname with
+                (* The list's op rate at this scale retires too few records
+                   to judge limbo shape; these trials check crash-safety
+                   (invariants, sanitizer, survivors finishing) on a second
+                   structure.  DEBRA+'s bound is still asserted. *)
+                | "debra" -> Some (r, `Ignore)
+                | "debra+" -> Some (r, `Bounded)
+                | _ -> None)
+              rs);
+      (* DEBRA+-specific fault kinds: die inside the signal handler, die
+         right after neutralizing, and unreliable signal delivery. *)
+      List.iter
+        (fun fault ->
+          ignore
+            (trial ~structure:"bst"
+               ~runner:(B2_debra_plus.runner "debra+")
+               ~fault ~seed ~expect_oom:false ~limbo_check:`Bounded
+               ~budget:(-1) ()))
+        [ `Crash_in_handler; `Crash_neutralizer; `Drop; `Delay ])
+    seeds;
+  (* --- E-oom: bounded memory. ------------------------------------- *)
+  (* Tight headroom above the prefill's claims: n^2 * B records, a third
+     of the limbo bound.  Local pool bags are kept small
+     ([pool_cap_blocks = 2]) so free records spill to the shared bag
+     instead of being hoarded per-process — the configuration a
+     memory-constrained deployment would run.  A reclaiming scheme's
+     inventory (young limbo + pool stock) is recyclable: when the cap
+     binds, emergency reclamation drains limbo back into the pools and
+     the trial completes.  [none] allocates fresh records for every
+     operation and must exhaust the headroom within a few thousand
+     operations. *)
+  let oom_headroom = n * n * block_capacity in
+  let oom_params = { params with Reclaim.Intf.Params.pool_cap_blocks = 2 } in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun ((runner : runner), expect_oom) ->
+          ignore
+            (trial ~params:oom_params ~structure:"bst" ~runner
+               ~fault:(`Oom oom_headroom) ~seed ~expect_oom
+               ~limbo_check:`Ignore ~budget:(-1) ()))
+        [
+          (B1_none.runner "none", true);
+          (B2_debra.runner "debra", false);
+          (B2_debra_plus.runner "debra+", false);
+          (B2_hp.runner "hp", false);
+        ])
+    seeds;
+  let verdicts = List.rev !verdicts in
+  (* Summary table. *)
+  let rows =
+    List.map
+      (fun v ->
+        [
+          v.v_structure;
+          v.v_scheme;
+          v.v_fault;
+          string_of_int v.v_seed;
+          (match v.v_outcome with
+          | None -> "WEDGED"
+          | Some o ->
+              if o.Workload.Trial.oom then "oom"
+              else Printf.sprintf "%d ops" o.Workload.Trial.ops);
+          (match v.v_outcome with
+          | None -> "-"
+          | Some o -> string_of_int o.Workload.Trial.crashed);
+          (match v.v_outcome with
+          | None -> "-"
+          | Some o -> string_of_int o.Workload.Trial.limbo);
+          (if v.v_errors = [] then "pass"
+           else String.concat "; " v.v_errors);
+        ])
+      verdicts
+  in
+  Workload.Report.table ~title:"E-crash / E-oom: fault campaign verdicts"
+    ~header:
+      [ "structure"; "scheme"; "fault"; "seed"; "result"; "crashed";
+        "limbo"; "verdict" ]
+    ~rows;
+  let npass = List.length (List.filter (fun v -> v.v_errors = []) verdicts) in
+  Printf.printf "%d/%d chaos configurations passed.\n" npass
+    (List.length verdicts);
+  (* JSON report (the CI artifact). *)
+  let doc =
+    Telemetry.Json.Obj
+      [
+        ("experiment", Telemetry.Json.String "e-chaos");
+        ("nprocs", Telemetry.Json.Int n);
+        ("limbo_bound", Telemetry.Json.Int bound);
+        ( "seeds",
+          Telemetry.Json.List (List.map (fun s -> Telemetry.Json.Int s) seeds)
+        );
+        ("verdicts", Telemetry.Json.List (List.map verdict_json verdicts));
+      ]
+  in
+  let oc = open_out "CHAOS_REPORT.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "chaos report written to CHAOS_REPORT.json\n%!"

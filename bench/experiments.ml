@@ -98,6 +98,9 @@ let base_cfg ?(machine = Machine.Config.intel_i7_4770)
               ~nprocs:n ())
        else None);
     stall = None;
+  chaos = None;
+    budget = -1;
+    max_steps = None;
   }
 
 let mixes = [ (50, 50); (25, 25) ]

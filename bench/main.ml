@@ -11,17 +11,19 @@
     - ablate   DEBRA design-choice ablations (§4)
     - micro    Bechamel microbenchmarks of the Record Manager primitives
     - e-stall  stalled-process campaign: limbo time series, DEBRA vs DEBRA+
+    - e-chaos  fault-injection campaign: crashes, signal loss, bounded memory
     - all      everything above
 
     [--full] uses the paper-scale key ranges and thread counts (slow); the
     default "quick" scale shrinks the big key range and the grid.
     [--json] also writes one BENCH_<experiment>.json per experiment;
-    [--trace FILE] / [--metrics-out FILE] apply to e-stall. *)
+    [--trace FILE] / [--metrics-out FILE] apply to e-stall;
+    [--chaos-seed N] replays one e-chaos seed instead of the sweep. *)
 
 let known =
   [
     "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "schemes"; "summary";
-    "ablate"; "micro"; "e-stall"; "all";
+    "ablate"; "micro"; "e-stall"; "e-chaos"; "all";
   ]
 
 let run_one ~scale = function
@@ -35,6 +37,7 @@ let run_one ~scale = function
   | "ablate" -> Experiments.ablate ~scale
   | "micro" -> Micro.run ()
   | "e-stall" -> Stall.run ~scale
+  | "e-chaos" -> E_chaos.run ~scale
   | name -> Printf.eprintf "unknown experiment %S\n" name
 
 (* With --json, each experiment's outcomes (accumulated by
@@ -59,11 +62,12 @@ let run_one_json ~scale name =
     Printf.printf "json results written to %s\n%!" file
   end
 
-let main experiments full sanitize json trace metrics_out =
+let main experiments full sanitize json trace metrics_out chaos_seed =
   Experiments.sanitize := sanitize;
   Experiments.json := json;
   Stall.trace_file := trace;
   Stall.metrics_file := metrics_out;
+  E_chaos.replay_seed := chaos_seed;
   let scale =
     if full then Experiments.full_scale else Experiments.quick_scale
   in
@@ -72,7 +76,7 @@ let main experiments full sanitize json trace metrics_out =
     if List.mem "all" experiments then
       [
         "schemes"; "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "summary";
-        "ablate"; "micro"; "e-stall";
+        "ablate"; "micro"; "e-stall"; "e-chaos";
       ]
     else experiments
   in
@@ -83,7 +87,11 @@ let main experiments full sanitize json trace metrics_out =
     (if full then "full" else "quick")
     Machine.Config.intel_i7_4770.Machine.Config.name
     Machine.Config.oracle_t4_1.Machine.Config.name;
-  List.iter (run_one_json ~scale) experiments
+  List.iter (run_one_json ~scale) experiments;
+  if !E_chaos.failures > 0 then begin
+    Printf.eprintf "e-chaos: %d configuration(s) failed\n" !E_chaos.failures;
+    exit 1
+  end
 
 open Cmdliner
 
@@ -121,6 +129,13 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let chaos_seed_arg =
+  let doc =
+    "Replay the e-chaos campaign with this single plan seed (printed by a \
+     failing run) instead of the default seed sweep."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
 let metrics_arg =
   let doc =
     "Write the e-stall experiment's full sampled time series (limbo, epoch \
@@ -135,6 +150,6 @@ let cmd =
     (Cmd.info "debra-bench" ~doc)
     Term.(
       const main $ experiments_arg $ full_arg $ sanitize_arg $ json_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ chaos_seed_arg)
 
 let () = exit (Cmd.eval cmd)

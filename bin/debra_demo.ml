@@ -9,8 +9,29 @@
 
 open Cmdliner
 
+(* --chaos: parse a comma-separated fault list into chaos kind specs. *)
+let parse_chaos_kinds s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun k ->
+           match String.trim k with
+           | "crash" -> `Crash
+           | "handler" -> `Crash_in_handler
+           | "neutralizer" -> `Crash_neutralizer
+           | "drop" -> `Drop
+           | "delay" -> `Delay
+           | k when String.length k > 4 && String.sub k 0 4 = "oom:" ->
+               `Oom (int_of_string (String.sub k 4 (String.length k - 4)))
+           | k ->
+               failwith
+                 (Printf.sprintf
+                    "unknown fault kind %S \
+                     (crash|handler|neutralizer|drop|delay|oom:<headroom>)"
+                    k))
+
 let run ds scheme variant procs range ins del duration machine seed sanitize
-    trace metrics_out =
+    chaos trace metrics_out =
   let machine =
     match machine with
     | "t4" -> Machine.Config.oracle_t4_1
@@ -51,6 +72,14 @@ let run ds scheme variant procs range ins del duration machine seed sanitize
                ~cycles_per_ns:(Workload.Trial.cycles_per_second /. 1.0e9)
                ~nprocs:procs ())
       in
+      let plan =
+        match parse_chaos_kinds chaos with
+        | [] -> None
+        | kinds -> Some (Chaos.random_plan ~seed ~nprocs:procs kinds)
+      in
+      Option.iter
+        (fun p -> Printf.printf "chaos plan     : %s\n" (Chaos.plan_to_string p))
+        plan;
       let cfg =
         {
           Workload.Schemes.machine;
@@ -62,9 +91,13 @@ let run ds scheme variant procs range ins del duration machine seed sanitize
           del;
           seed;
           capacity = range + 400_000;
-          sanitize;
+          (* Faulted runs always get the sanitizer: that is the point. *)
+          sanitize = sanitize || plan <> None;
           telemetry;
           stall = None;
+          chaos = plan;
+          budget = -1;
+          max_steps = None;
         }
       in
       let o = r.Workload.Schemes.run cfg in
@@ -85,6 +118,23 @@ let run ds scheme variant procs range ins del duration machine seed sanitize
         o.allocs o.frees o.limbo;
       Printf.printf "signals        : %d sent, %d neutralizations\n"
         o.signals_sent o.neutralized;
+      (match o.chaos with
+      | None -> ()
+      | Some s ->
+          Printf.printf
+            "chaos          : %d crash(es) (%d inside a handler), %d \
+             signal(s) dropped, %d delayed (%d landed late); %d process(es) \
+             dead at end\n"
+            s.Chaos.crashes s.Chaos.handler_crashes s.Chaos.signals_dropped
+            s.Chaos.signals_delayed s.Chaos.signals_delivered_late o.crashed;
+          Printf.printf "post-fault     : structure invariants %s\n"
+            (match o.invariant_failure with
+            | None -> "hold"
+            | Some msg -> "BROKEN: " ^ msg);
+          Printf.printf
+            "replay         : same faults fire again with --chaos %s --seed \
+             %d\n"
+            chaos seed);
       (match o.violations with
       | Some v ->
           Printf.printf "sanitizer      : %d violation(s)%s\n" v
@@ -154,6 +204,16 @@ let term =
       & info [ "sanitize" ]
           ~doc:"run under the shadow-state SMR sanitizer (slower)")
   in
+  let chaos =
+    Arg.(
+      value & opt string ""
+      & info [ "chaos" ] ~docv:"KINDS"
+          ~doc:
+            "inject faults: comma-separated list of crash, handler, \
+             neutralizer, drop, delay, oom:<headroom>.  The plan derives \
+             deterministically from --seed; the trial runs under the \
+             sanitizer and validates structure invariants afterwards")
+  in
   let trace =
     Arg.(
       value
@@ -174,7 +234,7 @@ let term =
   in
   Term.(
     const run $ ds $ scheme $ variant $ procs $ range $ ins $ del $ duration
-    $ machine $ seed $ sanitize $ trace $ metrics_out)
+    $ machine $ seed $ sanitize $ chaos $ trace $ metrics_out)
 
 let () =
   exit

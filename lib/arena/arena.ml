@@ -1,6 +1,15 @@
 exception Use_after_free of string
 exception Double_free of string
 exception Arena_full of string
+exception Out_of_memory of string
+
+(* A live-record budget shared by every arena of one heap: the simulated
+   analogue of running the process under a bounded heap (ulimit -v).  A
+   negative limit means unlimited; the counter still tracks so the limit can
+   be installed mid-run. *)
+type budget = { mutable limit : int; b_live : int Atomic.t }
+
+let budget_unlimited () = { limit = -1; b_live = Atomic.make 0 }
 
 let state_unallocated = 0
 let state_allocated = 1
@@ -21,6 +30,7 @@ type t = {
   base_line : int;
   words_per_record : int;
   mutable checking : bool;
+  budget : budget;
   events : Smr_event.hub;
   live : int Atomic.t;
   peak : int Atomic.t;
@@ -28,9 +38,11 @@ type t = {
   frees : int Atomic.t;
 }
 
-let create ?events ~heap_id ~name ~mut_fields ~const_fields ~capacity () =
+let create ?events ?budget ~heap_id ~name ~mut_fields ~const_fields ~capacity
+    () =
   assert (capacity > 0 && mut_fields >= 0 && const_fields >= 0);
   let events = match events with Some h -> h | None -> Smr_event.hub () in
+  let budget = match budget with Some b -> b | None -> budget_unlimited () in
   let words_per_record = mut_fields + const_fields in
   {
     heap_id;
@@ -48,6 +60,7 @@ let create ?events ~heap_id ~name ~mut_fields ~const_fields ~capacity () =
     base_line = Runtime.Addr.reserve_words (capacity * max 1 words_per_record);
     words_per_record;
     checking = true;
+    budget;
     events;
     live = Atomic.make 0;
     peak = Atomic.make 0;
@@ -96,10 +109,29 @@ let note_alloc t ctx =
   in
   bump_peak ()
 
+(* Optimistically reserve one budget unit; roll back and raise when over the
+   limit so a failed allocation leaves the counter exact. *)
+let charge_budget t =
+  let b = t.budget in
+  let l = 1 + Atomic.fetch_and_add b.b_live 1 in
+  if b.limit >= 0 && l > b.limit then begin
+    ignore (Atomic.fetch_and_add b.b_live (-1));
+    raise
+      (Out_of_memory
+         (Printf.sprintf "%s: %d live records exceed heap budget of %d" t.name
+            l b.limit))
+  end
+
+let uncharge_budget t = ignore (Atomic.fetch_and_add t.budget.b_live (-1))
+
 let claim_fresh ctx t =
   Runtime.Ctx.work ctx 2;
+  charge_budget t;
   let slot = Atomic.fetch_and_add t.bump 1 in
-  if slot >= t.capacity then raise (Arena_full t.name);
+  if slot >= t.capacity then begin
+    uncharge_budget t;
+    raise (Arena_full t.name)
+  end;
   t.state.(slot) <- state_allocated;
   note_alloc t ctx;
   let p = Ptr.make ~arena:t.heap_id ~slot ~gen:t.gen.(slot) in
@@ -119,6 +151,17 @@ let claim_recycled ctx t =
   match pop () with
   | None -> None
   | Some slot ->
+      (match charge_budget t with
+      | () -> ()
+      | exception e ->
+          (* Put the slot back before surfacing the failure. *)
+          let rec push () =
+            let head = Atomic.get t.free_head in
+            t.free_next.(slot) <- head;
+            if not (Atomic.compare_and_set t.free_head head slot) then push ()
+          in
+          push ();
+          raise e);
       t.state.(slot) <- state_allocated;
       note_alloc t ctx;
       let p = Ptr.make ~arena:t.heap_id ~slot ~gen:t.gen.(slot) in
@@ -142,6 +185,7 @@ let release ctx t p ~recycle =
     ctx.Runtime.Ctx.stats.Runtime.Ctx.frees + 1;
   ignore (Atomic.fetch_and_add t.frees 1);
   ignore (Atomic.fetch_and_add t.live (-1));
+  uncharge_budget t;
   if recycle then begin
     let rec push () =
       let head = Atomic.get t.free_head in
@@ -203,6 +247,7 @@ let peek t p f = Atomic.get t.data_mut.(mut_index t p f)
 let poke t p f v = Atomic.set t.data_mut.(mut_index t p f) v
 let peek_const t p f = t.data_const.(const_index t p f)
 
+let budget t = t.budget
 let live_records t = Atomic.get t.live
 let peak_live t = Atomic.get t.peak
 let fresh_claims t = Atomic.get t.bump

@@ -21,13 +21,30 @@ exception Use_after_free of string
 exception Double_free of string
 exception Arena_full of string
 
+(** Raised by allocation when the heap's live-record budget is exhausted —
+    the simulated analogue of [malloc] returning [NULL] under a bounded
+    heap.  Unlike {!Arena_full} (the arena's backing region ran out), the
+    budget is shared across all arenas of a heap and is freed again by
+    [release]: a reclaimer that drains limbo can make a retried allocation
+    succeed.  See {!Heap.set_record_budget}. *)
+exception Out_of_memory of string
+
 type t
 
-(** [create ?events …] builds an arena.  When [events] is given, lifecycle
-    and access events are published on that hub (see {!Smr_event}); arenas of
-    one heap share the heap's hub. *)
+(** A live-record budget shared by the arenas of one heap.  [limit < 0]
+    (the default) means unlimited; the live counter is maintained either
+    way so a limit can be installed mid-run. *)
+type budget = { mutable limit : int; b_live : int Atomic.t }
+
+val budget_unlimited : unit -> budget
+
+(** [create ?events ?budget …] builds an arena.  When [events] is given,
+    lifecycle and access events are published on that hub (see
+    {!Smr_event}); arenas of one heap share the heap's hub, and likewise its
+    record [budget]. *)
 val create :
   ?events:Smr_event.hub ->
+  ?budget:budget ->
   heap_id:int ->
   name:string ->
   mut_fields:int ->
@@ -51,12 +68,17 @@ val record_bytes : t -> int
 val set_checking : t -> bool -> unit
 
 (** [claim_fresh ctx t] bump-allocates a never-used slot.
-    @raise Arena_full when the arena is exhausted. *)
+    @raise Arena_full when the arena is exhausted.
+    @raise Out_of_memory when the heap's record budget is exhausted. *)
 val claim_fresh : Runtime.Ctx.t -> t -> Ptr.t
 
 (** [claim_recycled ctx t] pops a freed slot from the lock-free free list;
-    [None] when it is empty. *)
+    [None] when it is empty.
+    @raise Out_of_memory when the heap's record budget is exhausted (the
+    slot is returned to the free list first). *)
 val claim_recycled : Runtime.Ctx.t -> t -> Ptr.t option
+
+val budget : t -> budget
 
 (** [release ctx t p ~recycle] frees the record.  Its generation is bumped;
     with [recycle] the slot joins the free list for [claim_recycled].

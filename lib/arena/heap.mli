@@ -31,6 +31,16 @@ val release : t -> Runtime.Ctx.t -> Ptr.t -> recycle:bool -> unit
 
 val set_checking : t -> bool -> unit
 
+(** Bounded-memory mode.  [set_record_budget t k] caps the number of
+    simultaneously-live records across {e all} arenas of this heap at [k];
+    further allocations raise {!Arena.Out_of_memory} until records are
+    released.  [k < 0] (the default) removes the cap.  [budget_live] is the
+    current charge against the budget. *)
+
+val set_record_budget : t -> int -> unit
+val record_budget : t -> int
+val budget_live : t -> int
+
 (** Aggregated statistics over all arenas. *)
 
 val live_records : t -> int

@@ -89,19 +89,34 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
   (* Rotate limbo bags: the oldest bag becomes the current bag, and all of
      its full blocks are safe to reuse, so they move to the pool in O(1) per
      block.  Up to B-1 leftover records stay in each partial head block and
-     are reclaimed in a later rotation (paper §4, "Block bags"). *)
-  let rotate_and_reclaim t ctx l =
+     are reclaimed in a later rotation (paper §4, "Block bags").  With
+     [complete] (the emergency path) the partial head blocks are drained
+     record-by-record too: O(B) extra, paid only on allocation failure. *)
+  let rotate_and_reclaim ?(complete = false) t ctx l =
     l.index <- (l.index + 1) mod 3;
     let released = ref 0 in
     Array.iter
       (fun triple ->
+        let bag = triple.(l.index) in
         released :=
           !released
-          + Bag.Blockbag.move_all_full_blocks triple.(l.index) ~into:(fun b ->
-                P.release_block t.pool ctx b))
+          + Bag.Blockbag.move_all_full_blocks bag ~into:(fun b ->
+                P.release_block t.pool ctx b);
+        if complete then begin
+          let rec drain () =
+            match Bag.Blockbag.pop bag with
+            | Some p ->
+                P.release t.pool ctx p;
+                incr released;
+                drain ()
+            | None -> ()
+          in
+          drain ()
+        end)
       l.bags;
     if !released > 0 then
-      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released)
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);
+    !released
 
   let leave_qstate t ctx =
     let pid = ctx.Runtime.Ctx.pid in
@@ -115,7 +130,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
          limbo bag. *)
       l.ops_since_check <- 0;
       l.check_next <- 0;
-      rotate_and_reclaim t ctx l
+      ignore (rotate_and_reclaim t ctx l)
     end;
     l.ops_since_check <- l.ops_since_check + 1;
     if l.ops_since_check >= params.Intf.Params.check_thresh then begin
@@ -183,4 +198,41 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
               triple)
           l.bags)
       t.locals
+
+  (* Allocation-failure path: abandon the incremental amortization and do
+     the reclamation work now, mid-operation.  Sound because rotation only
+     frees records retired two observed epoch changes ago, and our own
+     (unchanged) announcement limits the epoch to one further advance while
+     we are non-quiescent — the same precondition the op-boundary rotation
+     relies on.  Only the local announcement {e mirror} is moved to the
+     observed epoch so the rotation is not repeated for the same change at
+     the next [leave_qstate]; the published announcement keeps its old
+     epoch, since advertising a newer one mid-operation would be unsound. *)
+  let emergency_reclaim t ctx =
+    let pid = ctx.Runtime.Ctx.pid in
+    let n = Intf.Env.nprocs t.env in
+    let l = t.locals.(pid) in
+    let freed = ref 0 in
+    let observe () =
+      let e = Runtime.Svar.get ctx t.epoch in
+      if epoch_of l.ann <> e then begin
+        l.ann <- e lor (l.ann land 1);
+        l.ops_since_check <- 0;
+        l.check_next <- 0;
+        freed := !freed + rotate_and_reclaim ~complete:true t ctx l
+      end;
+      e
+    in
+    let e = observe () in
+    (* Full announcement scan now instead of one-per-operation. *)
+    let all_ok = ref true in
+    for other = 0 to n - 1 do
+      let a = Runtime.Shared_array.get ctx t.announce other in
+      if not (epoch_of a = e || quiescent_bit a) then all_ok := false
+    done;
+    if !all_ok && Runtime.Svar.cas ctx t.epoch ~expect:e (e + 2) then begin
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Epoch_advance (e + 2));
+      ignore (observe ())
+    end;
+    !freed
 end

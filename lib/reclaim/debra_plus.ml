@@ -25,6 +25,8 @@ type local = {
   mutable check_next : int;
   mutable ops_since_check : int;
   mutable ann : int;
+  sig_attempts : int array;  (* per-target resends since last ack *)
+  sig_last : int array;  (* per-target virtual time of last resend *)
 }
 
 module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
@@ -88,6 +90,8 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
                 check_next = 0;
                 ops_since_check = 0;
                 ann = 1;
+                sig_attempts = Array.make n 0;
+                sig_last = Array.make n 0;
               });
         rp_rows = Array.init n (fun _ -> Runtime.Shared_array.create k);
         rp_count = Runtime.Shared_array.create ~padded:true n;
@@ -149,34 +153,71 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
 
   (* Rotate limbo bags; when the freshly-rotated current bag is big enough
      to amortize a full RProtect scan, partition out the protected records
-     and bulk-transfer the full blocks behind them. *)
-  let rotate_and_reclaim t ctx l =
+     and bulk-transfer the full blocks behind them.  With [complete] (the
+     allocation-failure path) the scan runs regardless of the threshold and
+     the partial head blocks are drained record-by-record too, still keeping
+     every rprotected record in limbo. *)
+  let rotate_and_reclaim ?(complete = false) t ctx l =
     l.index <- (l.index + 1) mod 3;
-    if current_blocks l >= t.scan_threshold then begin
+    let released = ref 0 in
+    if complete || current_blocks l >= t.scan_threshold then begin
       let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
       Scan_util.collect_announcements ctx ~into:scanning
         ~nprocs:(Intf.Env.nprocs t.env)
         ~row:(fun other -> t.rp_rows.(other))
         ~count:(fun ctx other -> Runtime.Shared_array.get ctx t.rp_count other);
-      let released = ref 0 in
       Array.iter
         (fun triple ->
+          let bag = triple.(l.index) in
           released :=
             !released
-            + Scan_util.partition_and_release ctx triple.(l.index)
-                ~protected:scanning ~release_block:(fun b ->
-                  P.release_block t.pool ctx b))
+            + Scan_util.partition_and_release ctx bag ~protected:scanning
+                ~release_block:(fun b -> P.release_block t.pool ctx b);
+          if complete then
+            Scan_util.flush_bag ctx bag
+              ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+              ~release:(fun ctx p ->
+                incr released;
+                P.release t.pool ctx p))
         l.bags;
       if !released > 0 then
         Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released)
-    end
+    end;
+    !released
 
+  (* Neutralize a laggard.  Under reliable delivery one signal suffices:
+     once it lands, the target quiesces before its next shared access, so
+     the sender may immediately count it as passed (paper §5).  Two
+     fault-campaign extensions: a send failing with ESRCH means the target
+     crashed — it can never access again, so it counts as permanently
+     quiescent instead of wedging the epoch; and when the group's signal
+     delivery is marked unreliable, a send proves nothing — the sender
+     resends with exponential backoff and only the target's announcement
+     (quiescent bit or current epoch, observed by the caller on a later
+     check) acknowledges neutralization. *)
   let suspect_neutralized t ctx l other =
     current_blocks l >= t.env.Intf.Env.params.Intf.Params.suspect_blocks
-    && Runtime.Group.send_signal t.env.Intf.Env.group ~from:ctx ~target:other
     && begin
-         Intf.Env.emit t.env ctx (Memory.Smr_event.Signal_sent other);
-         true
+         let g = t.env.Intf.Env.group in
+         if not g.Runtime.Group.signals_unreliable then
+           match Runtime.Group.send_signal g ~from:ctx ~target:other with
+           | true ->
+               Intf.Env.emit t.env ctx (Memory.Smr_event.Signal_sent other);
+               true
+           | false -> true (* ESRCH: crashed, permanently quiescent *)
+         else begin
+           let now = Runtime.Ctx.now ctx in
+           let a = l.sig_attempts.(other) in
+           if a = 0 || now - l.sig_last.(other) >= 64 * (1 lsl min a 10) then
+             (match Runtime.Group.send_signal g ~from:ctx ~target:other with
+             | true ->
+                 Intf.Env.emit t.env ctx (Memory.Smr_event.Signal_sent other);
+                 l.sig_attempts.(other) <- a + 1;
+                 l.sig_last.(other) <- now;
+                 false
+             | false -> true)
+           else false
+         end
        end
 
   let leave_qstate t ctx =
@@ -189,17 +230,22 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     if epoch_of l.ann <> read_epoch then begin
       l.ops_since_check <- 0;
       l.check_next <- 0;
-      rotate_and_reclaim t ctx l
+      ignore (rotate_and_reclaim t ctx l)
     end;
     l.ops_since_check <- l.ops_since_check + 1;
     if l.ops_since_check >= params.Intf.Params.check_thresh then begin
       l.ops_since_check <- 0;
       let other = l.check_next mod n in
       let a = Runtime.Shared_array.get ctx t.announce other in
-      if
-        epoch_of a = read_epoch || quiescent_bit a
-        || (other <> pid && suspect_neutralized t ctx l other)
-      then begin
+      let passed =
+        if epoch_of a = read_epoch || quiescent_bit a then begin
+          (* Any pending neutralization of [other] is acknowledged. *)
+          l.sig_attempts.(other) <- 0;
+          true
+        end
+        else other <> pid && suspect_neutralized t ctx l other
+      in
+      if passed then begin
         l.check_next <- l.check_next + 1;
         if
           l.check_next >= n
@@ -245,8 +291,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
 
   let flush t ctx =
     (* Records rprotected by an unfinished recovery stay in limbo; under the
-       quiescent-shutdown contract all rp rows are empty and the bags drain
-       completely. *)
+       quiescent-shutdown contract all rp rows of {e surviving} processes
+       are empty and the bags drain completely.  A process that crashed
+       mid-recovery is permanently non-quiescent: its rp row is still
+       published, so the records it announced are kept in limbo rather than
+       freed — the crash-leak accounting the leak ledger reports as
+       remaining limbo, bounded by hp_slots per crashed process. *)
     let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
     Scan_util.collect_announcements ctx ~into:scanning
       ~nprocs:(Intf.Env.nprocs t.env)
@@ -264,4 +314,64 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
               triple)
           l.bags)
       t.locals
+
+  (* Allocation-failure path with neutralization: rotate-and-drain like
+     DEBRA, then force an epoch advance by signalling every laggard instead
+     of waiting for the amortized one-per-operation check to reach it.  A
+     crashed laggard (ESRCH) counts as permanently quiescent.  Under
+     reliable signals one send per laggard suffices — the epoch may advance
+     immediately, exactly the paper's fault-tolerance argument.  Under
+     unreliable delivery the scan re-runs for a bounded number of rounds,
+     resending and yielding in between so handlers can land; if the
+     laggard's announcement never acknowledges, we degrade to whatever the
+     rotations freed. *)
+  let emergency_reclaim t ctx =
+    let pid = ctx.Runtime.Ctx.pid in
+    let n = Intf.Env.nprocs t.env in
+    let g = t.env.Intf.Env.group in
+    let l = t.locals.(pid) in
+    let freed = ref 0 in
+    let observe () =
+      let e = Runtime.Svar.get ctx t.epoch in
+      if epoch_of l.ann <> e then begin
+        (* Move only the local mirror: publishing a newer epoch while
+           mid-operation would be unsound (see Debra.emergency_reclaim). *)
+        l.ann <- e lor (l.ann land 1);
+        l.ops_since_check <- 0;
+        l.check_next <- 0;
+        freed := !freed + rotate_and_reclaim ~complete:true t ctx l
+      end;
+      e
+    in
+    let e = observe () in
+    let self = Runtime.Shared_array.get ctx t.announce pid in
+    if epoch_of self = e || quiescent_bit self then begin
+      let reliable = not g.Runtime.Group.signals_unreliable in
+      let rounds = ref (if reliable then 1 else (2 * n) + 8) in
+      let advanced = ref false in
+      while (not !advanced) && !rounds > 0 do
+        decr rounds;
+        let all_ok = ref true in
+        for other = 0 to n - 1 do
+          if other <> pid then begin
+            let a = Runtime.Shared_array.get ctx t.announce other in
+            if not (epoch_of a = e || quiescent_bit a) then
+              match Runtime.Group.send_signal g ~from:ctx ~target:other with
+              | false -> () (* ESRCH: crashed, permanently quiescent *)
+              | true ->
+                  Intf.Env.emit t.env ctx (Memory.Smr_event.Signal_sent other);
+                  if not reliable then all_ok := false
+          end
+        done;
+        if !all_ok then begin
+          advanced := true;
+          if Runtime.Svar.cas ctx t.epoch ~expect:e (e + 2) then begin
+            Intf.Env.emit t.env ctx (Memory.Smr_event.Epoch_advance (e + 2));
+            ignore (observe ())
+          end
+        end
+        else Runtime.Ctx.work ctx 64 (* yield so pending handlers can run *)
+      done
+    end;
+    !freed
 end

@@ -124,8 +124,37 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       t.my_ann
 
   let flush t ctx =
+    (* Safe even when a process crashed mid-operation: a dead process never
+       accesses again, so draining the bags cannot produce a use-after-free
+       at shutdown. *)
     Array.iter
       (fun b ->
         ignore (Bag.Shared_intbag.drain ctx b (fun p -> P.release t.pool ctx p)))
       t.limbo
+
+  (* Allocation-failure path.  EBR already scans every announcement each
+     operation; all that is left to try mid-operation is advancing the epoch
+     once more and draining the bag that becomes safe.  Our own announcement
+     pins the epoch (we are non-quiescent), so this succeeds at most once —
+     and not at all when a stalled or crashed peer lags the epoch, which is
+     EBR's honest degradation under faults. *)
+  let emergency_reclaim t ctx =
+    let n = Intf.Env.nprocs t.env in
+    let e = Runtime.Svar.get ctx t.epoch in
+    let all_ok = ref true in
+    for other = 0 to n - 1 do
+      let a = Runtime.Shared_array.get ctx t.announce other in
+      if not (epoch_of a = e || quiescent_bit a) then all_ok := false
+    done;
+    if !all_ok && Runtime.Svar.cas ctx t.epoch ~expect:e (e + 2) then begin
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Epoch_advance (e + 2));
+      let safe = bag_of t (e + 4) in
+      let released =
+        Bag.Shared_intbag.drain ctx safe (fun p -> P.release t.pool ctx p)
+      in
+      if released > 0 then
+        Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep released);
+      released
+    end
+    else 0
 end

@@ -185,4 +185,29 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
               ~release:(fun ctx p -> P.release t.pool ctx p))
           l.bags)
       t.locals
+
+  (* Allocation-failure path: scan immediately, below the amortization
+     threshold, and drain even the partial blocks of our own retired bags —
+     everything not currently covered by a hazard pointer is freed.  HP's
+     bound does not depend on other processes making progress, so this frees
+     all but O(nk) records even under crashes and stalls. *)
+  let emergency_reclaim t ctx =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Scan_util.collect_announcements ctx ~into:scanning
+      ~nprocs:(Intf.Env.nprocs t.env)
+      ~row:(fun other -> t.rows.(other))
+      ~count:(fun _ _ -> t.k);
+    let released = ref 0 in
+    Array.iter
+      (fun b ->
+        Scan_util.flush_bag ctx b
+          ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+          ~release:(fun ctx p ->
+            incr released;
+            P.release t.pool ctx p))
+      l.bags;
+    if !released > 0 then
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);
+    !released
 end

@@ -199,11 +199,27 @@ module type RECLAIMER = sig
 
   (** [flush t ctx] drains every limbo container whose records are no longer
       protected, handing them to the pool.  The quiescent-shutdown API: the
-      caller asserts that all processes are quiescent (no operation in
-      flight, no recovery pending), so after it returns [limbo_size] is 0.
-      It may touch other processes' containers and must only be called when
-      no operation is concurrently running. *)
+      caller asserts that all {e surviving} processes are quiescent (no
+      operation in flight, no recovery pending).  Crashed processes are
+      permanently non-quiescent: records they left protected (hazard
+      pointers, rprotect rows, ThreadScan roots) are {e kept} in limbo
+      rather than freed or waited for — they are accounted as
+      crash-leaked, and [limbo_size] may be non-zero after [flush] when a
+      process died mid-operation.  It may touch other processes' containers
+      and must only be called when no operation is concurrently running. *)
   val flush : t -> Runtime.Ctx.t -> unit
+
+  (** [emergency_reclaim t ctx] is the allocation-failure path (graceful
+      degradation under {!Memory.Arena.Out_of_memory} /
+      {!Memory.Arena.Arena_full}): do reclamation work {e now}, mid-
+      operation, abandoning the scheme's usual amortization — a full
+      announcement scan, an epoch advance attempt, a forced drain of every
+      limbo record that is provably safe.  Returns the number of records
+      handed back to the pool; [0] means the scheme cannot free anything
+      (for [none], always; for epoch schemes, when a stalled or crashed
+      peer pins the epoch) and the caller must surface the failure.  Must
+      be safe to call while the calling process is non-quiescent. *)
+  val emergency_reclaim : t -> Runtime.Ctx.t -> int
 end
 
 module type MAKE_RECLAIMER = functor (P : POOL) -> RECLAIMER with module Pool = P
@@ -256,6 +272,11 @@ module type RECORD_MANAGER = sig
 
   (** See {!RECLAIMER.flush}: drain limbo under full quiescence. *)
   val flush : t -> Runtime.Ctx.t -> unit
+
+  (** See {!RECLAIMER.emergency_reclaim}: forced drain on allocation
+      failure.  [alloc] calls it automatically and retries once before
+      letting the failure escape. *)
+  val emergency_reclaim : t -> Runtime.Ctx.t -> int
 
   (** [run_op t ctx ~recover body] executes one data structure operation
       with neutralization recovery (paper Fig. 5): when [body] is aborted by

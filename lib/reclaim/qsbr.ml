@@ -184,4 +184,23 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
         l.closed <- [];
         free_batch t ctx l.open_batch)
       t.locals
+
+  (* Allocation-failure path: close the open batch so its grace period
+     starts now, then free {e every} closed batch of this process whose
+     snapshot every counter has passed — not just the amortized oldest-first
+     one.  A process that stopped declaring quiescent states (stalled or
+     crashed) pins every snapshot taken after its last declaration, so under
+     such a fault this frees nothing: QSBR's honest degradation. *)
+  let emergency_reclaim t ctx =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    if batch_size l.open_batch > 0 then close_batch t ctx l;
+    let safe, blocked = List.partition (batch_safe t ctx) l.closed in
+    let released =
+      List.fold_left (fun acc b -> acc + batch_size b) 0 safe
+    in
+    List.iter (free_batch t ctx) safe;
+    l.closed <- blocked;
+    if released > 0 then
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep released);
+    released
 end

@@ -200,4 +200,27 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
                 ~release:(fun ctx p -> P.release t.pool ctx p))
           l.bags)
       t.locals
+
+  (* Allocation-failure path: drain our own retired bags completely,
+     freeing every record whose process-reference count is zero.  Like HP,
+     independent of other processes' progress — only records actually held
+     by a (possibly crashed) process stay in limbo. *)
+  let emergency_reclaim t ctx =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    let released = ref 0 in
+    Array.iteri
+      (fun aid bag ->
+        if not (Bag.Blockbag.is_empty bag) then begin
+          let c = counts_of t aid in
+          Scan_util.flush_bag ctx bag
+            ~keep:(fun p ->
+              Runtime.Shared_array.get ctx c (Memory.Ptr.slot p) > 0)
+            ~release:(fun ctx p ->
+              incr released;
+              P.release t.pool ctx p)
+        end)
+      l.bags;
+    if !released > 0 then
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);
+    !released
 end

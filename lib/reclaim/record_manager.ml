@@ -29,7 +29,32 @@ module Make
     { env; pool; reclaimer = Reclaimer.create env pool }
 
   let env t = t.env
-  let alloc t ctx arena = Pool.allocate t.pool ctx arena
+  let emergency_reclaim t ctx = Reclaimer.emergency_reclaim t.reclaimer ctx
+
+  (* Allocation with graceful degradation: when the arena (or the heap's
+     record budget) is exhausted, force reclamation work that the scheme
+     would normally amortize — emergency announcement scan plus limbo
+     drain — and retry.  A pass that frees something retries immediately
+     (it may have freed a different epoch's bag, or a different arena's
+     records, than the one we need).  A pass that frees {e nothing} is not
+     yet defeat: under a hard budget several processes reach this path
+     together, each mid-operation and hence pinning the epoch for the
+     others.  The pass itself performs instrumented accesses, so spinning
+     here lets the scheduler run the other processes to their operation
+     boundaries, after which the epoch moves and the next pass frees.
+     Only after [patience] consecutive fruitless passes does the failure
+     surface to the data structure. *)
+  let patience = 64
+
+  let alloc t ctx arena =
+    let rec attempt fruitless =
+      try Pool.allocate t.pool ctx arena
+      with (Memory.Arena.Out_of_memory _ | Memory.Arena.Arena_full _) as e ->
+        if emergency_reclaim t ctx > 0 then attempt 0
+        else if fruitless + 1 >= patience then raise e
+        else attempt (fruitless + 1)
+    in
+    attempt 0
   let dealloc t ctx p = Pool.release t.pool ctx p
   let supports_crash_recovery = Reclaimer.supports_crash_recovery
   let allows_retired_traversal = Reclaimer.allows_retired_traversal

@@ -220,4 +220,30 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
               ~release:(fun ctx p -> P.release t.pool ctx p))
           l.bags)
       t.locals
+
+  (* Allocation-failure path: ScanAndFree immediately, below the threshold,
+     draining partial blocks of our own buffer.  Announcement rows are only
+     updated at segment commits, so a crashed process keeps at most k
+     records pinned — StackTrack degrades gracefully under both crashes and
+     memory pressure. *)
+  let emergency_reclaim t ctx =
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Scan_util.collect_announcements ctx ~into:scanning
+      ~nprocs:(Intf.Env.nprocs t.env)
+      ~row:(fun other -> t.rows.(other))
+      ~count:(fun _ _ -> t.k);
+    Array.iter (fun r -> if r <> 0 then Bag.Hash_set.insert scanning r) l.mirror;
+    let released = ref 0 in
+    Array.iter
+      (fun b ->
+        Scan_util.flush_bag ctx b
+          ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+          ~release:(fun ctx p ->
+            incr released;
+            P.release t.pool ctx p))
+      l.bags;
+    if !released > 0 then
+      Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);
+    !released
 end

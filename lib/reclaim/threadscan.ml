@@ -148,29 +148,49 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let p = Memory.Ptr.unmark p in
     Array.exists (fun s -> s = p) l.mirror
 
-  let collect t ctx =
+  let collect ?(complete = false) t ctx =
     let pid = ctx.Runtime.Ctx.pid in
     let n = Intf.Env.nprocs t.env in
-    (* Global collector lock (blocking — the paper's progress critique). *)
-    while not (Runtime.Svar.cas ctx t.glock ~expect:0 1) do
-      Runtime.Ctx.work ctx 1
-    done;
+    let group = t.env.Intf.Env.group in
+    (* Global collector lock (blocking — the paper's progress critique).
+       The holder's pid+1 is stored so that waiters can detect a collector
+       that crashed inside the collection and break the lock instead of
+       spinning forever. *)
+    let rec acquire () =
+      if not (Runtime.Svar.cas ctx t.glock ~expect:0 (pid + 1)) then begin
+        let h = Runtime.Svar.get ctx t.glock in
+        if h > 0 && Runtime.Group.is_crashed group (h - 1) then
+          ignore (Runtime.Svar.cas ctx t.glock ~expect:h 0)
+        else Runtime.Ctx.work ctx 1;
+        acquire ()
+      end
+    in
+    acquire ();
     t.mark_bag := Bag.Shared_intbag.create ();
     for other = 0 to n - 1 do
       if other <> pid then begin
         Runtime.Shared_array.set ctx t.acked other 0;
-        ignore
-          (Runtime.Group.send_signal t.env.Intf.Env.group ~from:ctx
-             ~target:other)
+        if
+          not
+            (Runtime.Group.send_signal t.env.Intf.Env.group ~from:ctx
+               ~target:other)
+        then
+          (* ESRCH: the target crashed.  Its roots died with it — a dead
+             process never dereferences again — so it is acked vacuously. *)
+          Runtime.Shared_array.set ctx t.acked other 1
       end
     done;
-    (* Wait for every non-quiescent process to report its roots. *)
+    (* Wait for every non-quiescent surviving process to report its roots.
+       A process that crashes after the signal was sent is skipped the same
+       way; one that stalls non-quiescent blocks the collection — the
+       progress failure the paper criticizes, preserved faithfully. *)
     let rec wait_for other =
       if other < n then
         if
           other = pid
           || Runtime.Shared_array.get ctx t.acked other = 1
           || Runtime.Shared_array.get ctx t.quiescent other = 1
+          || Runtime.Group.is_crashed group other
         then wait_for (other + 1)
         else begin
           Runtime.Ctx.work ctx 1;
@@ -192,11 +212,18 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
         released :=
           !released
           + Scan_util.partition_and_release ctx bag ~protected:scanning
-              ~release_block:(fun b -> P.release_block t.pool ctx b))
+              ~release_block:(fun b -> P.release_block t.pool ctx b);
+        if complete then
+          Scan_util.flush_bag ctx bag
+            ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+            ~release:(fun ctx p ->
+              incr released;
+              P.release t.pool ctx p))
       t.locals.(pid).bags;
     if !released > 0 then
       Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);
-    Runtime.Svar.set ctx t.glock 0
+    Runtime.Svar.set ctx t.glock 0;
+    !released
 
   let retire t ctx p =
     ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
@@ -209,7 +236,7 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let total =
       Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags
     in
-    if total >= t.threshold then collect t ctx
+    if total >= t.threshold then ignore (collect t ctx)
 
   let rprotect _t _ctx _p = ()
   let runprotect_all _t _ctx = ()
@@ -238,4 +265,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
               ~release:(fun ctx p -> P.release t.pool ctx p))
           l.bags)
       t.locals
+
+  (* Allocation-failure path: run a full collection below the threshold,
+     draining partial blocks too.  Degradation caveat, documented rather
+     than papered over: the collection {e blocks} on any process stalled
+     non-quiescent (and, under dropped signals, on any process whose signal
+     never lands) — ThreadScan under memory pressure inherits the scheme's
+     progress failure.  Crashed processes are skipped (see [collect]). *)
+  let emergency_reclaim t ctx = collect ~complete:true t ctx
 end

@@ -206,16 +206,26 @@ let holds_before tbl key ~retire =
 
 let holds_any tbl key = Hashtbl.mem tbl key
 
-(* Free-time grace/hazard checks (the record is Retired). *)
+(* Free-time grace/hazard checks (the record is Retired).
+
+   Crash-awareness: a process the OS reports as crashed is excluded from
+   every blocking condition.  Its shadow session stays open and its hazard
+   multiset is frozen forever, but a dead process performs no further
+   access, so freeing a record only it could have reached is safe — this is
+   precisely the fact DEBRA+ exploits when [pthread_kill] returns [ESRCH].
+   Schemes that conservatively keep such records anyway (HP, RC: the dead
+   process' announcements persist in shared memory) simply never free them,
+   so the relaxation cannot mask a real bug in those schemes. *)
 let check_free t ctx r key =
   let ptr = key in
+  let dead pid = Runtime.Group.is_crashed t.group pid in
   (match t.config.free with
   | Skip -> ()
   | Grace_session ->
       Array.iter
         (fun (pid, session) ->
           let p = t.procs.(pid) in
-          if p.in_session && p.session = session then
+          if (not (dead pid)) && p.in_session && p.session = session then
             flag t ctx Premature_free ~ptr
               ~detail:
                 (Printf.sprintf
@@ -225,7 +235,7 @@ let check_free t ctx r key =
   | Grace_qpoint ->
       Array.iteri
         (fun pid snap ->
-          if t.procs.(pid).qcount = snap then
+          if (not (dead pid)) && t.procs.(pid).qcount = snap then
             flag t ctx Premature_free ~ptr
               ~detail:
                 (Printf.sprintf
@@ -235,7 +245,8 @@ let check_free t ctx r key =
   | Hazard_scan ->
       Array.iteri
         (fun pid p ->
-          if holds_before p.hazards key ~retire:r.retire_seq then
+          if (not (dead pid)) && holds_before p.hazards key ~retire:r.retire_seq
+          then
             flag t ctx Premature_free ~ptr
               ~detail:
                 (Printf.sprintf
@@ -245,7 +256,7 @@ let check_free t ctx r key =
   if t.config.free <> Skip then
     Array.iteri
       (fun pid p ->
-        if holds_any p.rprotects key then
+        if (not (dead pid)) && holds_any p.rprotects key then
           flag t ctx Premature_free ~ptr
             ~detail:
               (Printf.sprintf "pid %d holds a recovery announcement (%s)" pid

@@ -8,7 +8,48 @@ type result = {
   context_switches : int;
 }
 
-exception Stuck of string
+(* Structured livelock diagnostic: enough per-process state to tell a wedge
+   (everyone waiting on a crashed peer) from a runaway loop. *)
+type proc_state = [ `Runnable | `Parked of int | `Finished | `Crashed ]
+
+type proc_diag = {
+  d_pid : int;
+  d_state : proc_state;
+  d_clock : int;  (* virtual time of the process' hardware context *)
+  d_accesses : int;  (* instrumented accesses it performed *)
+  d_last_line : int;  (* cache line of its last instrumented access *)
+}
+
+type stuck_info = {
+  s_reason : string;
+  s_time : int;  (* max core clock when the scheduler gave up *)
+  s_steps : int;
+  s_procs : proc_diag array;
+}
+
+exception Stuck of stuck_info
+
+let state_name = function
+  | `Runnable -> "runnable"
+  | `Parked t -> Printf.sprintf "parked(wake@%d)" t
+  | `Finished -> "finished"
+  | `Crashed -> "crashed"
+
+let stuck_to_string i =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "Sim.Stuck: %s at t=%d after %d steps\n" i.s_reason i.s_time
+    i.s_steps;
+  Array.iter
+    (fun d ->
+      Printf.bprintf b "  pid %d: %-18s clock=%-10d accesses=%-9d last line=%d\n"
+        d.d_pid (state_name d.d_state) d.d_clock d.d_accesses d.d_last_line)
+    i.s_procs;
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Stuck i -> Some (stuck_to_string i)
+    | _ -> None)
 
 type _ Effect.t +=
   | Yield : int -> unit Effect.t  (* charge this many cycles *)
@@ -81,6 +122,7 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
   Array.iter (fun p -> Queue.push p.pid cores.(core_of p.pid).runq) procs;
   (* Install simulator hooks. *)
   let saved_hooks = Array.map (fun c -> c.Ctx.hook) group.Group.ctxs in
+  let last_line = Array.make n (-1) in
   let install pid =
     let ctx = Group.ctx group pid in
     let context = core_of pid in
@@ -91,6 +133,7 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
     ctx.Ctx.hook <-
       (fun c ~line kind ->
         prev c ~line kind;
+        last_line.(pid) <- line;
         let cost = Machine.Cache.access cache ~context kind ~line in
         perform (Yield cost));
     ctx.Ctx.now_impl <- (fun () -> cores.(context).time);
@@ -103,6 +146,38 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
   let steps = ref 0 in
   let crashed = Array.make n false in
   let failure = ref None in
+  let diagnose reason =
+    let max_time = Array.fold_left (fun acc c -> max acc c.time) 0 cores in
+    let procs_diag =
+      Array.map
+        (fun p ->
+          let clock = cores.(core_of p.pid).time in
+          let state =
+            match p.st with
+            | Done -> `Finished
+            | Dead -> `Crashed
+            | Fresh _ | Ready _ ->
+                if p.wake_at > clock then `Parked p.wake_at else `Runnable
+          in
+          {
+            d_pid = p.pid;
+            d_state = state;
+            d_clock = clock;
+            d_accesses =
+              Ctx.stats_total_accesses (Group.ctx group p.pid).Ctx.stats;
+            d_last_line = last_line.(p.pid);
+          })
+        procs
+    in
+    let info =
+      { s_reason = reason; s_time = max_time; s_steps = !steps;
+        s_procs = procs_diag }
+    in
+    (* Livelocks are usually fatal to the whole run; print the diagnostic
+       even if a harness swallows the exception payload. *)
+    prerr_string (stuck_to_string info);
+    Stuck info
+  in
   (* Rotate the front of a core's run queue to its back, charging a context
      switch when the queue actually holds more than one process. *)
   let rotate core =
@@ -171,7 +246,12 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
   let finish_front core p ~dead =
     ignore (Queue.pop core.runq);
     p.st <- (if dead then Dead else Done);
-    if dead then crashed.(p.pid) <- true;
+    if dead then begin
+      crashed.(p.pid) <- true;
+      (* The OS knows: signals to this pid now fail with ESRCH, and
+         crash-aware reclamation paths may skip it. *)
+      Group.mark_crashed group p.pid
+    end;
     decr live;
     core.quantum_left <- machine.Machine.Config.quantum
   in
@@ -188,53 +268,63 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
         if every <= 0 then invalid_arg "Sim.run: tick interval must be > 0";
         Some (every, f, ref every)
   in
-  (while !live > 0 && !failure = None do
-     incr steps;
-     if !steps > max_steps then raise (Stuck "scheduler step budget exceeded");
-     let c = pick_core () in
-     if c < 0 then
-       raise (Stuck "live processes but empty run queues (internal error)");
-     let core = cores.(c) in
-     (match tick_state with
-     | Some (every, f, next) ->
-         while !next <= core.time do
-           f !next;
-           next := !next + every
-         done
-     | None -> ());
-     if prepare_front core then begin
-     let pid = Queue.peek core.runq in
-     let p = procs.(pid) in
-     let outcome =
-       match p.st with
-       | Fresh body -> match_with body () handler
-       | Ready k -> continue k ()
-       | Done | Dead -> raise (Stuck "scheduled a finished process")
-     in
-     match outcome with
-     | Yielded (cost, k) ->
-         p.st <- Ready k;
-         core.time <- core.time + cost;
-         core.quantum_left <- core.quantum_left - cost;
-         if core.quantum_left <= 0 then rotate core
-     | Stalled (cycles, k) ->
-         p.st <- Ready k;
-         p.wake_at <- core.time + cycles;
-         rotate core
-     | Finished -> finish_front core p ~dead:false
-     | Crash_exit -> finish_front core p ~dead:true
-     | Failed (e, bt) ->
-         finish_front core p ~dead:true;
-         failure := Some (e, bt)
-     end
-   done);
-  (* Restore hooks so post-run code executes directly. *)
-  Array.iteri
-    (fun pid ctx ->
-      ctx.Ctx.hook <- saved_hooks.(pid);
-      ctx.Ctx.now_impl <- (fun () -> 0);
-      ctx.Ctx.stall_impl <- (fun _ -> ()))
-    group.Group.ctxs;
+  (* Restore hooks so post-run code executes directly — also on a Stuck
+     escape, so a caller that catches the diagnostic is left with working
+     contexts. *)
+  let restore_hooks () =
+    Array.iteri
+      (fun pid ctx ->
+        ctx.Ctx.hook <- saved_hooks.(pid);
+        ctx.Ctx.now_impl <- (fun () -> 0);
+        ctx.Ctx.stall_impl <- (fun _ -> ()))
+      group.Group.ctxs
+  in
+  (try
+     while !live > 0 && !failure = None do
+       incr steps;
+       if !steps > max_steps then
+         raise (diagnose "scheduler step budget exceeded (livelock?)");
+       let c = pick_core () in
+       if c < 0 then
+         raise (diagnose "live processes but empty run queues (internal error)");
+       let core = cores.(c) in
+       (match tick_state with
+       | Some (every, f, next) ->
+           while !next <= core.time do
+             f !next;
+             next := !next + every
+           done
+       | None -> ());
+       if prepare_front core then begin
+         let pid = Queue.peek core.runq in
+         let p = procs.(pid) in
+         let outcome =
+           match p.st with
+           | Fresh body -> match_with body () handler
+           | Ready k -> continue k ()
+           | Done | Dead -> raise (diagnose "scheduled a finished process")
+         in
+         match outcome with
+         | Yielded (cost, k) ->
+             p.st <- Ready k;
+             core.time <- core.time + cost;
+             core.quantum_left <- core.quantum_left - cost;
+             if core.quantum_left <= 0 then rotate core
+         | Stalled (cycles, k) ->
+             p.st <- Ready k;
+             p.wake_at <- core.time + cycles;
+             rotate core
+         | Finished -> finish_front core p ~dead:false
+         | Crash_exit -> finish_front core p ~dead:true
+         | Failed (e, bt) ->
+             finish_front core p ~dead:true;
+             failure := Some (e, bt)
+       end
+     done
+   with e ->
+     restore_hooks ();
+     raise e);
+  restore_hooks ();
   (match !failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ());

@@ -24,8 +24,33 @@ type result = {
   context_switches : int;
 }
 
-exception Stuck of string
-  (** raised when the scheduler exceeds its step budget, indicating livelock *)
+(** Livelock diagnostic, one entry per process: its scheduling state, the
+    virtual clock of its hardware context, how many instrumented accesses it
+    performed and the cache line of the last one — enough to tell a wedge
+    (everyone parked or spinning on a crashed peer's line) from a runaway
+    loop (one runnable process with a huge access count). *)
+type proc_state = [ `Runnable | `Parked of int | `Finished | `Crashed ]
+
+type proc_diag = {
+  d_pid : int;
+  d_state : proc_state;
+  d_clock : int;
+  d_accesses : int;
+  d_last_line : int;
+}
+
+type stuck_info = {
+  s_reason : string;
+  s_time : int;  (** max core clock when the scheduler gave up *)
+  s_steps : int;
+  s_procs : proc_diag array;
+}
+
+exception Stuck of stuck_info
+  (** raised when the scheduler exceeds its step budget, indicating livelock;
+      the diagnostic is also printed to stderr *)
+
+val stuck_to_string : stuck_info -> string
 
 (** Scheduling policy.  [`Min_time] (the default) always runs the hardware
     context with the smallest virtual clock — the faithful model of parallel

@@ -28,6 +28,15 @@ type cfg = {
   stall : (int * int) option;
       (** [(at, cycles)]: park the highest-pid process mid-operation at
           virtual time [at] for [cycles] — the E-stall campaign *)
+  chaos : Chaos.plan option;
+      (** fault-injection plan (crashes, signal faults, memory budget);
+          armed after the prefill — the E-crash / E-oom campaigns *)
+  budget : int;
+      (** bounded-memory mode: headroom in records the trial may claim
+          beyond what the prefill left claimed; negative = unlimited *)
+  max_steps : int option;
+      (** scheduler step budget: livelocks and fault-induced wedges raise
+          {!Sim.Stuck} instead of spinning forever *)
 }
 
 type runner = { rname : string; run : cfg -> Trial.outcome }
@@ -75,7 +84,8 @@ module Make_bst_runner (RM : Intf.RECORD_MANAGER) = struct
             (module T)
             ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
             ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
-            ?stall:cfg.stall ~n:cfg.n
+            ?stall:cfg.stall ?chaos:cfg.chaos ~budget:cfg.budget
+            ?max_steps:cfg.max_steps ~n:cfg.n
             ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
@@ -101,7 +111,8 @@ module Make_skiplist_runner (RM : Intf.RECORD_MANAGER) = struct
             (module S)
             ~machine:cfg.machine ~params ~duration:cfg.duration
             ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
-            ?stall:cfg.stall ~n:cfg.n
+            ?stall:cfg.stall ?chaos:cfg.chaos ~budget:cfg.budget
+            ?max_steps:cfg.max_steps ~n:cfg.n
             ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end
@@ -119,7 +130,8 @@ module Make_list_runner (RM : Intf.RECORD_MANAGER) = struct
             (module L)
             ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
             ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
-            ?stall:cfg.stall ~n:cfg.n
+            ?stall:cfg.stall ?chaos:cfg.chaos ~budget:cfg.budget
+            ?max_steps:cfg.max_steps ~n:cfg.n
             ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
     }
 end

@@ -30,6 +30,13 @@ type outcome = {
   allocs : int;
   frees : int;
   oom : bool;  (** the arena filled up: the scheme failed to reclaim *)
+  crashed : int;  (** processes that terminated via an injected crash *)
+  chaos : Chaos.summary option;
+      (** fault-injection summary; [None] when the trial ran without a
+          chaos plan *)
+  invariant_failure : string option;
+      (** post-fault structure validation: [None] = the survivors' final
+          structure passed its invariant walk (or validation was off) *)
   cache : Machine.Cache.stats option;
   violations : int option;
       (** sanitizer violation count; [None] when the trial ran without the
@@ -57,6 +64,10 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
     val delete : t -> Runtime.Ctx.t -> int -> bool
     val contains : t -> Runtime.Ctx.t -> int -> bool
+
+    (** Uninstrumented invariant walk; raises on a broken structure.  Used
+        for post-fault validation after chaos trials. *)
+    val check_invariants : t -> unit
   end
 
   (* Base scheme name ("debra+", "hp", ...) out of "debra+(pool,bump)". *)
@@ -67,8 +78,8 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   let trial (module S : SET) ?(machine = Machine.Config.intel_i7_4770)
       ?(params = Reclaim.Intf.Params.default) ?(duration = 2_000_000)
-      ?(capacity = 0) ?(sanitize = false) ?telemetry ?stall ~n ~range ~ins
-      ~del ~seed () =
+      ?(capacity = 0) ?(sanitize = false) ?telemetry ?stall ?chaos
+      ?(budget = -1) ?max_steps ?policy ~n ~range ~ins ~del ~seed () =
     let group = Runtime.Group.create ~seed n in
     let heap = Memory.Heap.create () in
     let env = Reclaim.Intf.Env.create ~params group heap in
@@ -90,7 +101,8 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     let checked f =
       match san with None -> f () | Some sa -> Sanitizer.with_checks sa f
     in
-    let sim_result, base_claimed, limbo =
+    let chaos_engine = ref None in
+    let sim_result, base_claimed, limbo, invariant_failure =
       checked (fun () ->
           let s = S.create rm ~capacity in
           (* Prefill to half the key range (uninstrumented: simulator hooks
@@ -197,31 +209,79 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
             | None -> plain_body
             | Some rec_ -> recording_body rec_
           in
+          (* Bounded-memory mode and fault injection arm after the prefill:
+             the record budget and the access-count fault triggers apply to
+             the measured run only.  [budget] is headroom above the records
+             already claimed (the prefill's live set plus whatever inventory
+             its reclamation pipeline left in limbo and pools): the trial
+             may claim at most [budget] further records before allocation
+             starts failing over to emergency reclamation. *)
+          if budget >= 0 then
+            Memory.Heap.set_record_budget heap
+              (Memory.Heap.budget_live heap + budget);
+          chaos_engine :=
+            Option.map
+              (fun plan ->
+                Chaos.install plan ~group ~heap ~in_op:(fun c ->
+                    not (RM.is_quiescent rm c)))
+              chaos;
           let sim_result =
-            match Sim.run ~machine ?tick group (Array.init n body) with
+            match Sim.run ~machine ?max_steps ?policy ?tick group
+                    (Array.init n body)
+            with
             | r -> Ok r
             | exception Memory.Arena.Arena_full a -> Error a
+            | exception Memory.Arena.Out_of_memory a -> Error a
           in
+          Option.iter Chaos.uninstall !chaos_engine;
           Option.iter (fun restore -> restore ()) restore_stall;
           Option.iter (fun sub -> Memory.Heap.remove_sink heap sub) tel_sub;
           let limbo = RM.limbo_size rm in
+          (* Post-fault validation: whatever the faults did, the structure
+             the survivors left behind must still satisfy its invariants. *)
+          let invariant_failure =
+            match chaos with
+            | None -> None
+            | Some _ -> (
+                try
+                  S.check_invariants s;
+                  None
+                with e -> Some (Printexc.to_string e))
+          in
           (* Under the sanitizer, shut down quiescently so the shadow leak
-             ledger can be reconciled against the reclaimer's limbo. *)
+             ledger can be reconciled against the reclaimer's limbo.
+             Crashed processes are permanently non-quiescent: they take no
+             part in the shutdown protocol, and [flush] is driven by the
+             lowest surviving pid (a dead ctx must not execute protocol
+             steps post-mortem). *)
           (match san with
           | None -> ()
           | Some sa ->
+              let alive ctx =
+                not
+                  (Runtime.Group.is_crashed group ctx.Runtime.Ctx.pid)
+              in
               for _ = 1 to 30 do
                 Array.iter
                   (fun ctx ->
-                    RM.leave_qstate rm ctx;
-                    RM.enter_qstate rm ctx)
+                    if alive ctx then begin
+                      RM.leave_qstate rm ctx;
+                      RM.enter_qstate rm ctx
+                    end)
                   group.Runtime.Group.ctxs
               done;
-              RM.flush rm ctx0;
+              let janitor =
+                match
+                  Array.find_opt alive group.Runtime.Group.ctxs
+                with
+                | Some ctx -> ctx
+                | None -> ctx0
+              in
+              RM.flush rm janitor;
               Sanitizer.leak_check sa ~limbo_size:(RM.limbo_size rm);
               let r = Sanitizer.report sa in
               if r <> "" then prerr_string r);
-          (sim_result, base_claimed, limbo))
+          (sim_result, base_claimed, limbo, invariant_failure))
     in
     let stat f = Runtime.Group.sum_stats group f in
     let ops = stat (fun s -> s.Runtime.Ctx.ops) in
@@ -245,6 +305,14 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       allocs = stat (fun s -> s.Runtime.Ctx.allocs);
       frees = stat (fun s -> s.Runtime.Ctx.frees);
       oom;
+      crashed =
+        (let c = ref 0 in
+         for pid = 0 to n - 1 do
+           if Runtime.Group.is_crashed group pid then incr c
+         done;
+         !c);
+      chaos = Option.map Chaos.summary !chaos_engine;
+      invariant_failure;
       cache;
       violations = Option.map Sanitizer.violation_count san;
       latency =

@@ -1,0 +1,267 @@
+(* Fault-injection tests: crash during neutralization, signals to dead
+   processes, crashed ThreadScan collectors, queue linearizability under
+   crashes (via the FIFO oracle), bounded-memory emergency reclamation, and
+   determinism of the chaos engine itself. *)
+
+let params =
+  {
+    Reclaim.Intf.Params.default with
+    Reclaim.Intf.Params.block_capacity = 16;
+    incr_thresh = 4;
+    pool_cap_blocks = 2;
+  }
+
+let or_wedged f =
+  try f ()
+  with Sim.Stuck i ->
+    Alcotest.failf "simulation wedged: %s (after %d steps)" i.Sim.s_reason
+      i.Sim.s_steps
+
+(* ------------------------------------------------------------------ *)
+(* Crash during neutralization: a DEBRA+ process dies mid-operation, so
+   the epoch stops advancing until the survivors suspect it and try to
+   neutralize — and every signal to the corpse comes back ESRCH.  The
+   trial must complete (no wedge), the sanitizer must see no double
+   frees, the final structure must pass its invariant walk, and limbo
+   must stay within the paper's bound. *)
+
+module BP = Workload.Schemes.B2_debra_plus
+
+let crash_mid_op ~policy ~seed () =
+  let n = 6 in
+  let plan =
+    Chaos.
+      { seed; faults = [ Crash { pid = 2; at = 3_000; kind = In_operation } ] }
+  in
+  let o =
+    or_wedged (fun () ->
+        BP.R.trial
+          (module BP.T)
+          ~params ~duration:400_000 ~sanitize:true ~chaos:plan
+          ~max_steps:20_000_000 ~policy ~n ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check int) "one process crashed" 1 o.Workload.Trial.crashed;
+  Alcotest.(check (option int)) "sanitizer silent" (Some 0)
+    o.Workload.Trial.violations;
+  Alcotest.(check (option string)) "invariants hold" None
+    o.Workload.Trial.invariant_failure;
+  let bound = 3 * n * n * params.Reclaim.Intf.Params.block_capacity in
+  if o.Workload.Trial.limbo > bound then
+    Alcotest.failf "limbo %d exceeds bound %d: neutralization failed"
+      o.Workload.Trial.limbo bound;
+  if o.Workload.Trial.ops = 0 then Alcotest.fail "survivors performed no ops"
+
+let crash_cases =
+  Alcotest.test_case "min-time schedule" `Quick
+    (crash_mid_op ~policy:`Min_time ~seed:11)
+  :: List.map
+       (fun seed ->
+         Alcotest.test_case
+           (Printf.sprintf "random-walk seed %d" seed)
+           `Quick
+           (crash_mid_op ~policy:(`Random_walk seed) ~seed))
+       [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* Die inside the signal handler itself: the corpse was neutralized and
+   never ran its recovery; survivors must still finish and reclaim. *)
+let crash_in_handler () =
+  let seed = 23 in
+  let plan =
+    Chaos.{ seed; faults = [ Crash { pid = -1; at = 1; kind = In_handler } ] }
+  in
+  let o =
+    or_wedged (fun () ->
+        BP.R.trial
+          (module BP.T)
+          ~params ~duration:400_000 ~sanitize:true ~chaos:plan
+          ~max_steps:20_000_000 ~n:6 ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check (option int)) "sanitizer silent" (Some 0)
+    o.Workload.Trial.violations;
+  (match o.Workload.Trial.chaos with
+  | Some s when s.Chaos.handler_crashes = 1 -> ()
+  | Some s ->
+      Alcotest.failf "expected 1 handler crash, engine reports %d"
+        s.Chaos.handler_crashes
+  | None -> Alcotest.fail "no chaos summary on a faulted trial");
+  Alcotest.(check (option string)) "invariants hold" None
+    o.Workload.Trial.invariant_failure
+
+(* ------------------------------------------------------------------ *)
+(* ThreadScan regression: a crashed process holding the collector role
+   (the global scan lock) must not wedge the others — survivors steal
+   the lock and treat the corpse's missing ack as vacuous. *)
+
+module BT = Workload.Schemes.B2_ts
+
+let threadscan_crashed_collector ~seed () =
+  let plan =
+    Chaos.{ seed; faults = [ Crash { pid = 1; at = 5_000; kind = Anywhere } ] }
+  in
+  let o =
+    or_wedged (fun () ->
+        BT.R.trial
+          (module BT.T)
+          ~params ~duration:300_000 ~sanitize:true ~chaos:plan
+          ~max_steps:20_000_000 ~n:4 ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check int) "one process crashed" 1 o.Workload.Trial.crashed;
+  Alcotest.(check (option int)) "sanitizer silent" (Some 0)
+    o.Workload.Trial.violations;
+  Alcotest.(check (option string)) "invariants hold" None
+    o.Workload.Trial.invariant_failure
+
+(* ------------------------------------------------------------------ *)
+(* Queue linearizability under crashes: producers mint values from the
+   FIFO oracle, two of the four processes die mid-run, and the oracle
+   then checks conservation (nothing duplicated, nothing from thin air)
+   and per-producer FIFO order over everything dequeued or drained. *)
+
+module RM_q =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Debra_plus.Make)
+
+let queue_crash_fifo ~seed () =
+  let n = 4 in
+  let ops = 400 in
+  let group = Runtime.Group.create ~seed n in
+  let heap = Memory.Heap.create () in
+  let env = Reclaim.Intf.Env.create ~params group heap in
+  let rm = RM_q.create env in
+  let module Q = Ds.Ms_queue.Make (RM_q) in
+  let q = Q.create rm ~capacity:((n * ops) + 2) in
+  let oracle = Chaos.Fifo_oracle.create ~nprocs:n in
+  let plan =
+    Chaos.
+      {
+        seed;
+        faults =
+          [
+            Crash { pid = 1; at = 2_000; kind = Anywhere };
+            Crash { pid = 3; at = 2_500; kind = Anywhere };
+          ];
+      }
+  in
+  let engine = Chaos.install plan ~group ~heap in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    if pid < 2 then
+      for _ = 1 to ops do
+        Q.enqueue q ctx (Chaos.Fifo_oracle.next_value oracle ~pid)
+      done
+    else
+      for _ = 1 to ops do
+        (match Q.dequeue q ctx with
+        | Some v -> Chaos.Fifo_oracle.dequeued oracle ~pid v
+        | None -> ());
+        Runtime.Ctx.work ctx 3
+      done
+  in
+  or_wedged (fun () ->
+      ignore
+        (Sim.run
+           ~machine:(Machine.Config.tiny ~contexts:4 ())
+           ~max_steps:20_000_000 group (Array.init n body)));
+  Alcotest.(check int) "both crashes fired" 2 (Chaos.summary engine).Chaos.crashes;
+  Chaos.uninstall engine;
+  (* Drain the survivors' leftovers through pid 0 (alive: it finished). *)
+  let ctx0 = Runtime.Group.ctx group 0 in
+  let drained = ref [] in
+  let rec drain () =
+    match Q.dequeue q ctx0 with
+    | Some v ->
+        drained := v :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  match Chaos.Fifo_oracle.check oracle ~drained:!drained with
+  | None -> ()
+  | Some msg -> Alcotest.failf "queue oracle: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Bounded memory: with tight allocation headroom above the prefill, a
+   scheme with a working emergency-reclamation path completes, while
+   [none] (which never frees) must exhaust the budget and report it. *)
+
+module BN = Workload.Schemes.B1_none
+
+let oom_emergency_drain () =
+  let seed = 31 in
+  let headroom = 6 * 6 * params.Reclaim.Intf.Params.block_capacity in
+  let o =
+    or_wedged (fun () ->
+        BP.R.trial
+          (module BP.T)
+          ~params ~duration:400_000 ~sanitize:true ~budget:headroom
+          ~max_steps:20_000_000 ~n:6 ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check bool) "debra+ completes within the budget" false
+    o.Workload.Trial.oom;
+  Alcotest.(check (option int)) "sanitizer silent" (Some 0)
+    o.Workload.Trial.violations;
+  let o_none =
+    or_wedged (fun () ->
+        BN.R.trial
+          (module BN.T)
+          ~params ~duration:400_000 ~budget:headroom ~max_steps:20_000_000
+          ~n:6 ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check bool) "none reports exhaustion" true o_none.Workload.Trial.oom
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the same plan under the same schedule fires the same
+   faults at the same points and yields an identical outcome. *)
+
+let determinism ~policy () =
+  let seed = 47 in
+  let run () =
+    let plan =
+      Chaos.random_plan ~seed ~nprocs:6 [ `Crash; `Drop ]
+    in
+    or_wedged (fun () ->
+        BP.R.trial
+          (module BP.T)
+          ~params ~duration:300_000 ~sanitize:true ~chaos:plan
+          ~max_steps:20_000_000 ~policy ~n:6 ~range:512 ~ins:50 ~del:50 ~seed
+          ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "ops equal" a.Workload.Trial.ops b.Workload.Trial.ops;
+  Alcotest.(check int) "limbo equal" a.Workload.Trial.limbo
+    b.Workload.Trial.limbo;
+  Alcotest.(check int) "crashed equal" a.Workload.Trial.crashed
+    b.Workload.Trial.crashed;
+  match (a.Workload.Trial.chaos, b.Workload.Trial.chaos) with
+  | Some sa, Some sb ->
+      Alcotest.(check bool) "chaos summaries equal" true (sa = sb)
+  | _ -> Alcotest.fail "missing chaos summary"
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ("crash mid-op (debra+)", crash_cases);
+      ( "crash in handler",
+        [ Alcotest.test_case "group-wide nth handler" `Quick crash_in_handler ]
+      );
+      ( "threadscan collector crash",
+        [
+          Alcotest.test_case "seed 5" `Quick
+            (threadscan_crashed_collector ~seed:5);
+          Alcotest.test_case "seed 6" `Quick
+            (threadscan_crashed_collector ~seed:6);
+        ] );
+      ( "queue fifo oracle",
+        [
+          Alcotest.test_case "crash 2 of 4 procs" `Quick
+            (queue_crash_fifo ~seed:13);
+        ] );
+      ( "bounded memory",
+        [ Alcotest.test_case "emergency drain" `Quick oom_emergency_drain ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "min-time" `Quick (determinism ~policy:`Min_time);
+          Alcotest.test_case "random-walk" `Quick
+            (determinism ~policy:(`Random_walk 9));
+        ] );
+    ]

@@ -232,6 +232,7 @@ struct
   let limbo_per_proc t = Array.make (Intf.Env.nprocs t.env) 0
   let epoch_lag t = Array.make (Intf.Env.nprocs t.env) 0
   let flush _t _ctx = ()
+  let emergency_reclaim _t _ctx = 0
 end
 
 (* HP with the post-announce validation deleted: announce, skip the fence
@@ -384,6 +385,8 @@ struct
               ~release:(fun ctx p -> P.release t.pool ctx p))
           l.bags)
       t.locals
+
+  let emergency_reclaim _t _ctx = 0
 end
 
 module RM_broken_ebr =

@@ -144,6 +144,9 @@ let small_cfg ?telemetry ?stall ?(duration = 300_000) ?(n = 4) () =
     sanitize = false;
     telemetry;
     stall;
+  chaos = None;
+    budget = -1;
+    max_steps = None;
   }
 
 let test_trace_well_formed () =
