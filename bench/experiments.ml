@@ -41,6 +41,15 @@ let sanitize = ref false
 let json = ref false
 let json_rows : Telemetry.Json.t list ref = ref []
 
+(* Set by bench/main.ml's --backend flag.  Under [`Domains] the trial
+   duration is floored to ~20 ms of wall time (1 cycle = 1 ns): sim-scale
+   durations are virtual-time budgets and would elapse before every domain
+   even spawns. *)
+let backend : Exec.Backend.t ref = ref `Sim
+
+let effective_duration duration =
+  match !backend with `Sim -> duration | `Domains -> max duration 20_000_000
+
 let percentile_key p =
   if Float.is_integer p then Printf.sprintf "p%.0f" p
   else
@@ -53,6 +62,8 @@ let outcome_json (o : Workload.Trial.outcome) =
   Obj
     [
       ("scheme", String o.Workload.Trial.scheme);
+      ("backend", String o.Workload.Trial.backend);
+      ("wall_seconds", Float o.Workload.Trial.wall_seconds);
       ("nprocs", Int o.Workload.Trial.nprocs);
       ("ops", Int o.Workload.Trial.ops);
       ("mops", Float o.Workload.Trial.mops);
@@ -80,9 +91,10 @@ let run_panel ~title ~runners ~threads ~cfg_of =
 let base_cfg ?(machine = Machine.Config.intel_i7_4770)
     ?(params = Reclaim.Intf.Params.default) ~scale ~range ~ins ~del n =
   {
+    backend = !backend;
     machine;
     params;
-    duration = scale.duration;
+    duration = effective_duration scale.duration;
     n;
     range;
     ins;
@@ -94,11 +106,11 @@ let base_cfg ?(machine = Machine.Config.intel_i7_4770)
       (if !json then
          Some
            (Telemetry.Recorder.create
-              ~cycles_per_ns:(Workload.Trial.cycles_per_second /. 1.0e9)
+              ~cycles_per_ns:(Exec.Clock.cycles_per_ns (Exec.Backend.clock !backend))
               ~nprocs:n ())
        else None);
     stall = None;
-  chaos = None;
+    chaos = None;
     budget = -1;
     max_steps = None;
   }

@@ -62,7 +62,8 @@ let run_one_json ~scale name =
     Printf.printf "json results written to %s\n%!" file
   end
 
-let main experiments full sanitize json trace metrics_out chaos_seed =
+let main experiments backend full sanitize json trace metrics_out chaos_seed =
+  Experiments.backend := backend;
   Experiments.sanitize := sanitize;
   Experiments.json := json;
   Stall.trace_file := trace;
@@ -81,10 +82,11 @@ let main experiments full sanitize json trace metrics_out chaos_seed =
     else experiments
   in
   Printf.printf
-    "DEBRA/DEBRA+ reproduction benchmark harness (%s scale)\n\
+    "DEBRA/DEBRA+ reproduction benchmark harness (%s scale, %s backend)\n\
      machine models: %s | %s\n\
      %!"
     (if full then "full" else "quick")
+    (Exec.Backend.to_string backend)
     Machine.Config.intel_i7_4770.Machine.Config.name
     Machine.Config.oracle_t4_1.Machine.Config.name;
   List.iter (run_one_json ~scale) experiments;
@@ -100,6 +102,22 @@ let experiments_arg =
     Printf.sprintf "Experiments to run: %s." (String.concat ", " known)
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let backend_arg =
+  let parse s =
+    match Exec.Backend.of_string s with
+    | Ok b -> Ok b
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt b = Format.pp_print_string fmt (Exec.Backend.to_string b) in
+  let backend_conv = Arg.conv (parse, print) in
+  let doc =
+    "Execution backend: $(b,sim) (deterministic virtual-time simulator, the \
+     default; all published numbers) or $(b,domains) (real OCaml 5 domains \
+     on the wall clock; non-deterministic, no cache model, sim-only \
+     features degrade gracefully)."
+  in
+  Arg.(value & opt backend_conv `Sim & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 let full_arg =
   let doc = "Run at paper scale (large key ranges, dense thread grid)." in
@@ -149,7 +167,7 @@ let cmd =
   Cmd.v
     (Cmd.info "debra-bench" ~doc)
     Term.(
-      const main $ experiments_arg $ full_arg $ sanitize_arg $ json_arg
-      $ trace_arg $ metrics_arg $ chaos_seed_arg)
+      const main $ experiments_arg $ backend_arg $ full_arg $ sanitize_arg
+      $ json_arg $ trace_arg $ metrics_arg $ chaos_seed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -58,8 +58,9 @@ let run ~scale =
   in
   let bound = limbo_bound ~n ~block_capacity in
   let sample_every = max 10_000 (duration / 100) in
-  let cycles_per_ns = Workload.Trial.cycles_per_second /. 1.0e9 in
-  let cycles_per_us = Workload.Trial.cycles_per_second /. 1.0e6 in
+  let clock = Exec.Backend.clock !Experiments.backend in
+  let cycles_per_ns = Exec.Clock.cycles_per_ns clock in
+  let cycles_per_us = Exec.Clock.cycles_per_us clock in
   Printf.printf
     "\n\
      ===== E-stall: stalled-process campaign =====\n\

@@ -30,8 +30,19 @@ let parse_chaos_kinds s =
                      (crash|handler|neutralizer|drop|delay|oom:<headroom>)"
                     k))
 
-let run ds scheme variant procs range ins del duration machine seed sanitize
-    chaos trace metrics_out =
+let run ds scheme variant backend procs range ins del duration machine seed
+    sanitize chaos trace metrics_out =
+  let backend =
+    match Exec.Backend.of_string backend with
+    | Ok b -> b
+    | Error msg -> failwith msg
+  in
+  let clock = Exec.Backend.clock backend in
+  (* Sim durations are virtual-cycle budgets; on domains a cycle is a
+     wall-clock ns, so floor the default at ~20 ms of real time. *)
+  let duration =
+    match backend with `Sim -> duration | `Domains -> max duration 20_000_000
+  in
   let machine =
     match machine with
     | "t4" -> Machine.Config.oracle_t4_1
@@ -61,7 +72,7 @@ let run ds scheme variant procs range ins del duration machine seed sanitize
             Option.map
               (fun _ ->
                 Telemetry.Trace.create
-                  ~cycles_per_us:(Workload.Trial.cycles_per_second /. 1.0e6)
+                  ~cycles_per_us:(Exec.Clock.cycles_per_us clock)
                   ())
               trace
           in
@@ -69,7 +80,7 @@ let run ds scheme variant procs range ins del duration machine seed sanitize
             (Telemetry.Recorder.create
                ~sample_every:(max 10_000 (duration / 100))
                ?trace:tr
-               ~cycles_per_ns:(Workload.Trial.cycles_per_second /. 1.0e9)
+               ~cycles_per_ns:(Exec.Clock.cycles_per_ns clock)
                ~nprocs:procs ())
       in
       let plan =
@@ -82,7 +93,8 @@ let run ds scheme variant procs range ins del duration machine seed sanitize
         plan;
       let cfg =
         {
-          Workload.Schemes.machine;
+          Workload.Schemes.backend;
+          machine;
           params = Reclaim.Intf.Params.default;
           duration;
           n = procs;
@@ -108,6 +120,8 @@ let run ds scheme variant procs range ins del duration machine seed sanitize
       Printf.printf "scheme         : %s\n" o.scheme;
       Printf.printf "machine        : %s, %d processes\n"
         machine.Machine.Config.name procs;
+      Printf.printf "backend        : %s (%.3f s wall clock)\n" o.backend
+        o.wall_seconds;
       Printf.printf "operations     : %d in %d cycles -> %.2f Mops/s%s\n" o.ops
         o.virtual_time o.mops
         (if o.oom then "  [ARENA EXHAUSTED]" else "");
@@ -189,6 +203,14 @@ let term =
       value & opt string "exp2"
       & info [ "variant" ] ~doc:"exp1 (no reuse) | exp2 (pool) | exp3 (malloc)")
   in
+  let backend =
+    Arg.(
+      value & opt string "sim"
+      & info [ "backend" ]
+          ~doc:
+            "sim (deterministic virtual-time simulator, the default) | \
+             domains (real OCaml 5 domains on the wall clock)")
+  in
   let procs = Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"processes") in
   let range = Arg.(value & opt int 10_000 & info [ "range" ] ~doc:"key range") in
   let ins = Arg.(value & opt int 50 & info [ "ins" ] ~doc:"insert %") in
@@ -233,8 +255,8 @@ let term =
              lag/pool time series, event counters")
   in
   Term.(
-    const run $ ds $ scheme $ variant $ procs $ range $ ins $ del $ duration
-    $ machine $ seed $ sanitize $ chaos $ trace $ metrics_out)
+    const run $ ds $ scheme $ variant $ backend $ procs $ range $ ins $ del
+    $ duration $ machine $ seed $ sanitize $ chaos $ trace $ metrics_out)
 
 let () =
   exit

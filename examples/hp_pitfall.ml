@@ -49,7 +49,7 @@ module Demo (RM : Intf.RECORD_MANAGER) = struct
       "%-8s lock-free helping: %-3s  %8.2f Mops/s   %7d fences  (%.1f fences/op)\n"
       RM.Reclaimer.name
       (if RM.allows_retired_traversal then "yes" else "NO")
-      (Workload.Trial.mops_of ~ops ~virtual_time:result.Sim.virtual_time)
+      (Exec.Clock.mops Exec.Clock.sim ~ops ~cycles:result.Sim.virtual_time)
       fences
       (float_of_int fences /. float_of_int (max 1 ops))
 end

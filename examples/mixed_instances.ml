@@ -72,7 +72,7 @@ let () =
   let ops = Runtime.Group.sum_stats group (fun s -> s.Runtime.Ctx.ops) in
   Printf.printf "%d operations in %d cycles (%.2f Mops/s)\n" ops
     result.Sim.virtual_time
-    (Workload.Trial.mops_of ~ops ~virtual_time:result.Sim.virtual_time);
+    (Exec.Clock.mops Exec.Clock.sim ~ops ~cycles:result.Sim.virtual_time);
   Printf.printf
     "big tree  (%s):%7d keys,%7d records unreclaimed (roomy: throughput first)\n"
     RM_throughput.scheme_name (Big_tree.size tree)

@@ -60,7 +60,7 @@ let () =
   Printf.printf
     "ran %d operations over %d simulated cycles (%.2f Mops/s at 3 GHz)\n" ops
     result.Sim.virtual_time
-    (Workload.Trial.mops_of ~ops ~virtual_time:result.Sim.virtual_time);
+    (Exec.Clock.mops Exec.Clock.sim ~ops ~cycles:result.Sim.virtual_time);
   Printf.printf "final size: %d keys, %d records live, %d awaiting reclamation\n"
     (Tree.size tree)
     (Memory.Heap.live_records heap)

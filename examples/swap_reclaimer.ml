@@ -41,7 +41,7 @@ module Demo (RM : Intf.RECORD_MANAGER) = struct
     let ops = Runtime.Group.sum_stats group (fun s -> s.Runtime.Ctx.ops) in
     Printf.printf "%-24s %8.2f Mops/s   %6d records still in limbo\n"
       RM.scheme_name
-      (Workload.Trial.mops_of ~ops ~virtual_time:result.Sim.virtual_time)
+      (Exec.Clock.mops Exec.Clock.sim ~ops ~cycles:result.Sim.virtual_time)
       (RM.limbo_size rm)
 end
 

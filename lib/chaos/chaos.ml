@@ -89,6 +89,24 @@ let random_plan ~seed ~nprocs kinds =
   in
   { seed; faults }
 
+(* Faults whose triggers are per-victim state only (its own access count,
+   the heap budget) survive on a non-deterministic backend; everything
+   keyed to a *global* order — handler runs group-wide, signal ordinals,
+   per-target delivery windows — needs the simulator's total order of
+   events and is dropped with a note. *)
+let degrade plan =
+  let supported, dropped =
+    List.partition
+      (function
+        | Crash { kind = Anywhere | In_operation; _ } | Record_budget _ ->
+            true
+        | Crash { kind = In_handler | Neutralizer; _ }
+        | Drop_signals _ | Delay_signals _ ->
+            false)
+      plan.faults
+  in
+  ({ plan with faults = supported }, dropped)
+
 type summary = {
   crashes : int;
   handler_crashes : int;

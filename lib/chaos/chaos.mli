@@ -77,6 +77,14 @@ type kind_spec =
     [1 .. nprocs-1] when possible so at least one process survives. *)
 val random_plan : seed:int -> nprocs:int -> kind_spec list -> plan
 
+(** [degrade plan] restricts a plan to the faults a non-deterministic
+    (real-parallelism) backend can honor: crash triggers keyed only to the
+    victim's own access count ([Anywhere] / [In_operation]) and
+    [Record_budget].  Faults that need the simulator's global event order
+    ([In_handler] and [Neutralizer] crashes, signal drop/delay windows) are
+    returned separately so the driver can report them as unsupported. *)
+val degrade : plan -> plan * fault list
+
 (** What an installed engine actually did. *)
 type summary = {
   crashes : int;  (** processes that crashed (all kinds) *)

@@ -1,0 +1,36 @@
+(** The single source of truth for time scales.
+
+    Every execution backend reports elapsed time as an integer number of
+    {e cycles}, but what a cycle means differs per backend:
+
+    - the deterministic simulator prices accesses on a modelled ~3 GHz
+      part (the paper's i7-4770 testbed), so one virtual cycle is 1/3 ns
+      and [sim.cycles_per_second = 3.0e9];
+    - the real-parallelism domains backend scales wall-clock time so that
+      one cycle is exactly 1 ns ([wall.cycles_per_second = 1.0e9]).
+
+    Before this module existed the two constants lived in
+    [Workload.Trial] and [Runtime.Domain_runner] respectively, with
+    drifting comments; every conversion (Mops/s, simulated-ns latency,
+    trace microseconds, sampling periods) now goes through a [Clock.t] so
+    a backend's numbers are always internally consistent. *)
+
+type t = {
+  name : string;
+  cycles_per_second : float;  (** cycle frequency of this time base *)
+}
+
+let sim = { name = "sim"; cycles_per_second = 3.0e9 }
+let wall = { name = "wall"; cycles_per_second = 1.0e9 }
+
+let cycles_per_ns t = t.cycles_per_second /. 1.0e9
+let cycles_per_us t = t.cycles_per_second /. 1.0e6
+let seconds_of_cycles t c = float_of_int c /. t.cycles_per_second
+let ns_of_cycles t c = float_of_int c /. cycles_per_ns t
+let cycles_of_seconds t s = int_of_float (s *. t.cycles_per_second)
+
+(** [mops t ~ops ~cycles] is throughput in million operations per second
+    of this clock's time base ([ops = 0] or [cycles = 0] reports 0). *)
+let mops t ~ops ~cycles =
+  if cycles = 0 then 0.
+  else float_of_int ops /. seconds_of_cycles t cycles /. 1.0e6

@@ -1,0 +1,26 @@
+(** {!Intf.RUNNER} over the deterministic virtual-time simulator.
+
+    A thin adapter: {!Sim.run} already provides exact signal delivery,
+    exact tick boundaries, crash bookkeeping and {!Sim.Stuck} livelock
+    diagnosis; this module fixes the machine model, step budget and
+    scheduling policy at construction so the trial pipeline sees one
+    uniform [run]. *)
+
+let make ?(machine = Machine.Config.intel_i7_4770) ?max_steps ?policy () :
+    (module Intf.RUNNER) =
+  (module struct
+    let name = "sim"
+    let clock = Clock.sim
+    let deterministic = true
+    let limitations = []
+
+    let run ?tick group bodies =
+      let started = Unix.gettimeofday () in
+      let r = Sim.run ~machine ?max_steps ?policy ?tick group bodies in
+      {
+        Intf.elapsed_cycles = r.Sim.virtual_time;
+        wall_seconds = Unix.gettimeofday () -. started;
+        cache_stats = Some r.Sim.cache_stats;
+        context_switches = r.Sim.context_switches;
+      }
+  end)

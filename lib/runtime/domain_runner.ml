@@ -1,15 +1,14 @@
 type outcome = Finished | Crashed of exn
 
-let cycles_per_second = 1_000_000_000.
-
-let run group bodies =
+let run ?(cycles_per_second = 1_000_000_000.) ?tick group bodies =
   let n = Group.nprocs group in
   assert (Array.length bodies = n);
   let start = Unix.gettimeofday () in
+  let now () =
+    int_of_float ((Unix.gettimeofday () -. start) *. cycles_per_second)
+  in
   let install ctx =
-    ctx.Ctx.now_impl <-
-      (fun () ->
-        int_of_float ((Unix.gettimeofday () -. start) *. cycles_per_second));
+    ctx.Ctx.now_impl <- now;
     (* A stalled process simply sleeps; this keeps it non-quiescent, which is
        the pathology DEBRA+ exists to neutralize. *)
     ctx.Ctx.stall_impl <-
@@ -17,15 +16,42 @@ let run group bodies =
   in
   Array.iter install group.Group.ctxs;
   let outcomes = Array.make n Finished in
+  (* The periodic sampler: a dedicated domain driving the telemetry tick at
+     roughly one call per [every] cycles of wall time.  Unlike the
+     simulator's exact virtual-time boundaries, cadence and timestamps here
+     are approximate (scheduling jitter); the callback still only ever runs
+     outside every workload domain. *)
+  let sampler_stop = Atomic.make false in
+  let sampler =
+    Option.map
+      (fun (every, f) ->
+        if every <= 0 then
+          invalid_arg "Domain_runner.run: tick interval must be > 0";
+        let period = float_of_int every /. cycles_per_second in
+        Domain.spawn (fun () ->
+            while not (Atomic.get sampler_stop) do
+              Unix.sleepf period;
+              if not (Atomic.get sampler_stop) then f (now ())
+            done))
+      tick
+  in
   let domains =
     Array.init n (fun pid ->
         Domain.spawn (fun () ->
             match bodies.(pid) () with
             | () -> Finished
-            | exception Ctx.Crashed -> Crashed Ctx.Crashed
-            | exception e -> Crashed e))
+            | exception e ->
+                (* Mark the pid dead the instant it dies, not after the
+                   join barrier: survivors doing fault-tolerant reclamation
+                   (DEBRA+'s ESRCH path, ThreadScan's lock steal) must see
+                   a dead process while the run is still in flight, or they
+                   wait forever on a corpse. *)
+                Group.mark_crashed group pid;
+                Crashed e))
   in
   Array.iteri (fun pid d -> outcomes.(pid) <- Domain.join d) domains;
+  Atomic.set sampler_stop true;
+  Option.iter Domain.join sampler;
   let elapsed = Unix.gettimeofday () -. start in
   (* Re-raise real failures (but not simulated crashes). *)
   Array.iter

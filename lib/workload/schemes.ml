@@ -12,6 +12,9 @@
 open Reclaim
 
 type cfg = {
+  backend : Exec.Backend.t;
+      (** execution backend: [`Sim] (deterministic virtual time, the
+          default everywhere) or [`Domains] (real OCaml 5 parallelism) *)
   machine : Machine.Config.t;
   params : Intf.Params.t;
   duration : int;
@@ -40,6 +43,13 @@ type cfg = {
 }
 
 type runner = { rname : string; run : cfg -> Trial.outcome }
+
+(* Resolve a cfg's backend to a RUNNER first-class module.  The sim knobs
+   (machine model, step budget) configure the simulator; the domains
+   backend ignores them and runs on the wall clock. *)
+let exec_of cfg =
+  Exec.Backend.runner ~machine:cfg.machine ?max_steps:cfg.max_steps
+    cfg.backend
 
 (* Experiment 1: reclaimers do all their work, but records go back to the
    bump allocator, which leaks them — no reuse, no pool. *)
@@ -72,27 +82,26 @@ module RM3_debra_plus =
 module RM3_hp = Record_manager.Make (Alloc.Malloc) (Pool.Shared) (Hp.Make)
 
 module Make_bst_runner (RM : Intf.RECORD_MANAGER) = struct
-  module T = Ds.Efrb_bst.Make (RM)
   module R = Trial.Run (RM)
+  module T = R.Face.Bst
 
   let runner label =
     {
       rname = label;
       run =
         (fun cfg ->
-          R.trial
-            (module T)
-            ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
-            ?stall:cfg.stall ?chaos:cfg.chaos ~budget:cfg.budget
-            ?max_steps:cfg.max_steps ~n:cfg.n
-            ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
+          R.trial R.Face.bst ~machine:cfg.machine ~params:cfg.params
+            ~duration:cfg.duration ~capacity:cfg.capacity
+            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?stall:cfg.stall
+            ?chaos:cfg.chaos ~budget:cfg.budget ?max_steps:cfg.max_steps
+            ~exec:(exec_of cfg) ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
+            ~del:cfg.del ~seed:cfg.seed ());
     }
 end
 
 module Make_skiplist_runner (RM : Intf.RECORD_MANAGER) = struct
-  module S = Ds.Skiplist.Make (RM)
   module R = Trial.Run (RM)
+  module S = R.Face.Skiplist
 
   let runner label =
     {
@@ -107,32 +116,30 @@ module Make_skiplist_runner (RM : Intf.RECORD_MANAGER) = struct
               Intf.Params.hp_slots = (2 * Ds.Skiplist.max_level) + 8;
             }
           in
-          R.trial
-            (module S)
-            ~machine:cfg.machine ~params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
-            ?stall:cfg.stall ?chaos:cfg.chaos ~budget:cfg.budget
-            ?max_steps:cfg.max_steps ~n:cfg.n
-            ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
+          R.trial R.Face.skiplist ~machine:cfg.machine ~params
+            ~duration:cfg.duration ~capacity:cfg.capacity
+            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?stall:cfg.stall
+            ?chaos:cfg.chaos ~budget:cfg.budget ?max_steps:cfg.max_steps
+            ~exec:(exec_of cfg) ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
+            ~del:cfg.del ~seed:cfg.seed ());
     }
 end
 
 module Make_list_runner (RM : Intf.RECORD_MANAGER) = struct
-  module L = Ds.Hm_list.Make (RM)
   module R = Trial.Run (RM)
+  module L = R.Face.Hm_list
 
   let runner label =
     {
       rname = label;
       run =
         (fun cfg ->
-          R.trial
-            (module L)
-            ~machine:cfg.machine ~params:cfg.params ~duration:cfg.duration
-            ~capacity:cfg.capacity ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry
-            ?stall:cfg.stall ?chaos:cfg.chaos ~budget:cfg.budget
-            ?max_steps:cfg.max_steps ~n:cfg.n
-            ~range:cfg.range ~ins:cfg.ins ~del:cfg.del ~seed:cfg.seed ());
+          R.trial R.Face.hm_list ~machine:cfg.machine ~params:cfg.params
+            ~duration:cfg.duration ~capacity:cfg.capacity
+            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?stall:cfg.stall
+            ?chaos:cfg.chaos ~budget:cfg.budget ?max_steps:cfg.max_steps
+            ~exec:(exec_of cfg) ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
+            ~del:cfg.del ~seed:cfg.seed ());
     }
 end
 
@@ -226,6 +233,8 @@ let run_panel ?(on_outcome = fun (_ : Trial.outcome) -> ()) ~title ~runners
          runners
   in
   let series = List.map (fun r -> (r.rname, ref [])) runners in
+  let backend = ref "sim" in
+  let wall = ref 0. in
   let rows =
     List.map
       (fun n ->
@@ -233,6 +242,8 @@ let run_panel ?(on_outcome = fun (_ : Trial.outcome) -> ()) ~title ~runners
           List.map
             (fun r ->
               let o = r.run (cfg_of n) in
+              backend := o.Trial.backend;
+              wall := !wall +. o.Trial.wall_seconds;
               on_outcome o;
               (r, o))
             runners
@@ -259,6 +270,7 @@ let run_panel ?(on_outcome = fun (_ : Trial.outcome) -> ()) ~title ~runners
       threads
   in
   Report.table ~title ~header ~rows;
+  Printf.printf "  backend: %s, wall-clock %.2f s\n" !backend !wall;
   Report.chart ~title:(title ^ " — figure")
     ~series:(List.map (fun (name, pts) -> (name, List.rev !pts)) series)
     ()

@@ -1,0 +1,33 @@
+(** The uniform face of a set data structure, lifted out of [Trial] so the
+    trial runner, the bench scheme matrix and the chaos campaign all share
+    one definition (and one place to add a structure).
+
+    [Face (RM)] fixes the Record Manager the sets are instantiated with;
+    its [SET] signature is what {!Trial.Run.trial} consumes.  The adapter
+    modules pin each library structure to that face — today they are plain
+    re-instantiations because the structures were written against it, but
+    the adapter is the seam where a non-set shape (a stack exposed as a
+    key-only set, say) would be bridged. *)
+
+module Face (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  module type SET = sig
+    type t
+
+    val create : RM.t -> capacity:int -> t
+    val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
+    val delete : t -> Runtime.Ctx.t -> int -> bool
+    val contains : t -> Runtime.Ctx.t -> int -> bool
+
+    (** Uninstrumented invariant walk; raises on a broken structure.  Used
+        for post-fault validation after chaos trials. *)
+    val check_invariants : t -> unit
+  end
+
+  module Bst = Ds.Efrb_bst.Make (RM)
+  module Skiplist = Ds.Skiplist.Make (RM)
+  module Hm_list = Ds.Hm_list.Make (RM)
+
+  let bst : (module SET) = (module Bst)
+  let skiplist : (module SET) = (module Skiplist)
+  let hm_list : (module SET) = (module Hm_list)
+end

@@ -1,24 +1,31 @@
 (** Trial runner: prefill a set data structure to half its key range, run a
-    timed mixed workload on the simulated machine, and collect the metrics
-    the paper reports (throughput, memory allocated, limbo population,
-    neutralization counts).
+    timed mixed workload, and collect the metrics the paper reports
+    (throughput, memory allocated, limbo population, neutralization counts).
 
     Mirrors the paper's §7 methodology: uniformly random keys, operation
     mixes written "xi-yd" (x% insert, y% delete, rest search), prefill to
-    half the key range, fixed-duration trials. *)
+    half the key range, fixed-duration trials.
 
-(* One virtual cycle = 1/3 ns: the i7-4770 runs at ~3.4 GHz; we report
-   throughput in Mops/s on that scale so numbers are comparable in magnitude
-   to the paper's. *)
-let cycles_per_second = 3.0e9
-let cycles_per_ns = cycles_per_second /. 1.0e9
+    Execution is backend-polymorphic: the pipeline is written once against
+    {!Exec.Intf.RUNNER} and runs on the deterministic virtual-time
+    simulator (the default, and the mode every published number uses) or on
+    real OCaml 5 domains ([~exec:(Exec.Domain_exec.make ())]).  Durations
+    and reported times are in cycles of the backend's {!Exec.Clock}; on a
+    non-deterministic backend the sim-only features degrade gracefully
+    (see DESIGN.md §10): the sanitizer is disabled, chaos plans are
+    restricted to {!Chaos.degrade}'s subset, and the telemetry event-bus
+    sink is not attached. *)
 
 type outcome = {
   scheme : string;
+  backend : string;  (** executor that ran the trial: "sim" or "domains" *)
   nprocs : int;
   ops : int;
   virtual_time : int;
-  mops : float;  (** million operations per simulated second *)
+      (** elapsed time in backend-clock cycles: virtual time under the
+          simulator, scaled wall-clock under domains *)
+  wall_seconds : float;  (** real host time the trial took *)
+  mops : float;  (** million operations per backend-clock second *)
   bytes_claimed : int;  (** total allocated for records, incl. prefill *)
   bytes_claimed_trial : int;
       (** bump-pointer movement during the timed trial only — the paper's
@@ -43,32 +50,17 @@ type outcome = {
           sanitizer (the default — see EXPERIMENTS.md: all reported numbers
           are sanitizer-off) *)
   latency : (string * (float * int) list) list;
-      (** per-operation-kind latency percentiles in simulated ns, as
+      (** per-operation-kind latency percentiles in backend-clock ns, as
           [(percentile, value)] rows; empty when the trial ran without a
           telemetry recorder *)
 }
 
-let mops_of ~ops ~virtual_time =
-  if virtual_time = 0 then 0.
-  else
-    float_of_int ops
-    /. (float_of_int virtual_time /. cycles_per_second)
-    /. 1.0e6
-
 module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
-  (* The uniform face of a set data structure instantiated with RM. *)
-  module type SET = sig
-    type t
+  (* The uniform face of a set data structure instantiated with RM, shared
+     with the bench scheme matrix (see Set_adapter). *)
+  module Face = Set_adapter.Face (RM)
 
-    val create : RM.t -> capacity:int -> t
-    val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
-    val delete : t -> Runtime.Ctx.t -> int -> bool
-    val contains : t -> Runtime.Ctx.t -> int -> bool
-
-    (** Uninstrumented invariant walk; raises on a broken structure.  Used
-        for post-fault validation after chaos trials. *)
-    val check_invariants : t -> unit
-  end
+  module type SET = Face.SET
 
   (* Base scheme name ("debra+", "hp", ...) out of "debra+(pool,bump)". *)
   let base_scheme =
@@ -79,7 +71,46 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   let trial (module S : SET) ?(machine = Machine.Config.intel_i7_4770)
       ?(params = Reclaim.Intf.Params.default) ?(duration = 2_000_000)
       ?(capacity = 0) ?(sanitize = false) ?telemetry ?stall ?chaos
-      ?(budget = -1) ?max_steps ?policy ~n ~range ~ins ~del ~seed () =
+      ?(budget = -1) ?max_steps ?policy ?exec ~n ~range ~ins ~del ~seed () =
+    (* Resolve the execution backend.  The default is the simulator built
+       from the per-trial knobs, which keeps every existing caller (and its
+       deterministic schedule) bit-for-bit unchanged. *)
+    let (module E : Exec.Intf.RUNNER) =
+      match exec with
+      | Some e -> e
+      | None -> Exec.Sim_exec.make ~machine ?max_steps ?policy ()
+    in
+    (* Graceful degradation of sim-only features on a non-deterministic
+       backend: the shadow-state sanitizer and the recorder's event-bus
+       sink share unsynchronized state across what would now be racing
+       domains, and part of the chaos trigger vocabulary needs a global
+       event order. *)
+    let sanitize =
+      if sanitize && not E.deterministic then begin
+        Printf.eprintf
+          "trial: sanitizer is unavailable on the %s backend; running \
+           without it\n\
+           %!"
+          E.name;
+        false
+      end
+      else sanitize
+    in
+    let chaos =
+      match chaos with
+      | Some plan when not E.deterministic ->
+          let plan, dropped = Chaos.degrade plan in
+          List.iter
+            (fun f ->
+              Printf.eprintf
+                "trial: chaos fault %s needs a deterministic backend; \
+                 dropped on %s\n\
+                 %!"
+                (Chaos.fault_to_string f) E.name)
+            dropped;
+          Some plan
+      | c -> c
+    in
     let group = Runtime.Group.create ~seed n in
     let heap = Memory.Heap.create () in
     let env = Reclaim.Intf.Env.create ~params group heap in
@@ -102,11 +133,11 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       match san with None -> f () | Some sa -> Sanitizer.with_checks sa f
     in
     let chaos_engine = ref None in
-    let sim_result, base_claimed, limbo, invariant_failure =
+    let run_result, base_claimed, limbo, invariant_failure =
       checked (fun () ->
           let s = S.create rm ~capacity in
-          (* Prefill to half the key range (uninstrumented: simulator hooks
-             are not yet installed, so this costs no simulated time). *)
+          (* Prefill to half the key range (uninstrumented: backend hooks
+             are not yet installed, so this costs no measured time). *)
           let rng = Random.State.make [| seed; 4242 |] in
           let target = range / 2 in
           let filled = ref 0 in
@@ -116,8 +147,9 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           done;
           Array.iter Runtime.Ctx.reset_stats group.Runtime.Group.ctxs;
           let base_claimed = Memory.Heap.bytes_claimed heap in
-          (* Telemetry gauges read simulation state with uninstrumented
-             peeks: sampling never costs virtual time. *)
+          (* Telemetry gauges read run state with uninstrumented peeks:
+             sampling never costs simulated time, and on domains it runs on
+             a sampler domain outside every workload domain. *)
           (match telemetry with
           | None -> ()
           | Some rec_ ->
@@ -131,11 +163,15 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
                   [| Memory.Heap.live_records heap |]);
               Telemetry.Recorder.add_gauge rec_ ~name:"bytes_claimed"
                 (fun () -> [| Memory.Heap.bytes_claimed heap |]));
+          (* The event-bus sink bumps unsynchronized counters on every
+             emission; only the deterministic backend may attach it. *)
           let tel_sub =
-            Option.map
-              (fun rec_ ->
-                Memory.Heap.add_sink heap (Telemetry.Recorder.sink rec_))
-              telemetry
+            if E.deterministic then
+              Option.map
+                (fun rec_ ->
+                  Memory.Heap.add_sink heap (Telemetry.Recorder.sink rec_))
+                telemetry
+            else None
           in
           let tick =
             Option.map
@@ -146,7 +182,7 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           in
           (* Stalled-process campaign (E-stall): park the victim — the
              highest pid — mid-operation at its first instrumented access
-             past [at], for [cycles] of virtual time.  A signal sent to the
+             past [at], for [cycles] of backend time.  A signal sent to the
              parked process is handled at its next access after waking, as
              a POSIX signal interrupts a descheduled thread on resume. *)
           let restore_stall =
@@ -178,31 +214,46 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
             done
           in
           (* Same loop with per-operation timestamping.  Kept separate so
-             the telemetry-off path contains no recording code at all. *)
-          let recording_body rec_ pid () =
-            let ctx = Runtime.Group.ctx group pid in
-            let rng = Random.State.make [| seed; pid; 41 |] in
-            while Runtime.Ctx.now ctx < duration do
-              let key = 1 + Random.State.int rng range in
-              let r = Random.State.int rng 100 in
-              let start = Runtime.Ctx.now ctx in
-              let kind =
-                if r < ins then begin
-                  ignore (S.insert s ctx ~key ~value:key);
-                  "insert"
-                end
-                else if r < ins + del then begin
-                  ignore (S.delete s ctx key);
-                  "delete"
-                end
-                else begin
-                  ignore (S.contains s ctx key);
-                  "search"
-                end
-              in
-              Telemetry.Recorder.op rec_ ~pid ~kind ~start
-                ~finish:(Runtime.Ctx.now ctx)
-            done
+             the telemetry-off path contains no recording code at all.  On
+             a non-deterministic backend the recorder's histogram table is
+             shared mutable state, so recording serializes on a mutex; the
+             deterministic path records directly, exactly as before. *)
+          let recording_body rec_ =
+            let record =
+              if E.deterministic then Telemetry.Recorder.op rec_
+              else begin
+                let m = Mutex.create () in
+                fun ~pid ~kind ~start ~finish ->
+                  Mutex.lock m;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock m)
+                    (fun () ->
+                      Telemetry.Recorder.op rec_ ~pid ~kind ~start ~finish)
+              end
+            in
+            fun pid () ->
+              let ctx = Runtime.Group.ctx group pid in
+              let rng = Random.State.make [| seed; pid; 41 |] in
+              while Runtime.Ctx.now ctx < duration do
+                let key = 1 + Random.State.int rng range in
+                let r = Random.State.int rng 100 in
+                let start = Runtime.Ctx.now ctx in
+                let kind =
+                  if r < ins then begin
+                    ignore (S.insert s ctx ~key ~value:key);
+                    "insert"
+                  end
+                  else if r < ins + del then begin
+                    ignore (S.delete s ctx key);
+                    "delete"
+                  end
+                  else begin
+                    ignore (S.contains s ctx key);
+                    "search"
+                  end
+                in
+                record ~pid ~kind ~start ~finish:(Runtime.Ctx.now ctx)
+              done
           in
           let body =
             match telemetry with
@@ -225,10 +276,8 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
                 Chaos.install plan ~group ~heap ~in_op:(fun c ->
                     not (RM.is_quiescent rm c)))
               chaos;
-          let sim_result =
-            match Sim.run ~machine ?max_steps ?policy ?tick group
-                    (Array.init n body)
-            with
+          let run_result =
+            match E.run ?tick group (Array.init n body) with
             | r -> Ok r
             | exception Memory.Arena.Arena_full a -> Error a
             | exception Memory.Arena.Out_of_memory a -> Error a
@@ -281,21 +330,27 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
               Sanitizer.leak_check sa ~limbo_size:(RM.limbo_size rm);
               let r = Sanitizer.report sa in
               if r <> "" then prerr_string r);
-          (sim_result, base_claimed, limbo, invariant_failure))
+          (run_result, base_claimed, limbo, invariant_failure))
     in
     let stat f = Runtime.Group.sum_stats group f in
     let ops = stat (fun s -> s.Runtime.Ctx.ops) in
-    let virtual_time, cache, oom =
-      match sim_result with
-      | Ok r -> (r.Sim.virtual_time, Some r.Sim.cache_stats, false)
-      | Error _ -> (duration, None, true)
+    let virtual_time, wall_seconds, cache, oom =
+      match run_result with
+      | Ok r ->
+          (r.Exec.Intf.elapsed_cycles, r.Exec.Intf.wall_seconds,
+           r.Exec.Intf.cache_stats, false)
+      | Error _ -> (duration, 0., None, true)
     in
     {
       scheme = RM.scheme_name;
+      backend = E.name;
       nprocs = n;
       ops;
       virtual_time;
-      mops = (if oom then 0. else mops_of ~ops ~virtual_time);
+      wall_seconds;
+      mops =
+        (if oom then 0.
+         else Exec.Clock.mops E.clock ~ops ~cycles:virtual_time);
       bytes_claimed = Memory.Heap.bytes_claimed heap;
       bytes_claimed_trial = Memory.Heap.bytes_claimed heap - base_claimed;
       bytes_peak = Memory.Heap.bytes_peak heap;

@@ -132,7 +132,8 @@ let test_json_roundtrip () =
 
 let small_cfg ?telemetry ?stall ?(duration = 300_000) ?(n = 4) () =
   {
-    Workload.Schemes.machine = Machine.Config.intel_i7_4770;
+    Workload.Schemes.backend = `Sim;
+    machine = Machine.Config.intel_i7_4770;
     params = Reclaim.Intf.Params.default;
     duration;
     n;
