@@ -171,6 +171,7 @@ let run ~scale =
         chaos = Some plan;
         budget;
         max_steps = Some 40_000_000;
+        history = None;
         seed;
       }
     in

@@ -34,6 +34,14 @@ let full_scale =
    EXPERIMENTS.md are measured without the sanitizer attached. *)
 let sanitize = ref false
 
+(* Set by bench/main.ml's --check-linearizability / --history-out flags:
+   every trial records its operation history; checked histories feed
+   [lin_failures], and --history-out keeps the last trial's history. *)
+let check_lin = ref false
+let history_out : string option ref = ref None
+let lin_failures = ref 0
+let current_history : Lincheck.History.recorder option ref = ref None
+
 (* Set by bench/main.ml's --json flag: every trial gets a fresh telemetry
    recorder (so outcomes carry latency percentiles) and every outcome is
    appended to [json_rows]; main.ml drains the list into one
@@ -81,7 +89,42 @@ let outcome_json (o : Workload.Trial.outcome) =
              o.Workload.Trial.latency) );
     ]
 
-let record_outcome o = if !json then json_rows := outcome_json o :: !json_rows
+(* Post-trial history handling: dump and/or WGL-check the recorded
+   history.  The check is exponential in overlap; bench-scale histories
+   usually exceed the node budget, in which case we say so rather than
+   pretend a verdict (use quick --full=off scales, or the --explore
+   matrix, for real checking). *)
+let check_history (o : Workload.Trial.outcome) =
+  match !current_history with
+  | None -> ()
+  | Some r -> (
+      current_history := None;
+      let h = Lincheck.History.snapshot r in
+      (match !history_out with
+      | None -> ()
+      | Some file ->
+          Lincheck.History.save h file;
+          Printf.printf "  [history: %d events -> %s]\n%!"
+            (Lincheck.History.ops h) file);
+      if !check_lin then
+        match Lincheck.Checker.check Lincheck.Spec.set h with
+        | Lincheck.Checker.Linearizable ->
+            Printf.printf "  [linearizability: %s %dp ok (%d events)]\n%!"
+              o.Workload.Trial.scheme o.Workload.Trial.nprocs
+              (Lincheck.History.ops h)
+        | Lincheck.Checker.Non_linearizable _ as v ->
+            incr lin_failures;
+            Printf.printf "  [linearizability: %s %dp] %s\n%!"
+              o.Workload.Trial.scheme o.Workload.Trial.nprocs
+              (Lincheck.Checker.verdict_to_string v)
+        | exception Lincheck.Checker.Gave_up n ->
+            Printf.printf
+              "  [linearizability: gave up after %d search nodes (%d events) — history too large for WGL; shrink the workload or use --explore]\n%!"
+              n (Lincheck.History.ops h))
+
+let record_outcome o =
+  check_history o;
+  if !json then json_rows := outcome_json o :: !json_rows
 
 (* Shadow Common's run_panel so every panel in this file feeds the JSON
    accumulator. *)
@@ -113,6 +156,13 @@ let base_cfg ?(machine = Machine.Config.intel_i7_4770)
     chaos = None;
     budget = -1;
     max_steps = None;
+    history =
+      (if !check_lin || !history_out <> None then begin
+         let r = Lincheck.History.recorder ~nprocs:n in
+         current_history := Some r;
+         Some r
+       end
+       else None);
   }
 
 let mixes = [ (50, 50); (25, 25) ]

@@ -18,7 +18,15 @@
     default "quick" scale shrinks the big key range and the grid.
     [--json] also writes one BENCH_<experiment>.json per experiment;
     [--trace FILE] / [--metrics-out FILE] apply to e-stall;
-    [--chaos-seed N] replays one e-chaos seed instead of the sweep. *)
+    [--chaos-seed N] replays one e-chaos seed instead of the sweep.
+
+    Linearizability plumbing (lib/lincheck):
+    [--explore BUDGET] runs the systematic-exploration matrix (every
+    scheme x structure, bounded preemptions, every history checked)
+    instead of the experiments; [--check-linearizability] records and
+    WGL-checks each trial's history (bench-scale histories usually
+    exceed the checker budget — it says so honestly); [--history-out
+    FILE] dumps the last trial's history as JSON. *)
 
 let known =
   [
@@ -62,10 +70,53 @@ let run_one_json ~scale name =
     Printf.printf "json results written to %s\n%!" file
   end
 
-let main experiments backend full sanitize json trace metrics_out chaos_seed =
+(* --explore: the scheme x structure exploration matrix (the same cells
+   as `dune build @lincheck-matrix`), scaled by --full. *)
+let run_explore ~budget ~full =
+  let max_runs = if full then 2_000 else 300 in
+  let cfg =
+    {
+      Workload.Lin_harness.default_config with
+      nprocs = 2;
+      ops_per_proc = 3;
+      key_range = 2;
+      prefill = 1;
+    }
+  in
+  Printf.printf
+    "systematic exploration matrix: %d procs x %d ops, preemption budget %d, <=%d schedules/cell\n%!"
+    cfg.Workload.Lin_harness.nprocs cfg.Workload.Lin_harness.ops_per_proc
+    budget max_runs;
+  let failures = ref 0 in
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun scheme ->
+          let v =
+            Workload.Lin_harness.explore ~budget ~max_runs ~ds ~scheme cfg
+          in
+          (match v with
+          | Lincheck.Explore.Fail _ -> incr failures
+          | Lincheck.Explore.Pass _ -> ());
+          Printf.printf "%-9s x %-11s %s\n%!" ds scheme
+            (Workload.Lin_harness.verdict_summary v))
+        Workload.Lin_harness.scheme_names)
+    Workload.Lin_harness.ds_names;
+  if !failures > 0 then begin
+    Printf.eprintf "exploration: %d cell(s) rejected\n" !failures;
+    exit 1
+  end
+
+let main experiments backend full sanitize json trace metrics_out chaos_seed
+    explore check_lin history_out =
+  match explore with
+  | Some budget -> run_explore ~budget ~full
+  | None ->
   Experiments.backend := backend;
   Experiments.sanitize := sanitize;
   Experiments.json := json;
+  Experiments.check_lin := check_lin;
+  Experiments.history_out := history_out;
   Stall.trace_file := trace;
   Stall.metrics_file := metrics_out;
   E_chaos.replay_seed := chaos_seed;
@@ -90,6 +141,11 @@ let main experiments backend full sanitize json trace metrics_out chaos_seed =
     Machine.Config.intel_i7_4770.Machine.Config.name
     Machine.Config.oracle_t4_1.Machine.Config.name;
   List.iter (run_one_json ~scale) experiments;
+  if !Experiments.lin_failures > 0 then begin
+    Printf.eprintf "linearizability: %d trial(s) rejected\n"
+      !Experiments.lin_failures;
+    exit 1
+  end;
   if !E_chaos.failures > 0 then begin
     Printf.eprintf "e-chaos: %d configuration(s) failed\n" !E_chaos.failures;
     exit 1
@@ -162,12 +218,33 @@ let metrics_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let explore_arg =
+  let doc =
+    "Run the systematic schedule-exploration matrix (every reclamation      scheme x every structure, at most $(docv) preemptions per schedule,      each explored history checked for linearizability) instead of the      experiments.  --full raises the per-cell schedule cap from 300 to      2000.  Exits 1 with a replayable preemption schedule on a violation."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "explore" ] ~docv:"BUDGET" ~doc)
+
+let check_lin_arg =
+  let doc =
+    "Record every trial's operation history and check it against the      sequential set specification (WGL checker).  Exponential in      concurrency: bench-scale histories typically exceed the checker's      node budget, which is reported per trial; intended for shrunken      runs.  Exits 1 if any checked trial is non-linearizable."
+  in
+  Arg.(value & flag & info [ "check-linearizability" ] ~doc)
+
+let history_out_arg =
+  let doc =
+    "Record operation histories and write the last trial's history as      JSON to $(docv) (the format of test/histories/)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "history-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the DEBRA/DEBRA+ paper" in
   Cmd.v
     (Cmd.info "debra-bench" ~doc)
     Term.(
       const main $ experiments_arg $ backend_arg $ full_arg $ sanitize_arg
-      $ json_arg $ trace_arg $ metrics_arg $ chaos_seed_arg)
+      $ json_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ explore_arg
+      $ check_lin_arg $ history_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,10 @@
     Examples:
       dune exec bin/debra_demo.exe -- --ds bst --scheme debra+ --procs 16
       dune exec bin/debra_demo.exe -- --ds skiplist --scheme stacktrack \
-        --machine t4 --procs 32 --range 200000 --ins 25 --del 25 *)
+        --machine t4 --procs 32 --range 200000 --ins 25 --del 25
+      dune exec bin/debra_demo.exe -- --ds list --scheme debra --procs 2 \
+        --range 4 --duration 4000 --check-linearizability --history-out h.json
+      dune exec bin/debra_demo.exe -- --ds queue --scheme debra+ --explore 2 *)
 
 open Cmdliner
 
@@ -30,8 +33,41 @@ let parse_chaos_kinds s =
                      (crash|handler|neutralizer|drop|delay|oom:<headroom>)"
                     k))
 
+(* --explore: skip the trial; run bounded-preemption systematic exploration
+   of a small fixed workload for this ds/scheme cell, checking every
+   explored schedule's history against the sequential spec. *)
+let run_explore ~ds ~scheme ~budget ~seed =
+  let ds = if ds = "hm_list" then "list" else ds in
+  if not (List.mem ds Workload.Lin_harness.ds_names) then begin
+    Printf.eprintf "--explore supports --ds %s\n"
+      (String.concat "|" Workload.Lin_harness.ds_names);
+    exit 1
+  end;
+  if not (List.mem scheme Workload.Lin_harness.scheme_names) then begin
+    Printf.eprintf "--explore supports --scheme %s\n"
+      (String.concat "|" Workload.Lin_harness.scheme_names);
+    exit 1
+  end;
+  let cfg = { Workload.Lin_harness.default_config with seed } in
+  Printf.printf
+    "exploring %s x %s: %d procs x %d ops, keys [1,%d], preemption budget %d\n%!"
+    ds scheme cfg.Workload.Lin_harness.nprocs
+    cfg.Workload.Lin_harness.ops_per_proc cfg.Workload.Lin_harness.key_range
+    budget;
+  let v =
+    Workload.Lin_harness.explore ~budget ~max_runs:2_000
+      ~log:(fun m -> Printf.printf "  %s\n%!" m)
+      ~ds ~scheme cfg
+  in
+  Printf.printf "%s\n" (Workload.Lin_harness.verdict_summary v);
+  match v with
+  | Lincheck.Explore.Pass _ -> ()
+  | Lincheck.Explore.Fail _ -> exit 1
+
 let run ds scheme variant backend procs range ins del duration machine seed
-    sanitize chaos trace metrics_out =
+    sanitize chaos trace metrics_out explore check_lin history_out =
+  if explore >= 0 then run_explore ~ds ~scheme ~budget:explore ~seed
+  else
   let backend =
     match Exec.Backend.of_string backend with
     | Ok b -> b
@@ -91,6 +127,11 @@ let run ds scheme variant backend procs range ins del duration machine seed
       Option.iter
         (fun p -> Printf.printf "chaos plan     : %s\n" (Chaos.plan_to_string p))
         plan;
+      let history =
+        if check_lin || history_out <> None then
+          Some (Lincheck.History.recorder ~nprocs:procs)
+        else None
+      in
       let cfg =
         {
           Workload.Schemes.backend;
@@ -110,6 +151,7 @@ let run ds scheme variant backend procs range ins del duration machine seed
           chaos = plan;
           budget = -1;
           max_steps = None;
+          history;
         }
       in
       let o = r.Workload.Schemes.run cfg in
@@ -170,6 +212,30 @@ let run ds scheme variant backend procs range ins del duration machine seed
                   (fun (p, v) -> Printf.sprintf "  p%g=%d" p v)
                   ps)))
         o.latency;
+      (match history with
+      | None -> ()
+      | Some rec_ ->
+          let h = Lincheck.History.snapshot rec_ in
+          (match history_out with
+          | None -> ()
+          | Some file ->
+              Lincheck.History.save h file;
+              Printf.printf "history        : %d events written to %s\n"
+                (Lincheck.History.ops h) file);
+          if check_lin then (
+            match
+              Lincheck.Checker.check ~max_nodes:5_000_000 Lincheck.Spec.set h
+            with
+            | v ->
+                Printf.printf "linearizability: %s\n"
+                  (Lincheck.Checker.verdict_to_string v);
+                (match v with
+                | Lincheck.Checker.Non_linearizable _ -> exit 1
+                | Lincheck.Checker.Linearizable -> ())
+            | exception Lincheck.Checker.Gave_up n ->
+                Printf.printf
+                  "linearizability: gave up after %d search nodes — the                    history (%d events) is too large for the WGL check;                    shrink --duration/--procs/--range\n"
+                  n (Lincheck.History.ops h)));
       (match telemetry with
       | None -> ()
       | Some rec_ -> (
@@ -254,9 +320,32 @@ let term =
             "write telemetry metrics JSON: latency histograms, limbo/epoch \
              lag/pool time series, event counters")
   in
+  let explore =
+    Arg.(
+      value & opt int (-1)
+      & info [ "explore" ] ~docv:"BUDGET"
+          ~doc:
+            "instead of a timed trial, systematically explore schedules of              a small fixed workload for this --ds/--scheme cell with at              most $(docv) preemptions per schedule, checking every              explored history for linearizability (also accepts --ds              queue); exits 1 with a replayable preemption schedule on a              violation")
+  in
+  let check_lin =
+    Arg.(
+      value & flag
+      & info [ "check-linearizability" ]
+          ~doc:
+            "record the trial's operation history and check it against              the sequential set specification (WGL); feasible for small              trials only — shrink --duration/--procs/--range")
+  in
+  let history_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "history-out" ] ~docv:"FILE"
+          ~doc:
+            "record the trial's operation history and write it as JSON              to $(docv) (the format of test/histories/)")
+  in
   Term.(
     const run $ ds $ scheme $ variant $ backend $ procs $ range $ ins $ del
-    $ duration $ machine $ seed $ sanitize $ chaos $ trace $ metrics_out)
+    $ duration $ machine $ seed $ sanitize $ chaos $ trace $ metrics_out
+    $ explore $ check_lin $ history_out)
 
 let () =
   exit

@@ -48,6 +48,31 @@ let move_all_full_blocks t ~into =
   t.size <- t.size - moved;
   moved
 
+(* O(1) per block: full non-head blocks are spliced whole (the invariant
+   says everything after either head is full, so they may sit directly
+   behind [into]'s head); only the single, possibly-partial source head
+   block is drained element-wise — bounded by one block's capacity. *)
+let transfer src ~into =
+  if src != into then begin
+    ignore (move_all_full_blocks src ~into:(add_block into));
+    let rec drain () =
+      match pop src with
+      | Some x ->
+          add into x;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  end
+
+(* Physical block chain, exposed so tests can check bags share no block
+   after a transfer. *)
+let blocks t =
+  let rec go acc b =
+    if Block.is_nil b then List.rev acc else go (b :: acc) b.Block.next
+  in
+  go [] t.head
+
 let iter t f =
   let rec go b =
     if not (Block.is_nil b) then begin

@@ -24,6 +24,16 @@ val add_block : t -> Block.t -> unit
     hands each to [into]; returns the number of records moved. *)
 val move_all_full_blocks : t -> into:(Block.t -> unit) -> int
 
+(** [transfer src ~into] moves every record of [src] into [into] and
+    leaves [src] empty: full blocks are spliced in O(1) each, the single
+    (possibly partial) source head block is drained element-wise.  The two
+    bags share no block afterwards.  Both bags must draw on pools of the
+    same [block_capacity].  No-op when [src == into]. *)
+val transfer : t -> into:t -> unit
+
+(** Physical block chain of the bag, head first (testing only). *)
+val blocks : t -> Block.t list
+
 val iter : t -> (int -> unit) -> unit
 
 (** Cursors support DEBRA+'s partition step: records pointed to by hazard

@@ -12,9 +12,20 @@
     predecessor's next pointer, and any failed validation restarts the
     operation.
 
-    Because updates hold locks, DEBRA+ must not be used with this structure
-    (neutralizing a lock holder would leave the lock taken forever) — the
-    paper makes the same restriction and uses DEBRA for lock-based code. *)
+    Updates hold locks, which neutralization must respect: a neutralized
+    lock holder would leave the lock taken forever.  Every lock-held window
+    is therefore bracketed with {!Runtime.Ctx.mask}/[unmask] — the analogue
+    of [pthread_sigmask] around a critical section — so a neutralization
+    signal arriving mid-window is deferred to the unlock.  This is only
+    sound under acknowledgement-based signal delivery
+    ([Group.signals_unreliable]): with reliable delivery DEBRA+ counts one
+    send as one neutralization, and a masked (not yet neutralized) target
+    would be counted as passed — so {!create} switches the group to
+    unreliable delivery whenever the scheme can neutralize.  Operations run
+    under [RM.run_op] with recoveries that track the linearization point:
+    an effectful completion (a successful insert's link, a successful
+    delete's unlink-and-retire) happens inside a masked window, so recovery
+    reports it exactly once and never re-executes it. *)
 
 let max_level = 16
 
@@ -60,6 +71,11 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     Memory.Arena.write ctx arena tail f_marked 0;
     Memory.Arena.write ctx arena tail f_fully_linked 1;
     Memory.Arena.write ctx arena tail f_lock 0;
+    (* Signal masking around lock-held windows is only sound when senders
+       wait for acknowledgement instead of counting a delivered signal as a
+       completed neutralization (see the header). *)
+    if RM.supports_crash_recovery then
+      env.Reclaim.Intf.Env.group.Runtime.Group.signals_unreliable <- true;
     { rm; arena; head; tail }
 
   let arena t = t.arena
@@ -77,6 +93,24 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     done
 
   let unlock t ctx p = Memory.Arena.write ctx t.arena p f_lock 0
+
+  (* Idempotent mask bookkeeping for one operation: exception paths (sandbox
+     aborts) can then restore balance without tracking depth. *)
+  let masker ctx =
+    let masked = ref false in
+    let mask_ () =
+      if not !masked then begin
+        Runtime.Ctx.mask ctx;
+        masked := true
+      end
+    in
+    let unmask_ () =
+      if !masked then begin
+        masked := false;
+        Runtime.Ctx.unmask ctx
+      end
+    in
+    (mask_, unmask_)
 
   let random_level ctx =
     let rec go l =
@@ -146,9 +180,13 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     in
     attempt ()
 
-  let finish_op t ctx =
+  (* Body-end quiescence (inside run_op: skipped when a recovery completes
+     the operation instead, as in the other structures). *)
+  let quiesce t ctx =
     RM.enter_qstate t.rm ctx;
-    RM.unprotect_all t.rm ctx;
+    RM.unprotect_all t.rm ctx
+
+  let bump_ops _t ctx =
     ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
       ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1
 
@@ -161,35 +199,56 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
         RM.unprotect_all t.rm ctx;
         sandbox_retry t ctx f
 
+  (* Reads have no effect to protect: a neutralized search simply restarts
+     from scratch. *)
   let contains t ctx key =
-    RM.leave_qstate t.rm ctx;
     let preds = Array.make max_level Memory.Ptr.null in
     let succs = Array.make max_level Memory.Ptr.null in
     let r =
-      sandbox_retry t ctx (fun () ->
-          let lfound = find t ctx key preds succs in
-          lfound >= 0
-          && fully_linked t ctx succs.(lfound)
-          && not (marked t ctx succs.(lfound)))
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let r =
+            sandbox_retry t ctx (fun () ->
+                let lfound = find t ctx key preds succs in
+                lfound >= 0
+                && fully_linked t ctx succs.(lfound)
+                && not (marked t ctx succs.(lfound)))
+          in
+          quiesce t ctx;
+          r)
     in
-    finish_op t ctx;
+    bump_ops t ctx;
     r
 
   let get t ctx key =
-    RM.leave_qstate t.rm ctx;
     let preds = Array.make max_level Memory.Ptr.null in
     let succs = Array.make max_level Memory.Ptr.null in
     let r =
-      sandbox_retry t ctx (fun () ->
-          let lfound = find t ctx key preds succs in
-          if
-            lfound >= 0
-            && fully_linked t ctx succs.(lfound)
-            && not (marked t ctx succs.(lfound))
-          then Some (Memory.Arena.get_const ctx t.arena succs.(lfound) c_value)
-          else None)
+      RM.run_op t.rm ctx
+      ~recover:(fun () ->
+        RM.unprotect_all t.rm ctx;
+        None)
+      (fun () ->
+        RM.leave_qstate t.rm ctx;
+        let r =
+          sandbox_retry t ctx (fun () ->
+              let lfound = find t ctx key preds succs in
+              if
+                lfound >= 0
+                && fully_linked t ctx succs.(lfound)
+                && not (marked t ctx succs.(lfound))
+              then
+                Some (Memory.Arena.get_const ctx t.arena succs.(lfound) c_value)
+              else None)
+        in
+        quiesce t ctx;
+        r)
     in
-    finish_op t ctx;
+    bump_ops t ctx;
     r
 
   let unlock_preds t ctx preds highest =
@@ -212,10 +271,11 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     Memory.Arena.write ctx t.arena node f_marked 0;
     Memory.Arena.write ctx t.arena node f_fully_linked 0;
     Memory.Arena.write ctx t.arena node f_lock 0;
-    RM.leave_qstate t.rm ctx;
     let preds = Array.make max_level Memory.Ptr.null in
     let succs = Array.make max_level Memory.Ptr.null in
     let highest_locked = ref (-1) in
+    let inserted = ref false in
+    let mask_, unmask_ = masker ctx in
     let rec attempt () =
       highest_locked := -1;
       match
@@ -223,7 +283,9 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
         if lfound >= 0 then begin
           let found = succs.(lfound) in
           if not (marked t ctx found) then begin
-            (* Wait for a concurrent insert of the same key to finish. *)
+            (* Wait for a concurrent insert of the same key to finish; the
+               linking window is masked, so its owner cannot be neutralized
+               before setting fully_linked.  (The waiter itself can be.) *)
             while not (fully_linked t ctx found) do
               Runtime.Ctx.work ctx 1
             done;
@@ -232,10 +294,13 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           else (* Marked: its removal is in progress; retry. *) `Retry
         end
         else begin
-          (* Lock distinct predecessors bottom-up and validate. *)
+          (* Lock distinct predecessors bottom-up and validate.  Masked from
+             the first acquisition attempt: no neutralization while any lock
+             might be held. *)
           let valid = ref true in
           let prev = ref Memory.Ptr.null in
           let l = ref 0 in
+          mask_ ();
           while !valid && !l <= top do
             let pred = preds.(!l) and succ = succs.(!l) in
             if pred <> !prev then begin
@@ -251,6 +316,7 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           done;
           if not !valid then begin
             unlock_preds t ctx preds !highest_locked;
+            unmask_ ();
             `Retry
           end
           else begin
@@ -261,7 +327,11 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
               Memory.Arena.write ctx t.arena preds.(l) (f_next l) node
             done;
             Memory.Arena.write ctx t.arena node f_fully_linked 1;
+            (* Linearized (still masked): recovery must answer true from
+               here on, never re-link. *)
+            inserted := true;
             unlock_preds t ctx preds !highest_locked;
+            unmask_ ();
             `Done true
           end
         end
@@ -274,11 +344,22 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           (* Transaction abort: release any locks taken (locked nodes cannot
              have been freed) and retry from a clean traversal. *)
           unlock_preds t ctx preds !highest_locked;
+          unmask_ ();
           RM.unprotect_all t.rm ctx;
           attempt ()
     in
-    let r = attempt () in
-    finish_op t ctx;
+    let r =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          if !inserted then Some true else None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let r = attempt () in
+          quiesce t ctx;
+          r)
+    in
+    bump_ops t ctx;
     if not r then RM.dealloc t.rm ctx node;
     r
 
@@ -288,13 +369,14 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     && not (marked t ctx node)
 
   let delete t ctx key =
-    RM.leave_qstate t.rm ctx;
     let preds = Array.make max_level Memory.Ptr.null in
     let succs = Array.make max_level Memory.Ptr.null in
     let victim = ref Memory.Ptr.null in
     let is_marked = ref false in
     let top = ref (-1) in
     let highest_locked = ref (-1) in
+    let deleted = ref false in
+    let mask_, unmask_ = masker ctx in
     let rec attempt () =
       highest_locked := -1;
       match
@@ -306,9 +388,14 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           if not !is_marked then begin
             victim := succs.(lfound);
             top := top_of t ctx !victim;
+            (* Masked from the victim lock acquisition until every lock is
+               released again (possibly across `Retry re-finds, which keep
+               the marked victim locked). *)
+            mask_ ();
             lock t ctx !victim;
             if marked t ctx !victim then begin
               unlock t ctx !victim;
+              unmask_ ();
               `Done false
             end
             else begin
@@ -327,8 +414,9 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           attempt ()
       | exception Memory.Arena.Use_after_free _ when RM.sandboxed ->
           (* Transaction abort; the marked-and-locked victim, if any, stays
-             ours, so the retry resumes the unlink. *)
+             ours (and masked), so the retry resumes the unlink. *)
           unlock_preds t ctx preds !highest_locked;
+          if not !is_marked then unmask_ ();
           RM.unprotect_all t.rm ctx;
           attempt ()
     and finish_unlink () =
@@ -357,11 +445,25 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
         unlock t ctx !victim;
         RM.retire t.rm ctx !victim;
         unlock_preds t ctx preds !highest_locked;
+        (* Linearized and retired exactly once (still masked until here):
+           recovery must answer true from now on. *)
+        deleted := true;
+        unmask_ ();
         `Done true
       end
     in
-    let r = attempt () in
-    finish_op t ctx;
+    let r =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          if !deleted then Some true else None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let r = attempt () in
+          quiesce t ctx;
+          r)
+    in
+    bump_ops t ctx;
     r
 
   (* Uninstrumented helpers. *)

@@ -1,11 +1,15 @@
 (** Lazy skip list: lock-based updates, lock-free wait-free searches — the
     paper's second evaluation workload (see the implementation header).
 
-    Do not pair with DEBRA+ (neutralizing a lock holder leaves the lock
-    taken); the paper makes the same restriction.  HP-style schemes need
-    roughly [2 * max_level + 8] protection slots per process
-    ([Params.hp_slots]).  Keys must lie strictly between [min_int] and
-    [max_int] (the sentinel keys). *)
+    Safe under DEBRA+: lock-held windows are bracketed with
+    {!Runtime.Ctx.mask}/[unmask], so a neutralization signal is deferred
+    until every lock is released (the paper instead forbids the pairing;
+    see the implementation header for the masking protocol).  [create]
+    switches the group to unreliable ack-based signal delivery when the
+    scheme can neutralize, which that deferral requires for soundness.
+    HP-style schemes need roughly [2 * max_level + 8] protection slots per
+    process ([Params.hp_slots]).  Keys must lie strictly between [min_int]
+    and [max_int] (the sentinel keys). *)
 
 val max_level : int
 

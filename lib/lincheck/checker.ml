@@ -1,0 +1,147 @@
+(** Wing–Gong / WGL linearizability checker with memoized state hashing.
+
+    The search explores linearization orders directly: at every step the
+    candidates are the not-yet-linearized operations whose invocation
+    precedes every other pending response (no completed operation that
+    really finished earlier may be ordered after them), and a candidate is
+    taken only when the sequential spec accepts its recorded result in the
+    current abstract state.  Visited configurations are memoized on the pair
+    (set of linearized operations, canonical spec state) — the WGL
+    refinement that turns the factorial search into one over distinct
+    configurations, which for the small bounded-exploration histories this
+    repo checks is what makes the matrix tractable.
+
+    Pending operations (no recorded response — a process died or was
+    stopped mid-operation) may linearize with any spec-legal result, or not
+    at all.
+
+    On rejection the checker reports the {e minimal non-linearizable
+    prefix}: histories are truncated at successive response events (later
+    responses become pending) until the shortest prefix that already fails
+    is found — the counterexample a human debugs, and the one the golden
+    corpus pins. *)
+
+exception Gave_up of int
+(** The search exceeded its node budget without a verdict. *)
+
+type verdict =
+  | Linearizable
+  | Non_linearizable of History.t
+      (** minimal non-linearizable prefix of the input history *)
+
+(* Results a pending operation could legally return, given the op and the
+   current canonical state (head of the list is a stack's top / a queue's
+   front).  [Spec.apply] filters the illegal ones; listing a superset here
+   is fine. *)
+let candidate_results st (op : History.op) =
+  match op with
+  | History.Add _ | History.Remove _ | History.Mem _ ->
+      [ History.RBool true; History.RBool false ]
+  | History.Push _ | History.Enq _ -> [ History.RUnit ]
+  | History.Pop | History.Deq -> (
+      History.RVal None
+      :: (match st with x :: _ -> [ History.RVal (Some x) ] | [] -> []))
+
+let state_key st = String.concat "," (List.map string_of_int st)
+
+let linearizable ?(max_nodes = 5_000_000) (spec : Spec.t) (h : History.t) =
+  let n = Array.length h in
+  let completed = ref 0 in
+  Array.iter (fun e -> if not (History.is_pending e) then incr completed) h;
+  let total_completed = !completed in
+  let linearized = Bytes.make n '\000' in
+  let is_lin i = Bytes.get linearized i <> '\000' in
+  let set_lin i v = Bytes.set linearized i (if v then '\001' else '\000') in
+  (* Failed configurations only: a success unwinds the whole search. *)
+  let failed = Hashtbl.create 4096 in
+  let nodes = ref 0 in
+  let rec search done_completed st =
+    if done_completed = total_completed then true
+    else begin
+      incr nodes;
+      if !nodes > max_nodes then raise (Gave_up !nodes);
+      let key = Bytes.to_string linearized ^ "|" ^ state_key st in
+      if Hashtbl.mem failed key then false
+      else begin
+        (* Earliest response among un-linearized completed ops: anything
+           invoked after it must wait its turn. *)
+        let min_ret = ref max_int in
+        for i = 0 to n - 1 do
+          if (not (is_lin i)) && not (History.is_pending h.(i)) then
+            if h.(i).History.e_ret < !min_ret then min_ret := h.(i).History.e_ret
+        done;
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let e = h.(!i) in
+          if (not (is_lin !i)) && e.History.e_inv < !min_ret then begin
+            let results =
+              match e.History.e_res with
+              | Some r -> [ r ]
+              | None -> candidate_results st e.History.e_op
+            in
+            List.iter
+              (fun r ->
+                if not !ok then
+                  match spec.Spec.apply st e.History.e_op r with
+                  | None -> ()
+                  | Some st' ->
+                      set_lin !i true;
+                      let done' =
+                        if History.is_pending e then done_completed
+                        else done_completed + 1
+                      in
+                      if search done' st' then ok := true
+                      else set_lin !i false)
+              results
+          end;
+          incr i
+        done;
+        if not !ok then Hashtbl.add failed key ();
+        !ok
+      end
+    end
+  in
+  search 0 spec.Spec.init
+
+(* Truncate [h] at global sequence number [t]: events invoked after [t]
+   disappear, responses after [t] become pending. *)
+let prefix_at (h : History.t) t =
+  Array.of_list
+    (List.filter_map
+       (fun e ->
+         if e.History.e_inv > t then None
+         else if e.History.e_ret > t then
+           Some
+             { e with History.e_res = None; e_ret = max_int; e_ret_time = max_int }
+         else Some e)
+       (Array.to_list h))
+
+let check ?max_nodes (spec : Spec.t) (h : History.t) =
+  if linearizable ?max_nodes spec h then Linearizable
+  else begin
+    (* Minimal counterexample: the shortest prefix (by successive response
+       events) that is already non-linearizable.  The full history is the
+       last prefix tried, so the loop always finds one. *)
+    let rets =
+      Array.to_list h
+      |> List.filter_map (fun e ->
+             if History.is_pending e then None else Some e.History.e_ret)
+      |> List.sort compare
+    in
+    let rec first_bad = function
+      | [] -> Non_linearizable h (* unreachable: full history already failed *)
+      | t :: rest ->
+          let p = prefix_at h t in
+          if not (linearizable ?max_nodes spec p) then Non_linearizable p
+          else first_bad rest
+    in
+    first_bad rets
+  end
+
+let verdict_to_string = function
+  | Linearizable -> "linearizable"
+  | Non_linearizable p ->
+      Printf.sprintf
+        "NON-LINEARIZABLE: minimal counterexample prefix (%d events):\n%s"
+        (Array.length p) (History.to_string p)

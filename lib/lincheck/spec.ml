@@ -1,0 +1,83 @@
+(** Sequential specifications for the linearizability checker.
+
+    A spec is a deterministic state machine in canonical form: the state is
+    a plain [int list] whose representation is unique for a given abstract
+    value (sorted for sets, top-first for stacks, front-first for queues),
+    so states compare and hash structurally — which is what the checker's
+    memoization keys on.  [apply st op res] returns the successor state when
+    [res] is a legal result of running [op] in [st], and [None] when the
+    recorded result contradicts the spec (the pair can then not linearize at
+    this point). *)
+
+type t = {
+  name : string;
+  init : int list;
+  apply : int list -> History.op -> History.res -> int list option;
+}
+
+let set =
+  let rec mem k = function
+    | [] -> false
+    | x :: tl -> if x = k then true else if x > k then false else mem k tl
+  in
+  let rec insert k = function
+    | [] -> [ k ]
+    | x :: tl as l -> if k < x then k :: l else x :: insert k tl
+  in
+  let rec remove k = function
+    | [] -> []
+    | x :: tl -> if x = k then tl else x :: remove k tl
+  in
+  {
+    name = "set";
+    init = [];
+    apply =
+      (fun st op res ->
+        match (op, res) with
+        | History.Add k, History.RBool b ->
+            if b = not (mem k st) then Some (if b then insert k st else st)
+            else None
+        | History.Remove k, History.RBool b ->
+            if b = mem k st then Some (if b then remove k st else st) else None
+        | History.Mem k, History.RBool b ->
+            if b = mem k st then Some st else None
+        | _ -> None);
+  }
+
+let stack =
+  {
+    name = "stack";
+    init = [];
+    apply =
+      (fun st op res ->
+        match (op, res) with
+        | History.Push v, History.RUnit -> Some (v :: st)
+        | History.Pop, History.RVal None -> if st = [] then Some st else None
+        | History.Pop, History.RVal (Some v) -> (
+            match st with
+            | top :: rest when top = v -> Some rest
+            | _ -> None)
+        | _ -> None);
+  }
+
+let queue =
+  {
+    name = "queue";
+    init = [];
+    apply =
+      (fun st op res ->
+        match (op, res) with
+        | History.Enq v, History.RUnit -> Some (st @ [ v ])
+        | History.Deq, History.RVal None -> if st = [] then Some st else None
+        | History.Deq, History.RVal (Some v) -> (
+            match st with
+            | front :: rest when front = v -> Some rest
+            | _ -> None)
+        | _ -> None);
+  }
+
+let by_name = function
+  | "set" -> Some set
+  | "stack" -> Some stack
+  | "queue" -> Some queue
+  | _ -> None

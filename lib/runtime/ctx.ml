@@ -22,6 +22,7 @@ type t = {
   pid : int;
   nprocs : int;
   sig_pending : bool Atomic.t;
+  mutable sig_mask : int;
   mutable handler : t -> unit;
   mutable hook : t -> line:int -> access_kind -> unit;
   mutable now_impl : unit -> int;
@@ -51,6 +52,7 @@ let make ~pid ~nprocs ~seed =
     pid;
     nprocs;
     sig_pending = Atomic.make false;
+    sig_mask = 0;
     handler = (fun _ -> ());
     hook = (fun _ ~line:_ _ -> ());
     now_impl = (fun () -> 0);
@@ -60,10 +62,20 @@ let make ~pid ~nprocs ~seed =
   }
 
 let poll ctx =
-  if Atomic.get ctx.sig_pending then begin
+  if ctx.sig_mask = 0 && Atomic.get ctx.sig_pending then begin
     Atomic.set ctx.sig_pending false;
     ctx.handler ctx
   end
+
+(* Masking defers handler delivery; the pending flag stays set, so the
+   handler runs at the first access after the outermost [unmask] — the
+   moral equivalent of [pthread_sigmask] around a lock-held critical
+   section. *)
+let mask ctx = ctx.sig_mask <- ctx.sig_mask + 1
+
+let unmask ctx =
+  assert (ctx.sig_mask > 0);
+  ctx.sig_mask <- ctx.sig_mask - 1
 
 let access ctx ~line kind =
   poll ctx;

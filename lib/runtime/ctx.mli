@@ -47,6 +47,9 @@ type t = {
   pid : int;
   nprocs : int;
   sig_pending : bool Atomic.t;
+  mutable sig_mask : int;
+      (** signal-mask depth; while positive, [poll] defers handler delivery
+          (the pending flag stays set).  See {!mask}/{!unmask}. *)
   mutable handler : t -> unit;
       (** signal handler; invoked at the next instrumented access after
           [sig_pending] is set.  Default: ignore. *)
@@ -68,6 +71,20 @@ val make : pid:int -> nprocs:int -> seed:int -> t
     handler.  Called automatically by [access]; exposed so long local-only
     code paths can poll explicitly. *)
 val poll : t -> unit
+
+(** [mask ctx] / [unmask ctx] bracket a critical section during which signal
+    delivery is deferred — the analogue of [pthread_sigmask(SIG_BLOCK, ...)]
+    around code that must not be torn out by a neutralization [siglongjmp]
+    (e.g. a lock-holding window in the lazy skip list).  Calls nest; the
+    pending flag is not cleared, so a signal received while masked is
+    handled at the first instrumented access after the outermost [unmask].
+    A scheme relying on masked windows must treat signal delivery as
+    unreliable (acknowledgement-based, see {!Group.t.signals_unreliable}):
+    the sender cannot assume a signalled process was neutralized
+    immediately. *)
+val mask : t -> unit
+
+val unmask : t -> unit
 
 (** [access ctx ~line kind] records one instrumented shared-memory access:
     polls the signal flag, updates statistics, and invokes the hook. *)

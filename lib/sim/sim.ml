@@ -97,7 +97,18 @@ let handler : (unit, outcome) Effect.Deep.handler =
         | _ -> None);
   }
 
-type policy = [ `Min_time | `Random_walk of int ]
+(* A scheduling choice point under [`Systematic]: the runnable hardware
+   contexts, with the process at the front of each run queue and the cache
+   line of the instrumented access it will perform when resumed (-1 before
+   its first access).  The hook records the line *before* performing
+   [Yield], so a suspended fiber's pending access is already visible —
+   exactly what conflict-driven exploration needs. *)
+type candidate = { cand_core : int; cand_pid : int; cand_line : int }
+
+type policy =
+  [ `Min_time
+  | `Random_walk of int
+  | `Systematic of step:int -> candidate array -> int ]
 
 let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
     ?(policy = `Min_time) ?tick group bodies =
@@ -195,18 +206,21 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
   let walk_rng =
     match policy with
     | `Random_walk seed -> Some (Random.State.make [| seed; 0x51D |])
-    | `Min_time -> None
+    | `Min_time | `Systematic _ -> None
+  in
+  let pick_min_time () =
+    let best = ref (-1) in
+    for c = 0 to ncores - 1 do
+      if not (Queue.is_empty cores.(c).runq) then
+        if !best < 0 || cores.(c).time < cores.(!best).time then best := c
+    done;
+    !best
   in
   let pick_core () =
-    match walk_rng with
-    | None ->
-        let best = ref (-1) in
-        for c = 0 to ncores - 1 do
-          if not (Queue.is_empty cores.(c).runq) then
-            if !best < 0 || cores.(c).time < cores.(!best).time then best := c
-        done;
-        !best
-    | Some rng ->
+    match policy with
+    | `Min_time -> pick_min_time ()
+    | `Random_walk _ ->
+        let rng = Option.get walk_rng in
         let candidates = ref [] in
         for c = 0 to ncores - 1 do
           if not (Queue.is_empty cores.(c).runq) then candidates := c :: !candidates
@@ -214,6 +228,30 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
         (match !candidates with
         | [] -> -1
         | cs -> List.nth cs (Random.State.int rng (List.length cs)))
+    | `Systematic choose ->
+        (* The chooser sees every runnable context with its front process'
+           pending access and picks one by index; choices are what an
+           exploration driver records and replays.  Sleeping fronts are
+           still offered — [prepare_front] below handles them exactly as
+           under the other policies, and the chooser is simply consulted
+           again after any clock jump. *)
+        let cands = ref [] in
+        for c = ncores - 1 downto 0 do
+          if not (Queue.is_empty cores.(c).runq) then begin
+            let pid = Queue.peek cores.(c).runq in
+            cands :=
+              { cand_core = c; cand_pid = pid; cand_line = last_line.(pid) }
+              :: !cands
+          end
+        done;
+        let cands = Array.of_list !cands in
+        if Array.length cands = 0 then -1
+        else begin
+          let i = choose ~step:!steps cands in
+          if i < 0 || i >= Array.length cands then
+            invalid_arg "Sim.run: `Systematic chooser index out of range";
+          cands.(i).cand_core
+        end
   in
   (* Ensure the front of [core]'s queue is runnable, rotating past sleepers
      or advancing time when everyone on the core sleeps.  Returns [false]

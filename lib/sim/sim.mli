@@ -52,14 +52,35 @@ exception Stuck of stuck_info
 
 val stuck_to_string : stuck_info -> string
 
+(** One runnable hardware context at a [`Systematic] choice point:
+    [cand_pid] is the process at the front of core [cand_core]'s run queue
+    and [cand_line] the cache line of the instrumented access it will
+    perform when next resumed ([-1] before its first access).  The
+    simulator's hook records the line {e before} suspending the fiber, so
+    pending accesses of descheduled processes are visible — the information
+    a conflict-driven (DPOR/sleep-set style) explorer needs to decide where
+    preemption can matter. *)
+type candidate = { cand_core : int; cand_pid : int; cand_line : int }
+
 (** Scheduling policy.  [`Min_time] (the default) always runs the hardware
     context with the smallest virtual clock — the faithful model of parallel
     execution, and the one every benchmark uses.  [`Random_walk seed] picks a
     runnable context uniformly at random at every step: virtual times lose
     their parallel meaning, but each seed explores a different {e logical}
     interleaving of the same program, which is how the test suites hunt for
-    ordering bugs beyond the single min-time schedule. *)
-type policy = [ `Min_time | `Random_walk of int ]
+    ordering bugs beyond the single min-time schedule.
+
+    [`Systematic choose] delegates every choice point to [choose ~step
+    candidates], which returns an index into [candidates]: the substrate for
+    bounded-preemption exhaustive exploration (see [Lincheck.Explore]).  A
+    schedule is fully determined by the sequence of choices, so recording
+    them makes every explored interleaving replayable bit-for-bit.  One
+    choice point occurs per scheduler step — i.e. per instrumented access —
+    and the chooser may raise to abandon the run early. *)
+type policy =
+  [ `Min_time
+  | `Random_walk of int
+  | `Systematic of step:int -> candidate array -> int ]
 
 (** [run ~machine group bodies] runs [bodies.(pid)] for each pid to
     completion and returns the outcome.  Installs simulator hooks on each

@@ -40,6 +40,9 @@ type cfg = {
   max_steps : int option;
       (** scheduler step budget: livelocks and fault-induced wedges raise
           {!Sim.Stuck} instead of spinning forever *)
+  history : Lincheck.History.recorder option;
+      (** record every operation (prefill included) as an
+          invocation/response history for the linearizability checker *)
 }
 
 type runner = { rname : string; run : cfg -> Trial.outcome }
@@ -92,7 +95,7 @@ module Make_bst_runner (RM : Intf.RECORD_MANAGER) = struct
         (fun cfg ->
           R.trial R.Face.bst ~machine:cfg.machine ~params:cfg.params
             ~duration:cfg.duration ~capacity:cfg.capacity
-            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?stall:cfg.stall
+            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?history:cfg.history ?stall:cfg.stall
             ?chaos:cfg.chaos ~budget:cfg.budget ?max_steps:cfg.max_steps
             ~exec:(exec_of cfg) ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
             ~del:cfg.del ~seed:cfg.seed ());
@@ -118,7 +121,7 @@ module Make_skiplist_runner (RM : Intf.RECORD_MANAGER) = struct
           in
           R.trial R.Face.skiplist ~machine:cfg.machine ~params
             ~duration:cfg.duration ~capacity:cfg.capacity
-            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?stall:cfg.stall
+            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?history:cfg.history ?stall:cfg.stall
             ?chaos:cfg.chaos ~budget:cfg.budget ?max_steps:cfg.max_steps
             ~exec:(exec_of cfg) ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
             ~del:cfg.del ~seed:cfg.seed ());
@@ -136,7 +139,7 @@ module Make_list_runner (RM : Intf.RECORD_MANAGER) = struct
         (fun cfg ->
           R.trial R.Face.hm_list ~machine:cfg.machine ~params:cfg.params
             ~duration:cfg.duration ~capacity:cfg.capacity
-            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?stall:cfg.stall
+            ~sanitize:cfg.sanitize ?telemetry:cfg.telemetry ?history:cfg.history ?stall:cfg.stall
             ?chaos:cfg.chaos ~budget:cfg.budget ?max_steps:cfg.max_steps
             ~exec:(exec_of cfg) ~n:cfg.n ~range:cfg.range ~ins:cfg.ins
             ~del:cfg.del ~seed:cfg.seed ());

@@ -6,6 +6,11 @@
     mixes written "xi-yd" (x% insert, y% delete, rest search), prefill to
     half the key range, fixed-duration trials.
 
+    Pass [?history] (a {!Lincheck.History.recorder}) to log every
+    operation — prefill included — as an invocation/response history for
+    the linearizability checker; sound on both backends (see
+    Lincheck.History on the two clocks).
+
     Execution is backend-polymorphic: the pipeline is written once against
     {!Exec.Intf.RUNNER} and runs on the deterministic virtual-time
     simulator (the default, and the mode every published number uses) or on
@@ -70,7 +75,7 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   let trial (module S : SET) ?(machine = Machine.Config.intel_i7_4770)
       ?(params = Reclaim.Intf.Params.default) ?(duration = 2_000_000)
-      ?(capacity = 0) ?(sanitize = false) ?telemetry ?stall ?chaos
+      ?(capacity = 0) ?(sanitize = false) ?telemetry ?history ?stall ?chaos
       ?(budget = -1) ?max_steps ?policy ?exec ~n ~range ~ins ~del ~seed () =
     (* Resolve the execution backend.  The default is the simulator built
        from the per-trial knobs, which keeps every existing caller (and its
@@ -129,6 +134,23 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       else None
     in
     let ctx0 = Runtime.Group.ctx group 0 in
+    (* Optional linearizability history: log an invocation/response pair
+       around an operation.  Sound on both backends — the recorder's global
+       sequence counter is atomic, and each pid only touches its own slots
+       (see Lincheck.History). *)
+    let record_op ctx op (f : unit -> bool) =
+      match history with
+      | None -> f ()
+      | Some rec_ ->
+          let tok =
+            Lincheck.History.invoke rec_ ~pid:ctx.Runtime.Ctx.pid
+              ~time:(Runtime.Ctx.now ctx) op
+          in
+          let r = f () in
+          Lincheck.History.return_ rec_ tok ~time:(Runtime.Ctx.now ctx)
+            (Lincheck.History.RBool r);
+          r
+    in
     let checked f =
       match san with None -> f () | Some sa -> Sanitizer.with_checks sa f
     in
@@ -141,9 +163,14 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           let rng = Random.State.make [| seed; 4242 |] in
           let target = range / 2 in
           let filled = ref 0 in
+          (* The prefill is part of the recorded history (when recording):
+             the checker's sequential spec starts from the empty set. *)
           while !filled < target do
             let key = 1 + Random.State.int rng range in
-            if S.insert s ctx0 ~key ~value:key then incr filled
+            if
+              record_op ctx0 (Lincheck.History.Add key) (fun () ->
+                  S.insert s ctx0 ~key ~value:key)
+            then incr filled
           done;
           Array.iter Runtime.Ctx.reset_stats group.Runtime.Group.ctxs;
           let base_claimed = Memory.Heap.bytes_claimed heap in
@@ -208,9 +235,18 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
             while Runtime.Ctx.now ctx < duration do
               let key = 1 + Random.State.int rng range in
               let r = Random.State.int rng 100 in
-              if r < ins then ignore (S.insert s ctx ~key ~value:key)
-              else if r < ins + del then ignore (S.delete s ctx key)
-              else ignore (S.contains s ctx key)
+              if r < ins then
+                ignore
+                  (record_op ctx (Lincheck.History.Add key) (fun () ->
+                       S.insert s ctx ~key ~value:key))
+              else if r < ins + del then
+                ignore
+                  (record_op ctx (Lincheck.History.Remove key) (fun () ->
+                       S.delete s ctx key))
+              else
+                ignore
+                  (record_op ctx (Lincheck.History.Mem key) (fun () ->
+                       S.contains s ctx key))
             done
           in
           (* Same loop with per-operation timestamping.  Kept separate so
@@ -240,15 +276,21 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
                 let start = Runtime.Ctx.now ctx in
                 let kind =
                   if r < ins then begin
-                    ignore (S.insert s ctx ~key ~value:key);
+                    ignore
+                      (record_op ctx (Lincheck.History.Add key) (fun () ->
+                           S.insert s ctx ~key ~value:key));
                     "insert"
                   end
                   else if r < ins + del then begin
-                    ignore (S.delete s ctx key);
+                    ignore
+                      (record_op ctx (Lincheck.History.Remove key) (fun () ->
+                           S.delete s ctx key));
                     "delete"
                   end
                   else begin
-                    ignore (S.contains s ctx key);
+                    ignore
+                      (record_op ctx (Lincheck.History.Mem key) (fun () ->
+                           S.contains s ctx key));
                     "search"
                   end
                 in

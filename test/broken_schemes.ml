@@ -1,0 +1,206 @@
+(* Deliberately broken reclamation schemes, shared by the sanitizer fuzz
+   (test_sanitizer.ml) and the linearizability / exploration suite
+   (test_lincheck.ml).  Both suites must reject these mutants — the
+   sanitizer by classifying the violation, the explorer by finding a
+   schedule whose run trips the arena's use-after-free / double-free traps
+   and printing it for replay. *)
+
+open Reclaim
+
+(* EBR with the grace period deleted: retire frees immediately.  Every
+   retire happens inside the retirer's own session, so the very first free
+   is flagged premature against the retire-time session snapshot. *)
+module Broken_ebr (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P =
+struct
+  module Pool = P
+
+  type t = { env : Intf.Env.t; pool : P.t }
+
+  let name = "broken-ebr"
+  let create env pool = { env; pool }
+  let supports_crash_recovery = false
+  let allows_retired_traversal = true
+  let sandboxed = false
+  let leave_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q
+  let enter_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
+  let is_quiescent _t _ctx = false
+  let protect _t _ctx _p ~verify:_ = true
+  let unprotect _t _ctx _p = ()
+  let unprotect_all _t _ctx = ()
+  let is_protected _t _ctx _p = true
+
+  let retire t ctx p =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
+    (* The bug: no grace period. *)
+    P.release t.pool ctx p
+
+  let rprotect _t _ctx _p = ()
+  let runprotect_all _t _ctx = ()
+  let is_rprotected _t _ctx _p = false
+  let limbo_size _t = 0
+  let limbo_per_proc t = Array.make (Intf.Env.nprocs t.env) 0
+  let epoch_lag t = Array.make (Intf.Env.nprocs t.env) 0
+  let flush _t _ctx = ()
+  let emergency_reclaim _t _ctx = 0
+end
+
+(* HP with the post-announce validation deleted: announce, skip the fence
+   and the verify, trust the pointer.  The scan itself is honest (it keeps
+   every announced record) — the only bug is the protect/scan race the
+   validation step exists to close, which surfaces as an access to a
+   retired (or already freed) record under a too-late hazard. *)
+module Broken_hp (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P =
+struct
+  module Pool = P
+
+  type local = { bags : Bag.Blockbag.t array }
+
+  type t = {
+    env : Intf.Env.t;
+    pool : P.t;
+    rows : Runtime.Shared_array.t array;
+    locals : local array;
+    scanning : Bag.Hash_set.t array;
+    threshold : int;
+    k : int;
+  }
+
+  let name = "broken-hp"
+  let supports_crash_recovery = false
+  let allows_retired_traversal = false
+  let sandboxed = false
+
+  let create env pool =
+    let n = Intf.Env.nprocs env in
+    let params = env.Intf.Env.params in
+    let k = params.Intf.Params.hp_slots in
+    {
+      env;
+      pool;
+      rows = Array.init n (fun _ -> Runtime.Shared_array.create k);
+      locals =
+        Array.init n (fun pid ->
+            {
+              bags =
+                Array.init Memory.Ptr.max_arenas (fun _ ->
+                    Bag.Blockbag.create env.Intf.Env.block_pools.(pid));
+            });
+      scanning = Array.init n (fun _ -> Bag.Hash_set.create ~expected:(n * k));
+      threshold = max 8 (params.Intf.Params.hp_retire_factor * n * k);
+      k;
+    }
+
+  let leave_qstate t ctx = Intf.Env.emit t.env ctx Memory.Smr_event.Leave_q
+
+  let unprotect_all t ctx =
+    Intf.Env.emit t.env ctx Memory.Smr_event.Unprotect_all;
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    for i = 0 to t.k - 1 do
+      if Runtime.Shared_array.peek row i <> 0 then
+        Runtime.Shared_array.set ctx row i 0
+    done
+
+  let enter_qstate t ctx =
+    unprotect_all t ctx;
+    Intf.Env.emit t.env ctx Memory.Smr_event.Enter_q
+
+  let is_quiescent _t _ctx = false
+
+  let protect t ctx p ~verify:_ =
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec free_slot i =
+      if i >= t.k then invalid_arg "Broken_hp.protect: out of slots"
+      else if Runtime.Shared_array.peek row i = 0 then i
+      else free_slot (i + 1)
+    in
+    Runtime.Shared_array.set ctx row (free_slot 0) p;
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Protect p);
+    (* The bug: no fence, no verify — the announcement may already be too
+       late, and nobody checks. *)
+    true
+
+  let unprotect t ctx p =
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec go i =
+      if i < t.k then
+        if Runtime.Shared_array.peek row i = p then begin
+          Intf.Env.emit t.env ctx (Memory.Smr_event.Unprotect p);
+          Runtime.Shared_array.set ctx row i 0
+        end
+        else go (i + 1)
+    in
+    go 0
+
+  let is_protected t ctx p =
+    let row = t.rows.(ctx.Runtime.Ctx.pid) in
+    let p = Memory.Ptr.unmark p in
+    let rec go i =
+      i < t.k
+      && (Runtime.Shared_array.peek row i = p || go (i + 1))
+    in
+    go 0
+
+  let scan t ctx l =
+    let scanning = t.scanning.(ctx.Runtime.Ctx.pid) in
+    Scan_util.collect_announcements ctx ~into:scanning
+      ~nprocs:(Intf.Env.nprocs t.env)
+      ~row:(fun other -> t.rows.(other))
+      ~count:(fun _ _ -> t.k);
+    Array.iter
+      (fun bag ->
+        ignore
+          (Scan_util.partition_and_release ctx bag ~protected:scanning
+             ~release_block:(fun b -> P.release_block t.pool ctx b)))
+      l.bags
+
+  let retire t ctx p =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.retires <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.retires + 1;
+    let p = Memory.Ptr.unmark p in
+    Intf.Env.emit t.env ctx (Memory.Smr_event.Retire p);
+    let l = t.locals.(ctx.Runtime.Ctx.pid) in
+    Bag.Blockbag.add l.bags.(Memory.Ptr.arena_id p) p;
+    let total =
+      Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags
+    in
+    if total >= t.threshold then scan t ctx l
+
+  let rprotect _t _ctx _p = ()
+  let runprotect_all _t _ctx = ()
+  let is_rprotected _t _ctx _p = false
+
+  let limbo_size t =
+    Array.fold_left
+      (fun acc l ->
+        Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) acc l.bags)
+      0 t.locals
+
+  let limbo_per_proc t =
+    Array.map
+      (fun l -> Array.fold_left (fun acc b -> acc + Bag.Blockbag.size b) 0 l.bags)
+      t.locals
+
+  let epoch_lag t = Array.make (Array.length t.locals) 0
+
+  let flush t ctx =
+    Array.iter
+      (fun l ->
+        Array.iter
+          (fun b ->
+            Scan_util.flush_bag ctx b
+              ~keep:(fun _ -> false)
+              ~release:(fun ctx p -> P.release t.pool ctx p))
+          l.bags)
+      t.locals
+
+  let emergency_reclaim _t _ctx = 0
+end
+
+module RM_broken_ebr =
+  Record_manager.Make (Alloc.Bump) (Pool.Direct) (Broken_ebr)
+module RM_broken_hp = Record_manager.Make (Alloc.Bump) (Pool.Direct) (Broken_hp)

@@ -1,0 +1,74 @@
+(* Regenerates the golden history corpus under test/histories/.
+
+   Usage: dune exec test/gen_goldens.exe -- test/histories
+
+   Files are named <spec>__<label>__<ok|bad>.json; test_lincheck.ml's
+   "golden corpus" test re-checks each against the verdict in its name.
+   The ok histories are recorded from real harness runs on the default
+   (no-preemption) schedule; the bad ones are hand-built violations. *)
+
+module H = Lincheck.History
+module Explore = Lincheck.Explore
+module Lh = Workload.Lin_harness
+
+let e ?(pid = 0) op res inv ret =
+  {
+    H.e_pid = pid;
+    e_op = op;
+    e_res = Some res;
+    e_inv = inv;
+    e_ret = ret;
+    e_inv_time = inv;
+    e_ret_time = ret;
+  }
+
+let pend ?(pid = 0) op inv =
+  {
+    H.e_pid = pid;
+    e_op = op;
+    e_res = None;
+    e_inv = inv;
+    e_ret = max_int;
+    e_inv_time = inv;
+    e_ret_time = max_int;
+  }
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/histories" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let put name h =
+    let path = Filename.concat dir name in
+    H.save h path;
+    Printf.printf "wrote %s (%d events)\n" path (H.ops h)
+  in
+  let cfg = { Lh.default_config with nprocs = 2; ops_per_proc = 4 } in
+  let rec_cell ds scheme =
+    Lh.run_once ~ds ~scheme cfg (Explore.policy_of_schedule [])
+  in
+  (* Recorded clean runs. *)
+  put "set__list-debra__ok.json" (rec_cell "list" "debra");
+  put "set__bst-hp__ok.json" (rec_cell "bst" "hp");
+  put "set__skiplist-debra-plus__ok.json" (rec_cell "skiplist" "debra+");
+  put "queue__ms-debra__ok.json" (rec_cell "queue" "debra");
+  (* Hand-built: legal overlap with a pending op. *)
+  put "set__pending-add__ok.json"
+    [| pend ~pid:0 (H.Add 1) 0; e ~pid:1 (H.Mem 1) (H.RBool true) 1 2 |];
+  (* Hand-built violations. *)
+  put "set__stale-mem__bad.json"
+    [|
+      e ~pid:0 (H.Add 1) (H.RBool true) 0 1;
+      e ~pid:1 (H.Mem 1) (H.RBool false) 2 3;
+    |];
+  put "queue__dup-deq__bad.json"
+    [|
+      e ~pid:0 (H.Enq 1) H.RUnit 0 1;
+      e ~pid:0 (H.Enq 2) H.RUnit 2 3;
+      e ~pid:1 H.Deq (H.RVal (Some 1)) 4 5;
+      e ~pid:2 H.Deq (H.RVal (Some 1)) 6 7;
+    |];
+  put "stack__fifo-pop__bad.json"
+    [|
+      e ~pid:0 (H.Push 1) H.RUnit 0 1;
+      e ~pid:0 (H.Push 2) H.RUnit 2 3;
+      e ~pid:1 H.Pop (H.RVal (Some 1)) 4 5;
+    |]

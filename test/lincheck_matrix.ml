@@ -1,0 +1,35 @@
+(* Full exploration matrix: every reclamation scheme x every structure under
+   bounded-preemption systematic exploration, every explored schedule's
+   history checked against the sequential spec.
+
+   Heavyweight (hundreds of simulator runs per cell): lives behind the
+   @lincheck-matrix alias, not in tier-1.  Exits non-zero on the first
+   rejected cell, printing the replayable preemption schedule. *)
+
+module Explore = Lincheck.Explore
+module Lh = Workload.Lin_harness
+
+let budget = try int_of_string (Sys.getenv "LINCHECK_BUDGET") with Not_found -> 2
+
+let max_runs =
+  try int_of_string (Sys.getenv "LINCHECK_MAX_RUNS") with Not_found -> 300
+
+let () =
+  let cfg = { Lh.default_config with nprocs = 2; ops_per_proc = 3; key_range = 2; prefill = 1 } in
+  let failures = ref 0 in
+  let cells = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun ds ->
+      List.iter
+        (fun scheme ->
+          incr cells;
+          let v = Lh.explore ~budget ~max_runs ~ds ~scheme cfg in
+          (match v with Explore.Fail _ -> incr failures | Explore.Pass _ -> ());
+          Printf.printf "%-9s x %-11s %s\n%!" ds scheme (Lh.verdict_summary v))
+        Lh.scheme_names)
+    Lh.ds_names;
+  Printf.printf "\n%d cells, %d failures, budget=%d, max_runs=%d, %.1fs\n"
+    !cells !failures budget max_runs
+    (Unix.gettimeofday () -. t0);
+  exit (if !failures > 0 then 1 else 0)

@@ -1,0 +1,143 @@
+(* Seeded linearizability mutant of the Michael-Scott queue: dequeue's
+   linearizing compare-and-swap on [head] is replaced by a plain
+   read-then-write — the "missing dequeue re-validation" bug.  Two
+   dequeuers that both observe the same head before either updates it both
+   return the same value, so one preemption placed between the value read
+   and the head update yields a duplicated dequeue that the FIFO spec
+   rejects (values are unique per enqueue in the harness workloads).
+
+   Run it under the `none` scheme: retire is then a no-op, so the double
+   retire of the shared dummy cannot trip the arena's double-free trap
+   first and the rejection is the checker's alone.  Everything except the
+   seeded bug is copied from lib/ds/ms_queue.ml. *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  let f_next = 0
+  let c_value = 0
+
+  type t = {
+    rm : RM.t;
+    arena : Memory.Arena.t;
+    head : int Runtime.Svar.t;
+    tail : int Runtime.Svar.t;
+  }
+
+  let create rm ~capacity =
+    let env = RM.env rm in
+    let arena =
+      Memory.Heap.new_arena env.Reclaim.Intf.Env.heap ~name:"mutant_queue.node"
+        ~mut_fields:1 ~const_fields:1 ~capacity:(capacity + 1)
+    in
+    let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
+    let dummy = RM.alloc rm ctx arena in
+    Memory.Arena.write ctx arena dummy f_next Memory.Ptr.null;
+    { rm; arena; head = Runtime.Svar.make dummy; tail = Runtime.Svar.make dummy }
+
+  let finish_op _t ctx =
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1
+
+  let enqueue t ctx value =
+    let node = RM.alloc t.rm ctx t.arena in
+    Memory.Arena.set_const ctx t.arena node c_value value;
+    Memory.Arena.write ctx t.arena node f_next Memory.Ptr.null;
+    let linearized = ref false in
+    RM.run_op t.rm ctx
+      ~recover:(fun () ->
+        RM.unprotect_all t.rm ctx;
+        if !linearized then Some () else None)
+      (fun () ->
+        RM.leave_qstate t.rm ctx;
+        let rec attempt () =
+          let tail = Runtime.Svar.get ctx t.tail in
+          if
+            not
+              (RM.protect t.rm ctx tail ~verify:(fun () ->
+                   Runtime.Svar.get ctx t.tail = tail))
+          then attempt ()
+          else begin
+            let next = Memory.Arena.read ctx t.arena tail f_next in
+            if not (Memory.Ptr.is_null next) then begin
+              ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
+              RM.unprotect t.rm ctx tail;
+              attempt ()
+            end
+            else if
+              Memory.Arena.cas ctx t.arena tail f_next ~expect:Memory.Ptr.null
+                node
+            then begin
+              linearized := true;
+              ignore (Runtime.Svar.cas ctx t.tail ~expect:tail node);
+              RM.unprotect t.rm ctx tail
+            end
+            else begin
+              RM.unprotect t.rm ctx tail;
+              attempt ()
+            end
+          end
+        in
+        attempt ();
+        RM.enter_qstate t.rm ctx);
+    finish_op t ctx
+
+  let dequeue t ctx =
+    let taken = ref None in
+    let r =
+      RM.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          match !taken with
+          | Some (node, v) ->
+              RM.retire t.rm ctx node;
+              Some (Some v)
+          | None -> None)
+        (fun () ->
+          RM.leave_qstate t.rm ctx;
+          let rec attempt () =
+            let head = Runtime.Svar.get ctx t.head in
+            if
+              not
+                (RM.protect t.rm ctx head ~verify:(fun () ->
+                     Runtime.Svar.get ctx t.head = head))
+            then attempt ()
+            else begin
+              let tail = Runtime.Svar.get ctx t.tail in
+              let next = Memory.Arena.read ctx t.arena head f_next in
+              if Memory.Ptr.is_null next then begin
+                RM.unprotect t.rm ctx head;
+                None
+              end
+              else if
+                not
+                  (RM.protect t.rm ctx next ~verify:(fun () ->
+                       Runtime.Svar.get ctx t.head = head))
+              then begin
+                RM.unprotect t.rm ctx head;
+                attempt ()
+              end
+              else if head = tail then begin
+                ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+              else begin
+                let v = Memory.Arena.get_const ctx t.arena next c_value in
+                (* THE SEEDED BUG: the linearizing CAS is replaced by a
+                   blind write — no re-validation that [head] is still the
+                   head.  A dequeuer preempted here loses the race but
+                   still claims the value. *)
+                Runtime.Svar.set ctx t.head next;
+                taken := Some (head, v);
+                RM.retire t.rm ctx head;
+                RM.unprotect_all t.rm ctx;
+                Some v
+              end
+            end
+          in
+          let r = attempt () in
+          RM.enter_qstate t.rm ctx;
+          r)
+    in
+    finish_op t ctx;
+    r
+end

@@ -179,6 +179,44 @@ let prop_blockbag_multiset =
       Bag.Blockbag.iter bag (fun x -> out := x :: !out);
       List.sort compare xs = List.sort compare !out)
 
+(* O(1) bulk transfer: source emptied, destination counts the sum, the
+   multiset of records is the union, no block aliased between the bags,
+   and the everything-after-head-is-full invariant survives on both. *)
+let prop_blockbag_transfer =
+  QCheck.Test.make ~name:"blockbag transfer: empty src, summed dst, no aliasing"
+    ~count:300
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (xs, ys) ->
+      let xs = List.map (fun x -> x + 1) xs
+      and ys = List.map (fun y -> y + 1_000_000) ys in
+      let p = pool () in
+      let src = Bag.Blockbag.create p and dst = Bag.Blockbag.create p in
+      List.iter (Bag.Blockbag.add src) xs;
+      List.iter (Bag.Blockbag.add dst) ys;
+      Bag.Blockbag.transfer src ~into:dst;
+      let full_after_head b =
+        match Bag.Blockbag.blocks b with
+        | [] -> false (* a bag always owns its head block *)
+        | _head :: rest -> List.for_all Bag.Block.is_full rest
+      in
+      let out = ref [] in
+      Bag.Blockbag.iter dst (fun x -> out := x :: !out);
+      Bag.Blockbag.is_empty src
+      && Bag.Blockbag.size src = 0
+      && Bag.Blockbag.size dst = List.length xs + List.length ys
+      && List.sort compare (xs @ ys) = List.sort compare !out
+      && List.for_all
+           (fun b ->
+             not (List.memq b (Bag.Blockbag.blocks dst)))
+           (Bag.Blockbag.blocks src)
+      && full_after_head src && full_after_head dst
+      (* src stays usable: refill and drain without disturbing dst *)
+      && begin
+           Bag.Blockbag.add src 7;
+           Bag.Blockbag.pop src = Some 7
+           && Bag.Blockbag.size dst = List.length xs + List.length ys
+         end)
+
 let () =
   Alcotest.run "bag"
     [
@@ -195,6 +233,7 @@ let () =
             test_blockbag_invariant_after_block_splice;
           Alcotest.test_case "cursor partition" `Quick test_cursor_partition;
           QCheck_alcotest.to_alcotest prop_blockbag_multiset;
+          QCheck_alcotest.to_alcotest prop_blockbag_transfer;
         ] );
       ( "shared",
         [

@@ -4,6 +4,23 @@
    atomicity and publication; on multicore machines this runs genuinely in
    parallel. *)
 
+(* Small hosts: clamp domain counts to the runtime's recommendation, and
+   skip (with a printed reason) the tests whose point is real parallelism
+   when even two domains are not recommended. *)
+let avail = Domain.recommended_domain_count ()
+let clamp n = min n (max 1 avail)
+
+let par_case name speed f =
+  Alcotest.test_case name speed (fun () ->
+      if avail < 2 then begin
+        Printf.printf
+          "SKIP %s: Domain.recommended_domain_count () = %d (< 2), no real \
+           parallelism on this host\n%!"
+          name avail;
+        Alcotest.skip ()
+      end
+      else f ())
+
 module RM_debra =
   Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
     (Reclaim.Debra.Make)
@@ -78,7 +95,7 @@ module H_dplus = H (RM_dplus)
    claim/release cycles; the live count and the no-double-free guarantee
    must survive. *)
 let test_arena_freelist_parallel () =
-  let n = 4 in
+  let n = clamp 4 in
   let arena =
     Memory.Arena.create ~heap_id:0 ~name:"par" ~mut_fields:1 ~const_fields:0
       ~capacity:4096 ()
@@ -118,7 +135,7 @@ let test_arena_freelist_parallel () =
 (* The lock-free shared bag under real contention: blocks are conserved
    and never duplicated across concurrent push/pop traffic. *)
 let test_shared_bag_parallel () =
-  let n = 4 in
+  let n = clamp 4 in
   let per_proc = 500 in
   let bag = Bag.Shared_bag.create () in
   let group = Runtime.Group.create ~seed:3 n in
@@ -151,29 +168,29 @@ let () =
     [
       ( "list",
         [
-          Alcotest.test_case "debra 4 domains" `Quick
-            (H_debra.test_list ~n:4 ~ops:2000 ~range:64 ~seed:1);
-          Alcotest.test_case "hp 4 domains" `Quick
-            (H_hp.test_list ~n:4 ~ops:2000 ~range:64 ~seed:2);
+          par_case "debra 4 domains" `Quick
+            (H_debra.test_list ~n:(clamp 4) ~ops:2000 ~range:64 ~seed:1);
+          par_case "hp 4 domains" `Quick
+            (H_hp.test_list ~n:(clamp 4) ~ops:2000 ~range:64 ~seed:2);
         ] );
       ( "queue",
         [
-          Alcotest.test_case "debra 4 domains" `Quick
-            (H_debra.test_queue ~n:4 ~ops:2000 ~seed:3);
+          par_case "debra 4 domains" `Quick
+            (H_debra.test_queue ~n:(clamp 4) ~ops:2000 ~seed:3);
         ] );
       ( "debra+",
         [
-          Alcotest.test_case "list under real domains" `Quick
-            (H_dplus.test_list ~n:4 ~ops:1500 ~range:32 ~seed:4);
+          par_case "list under real domains" `Quick
+            (H_dplus.test_list ~n:(clamp 4) ~ops:1500 ~range:32 ~seed:4);
         ] );
       ( "arena",
         [
-          Alcotest.test_case "parallel freelist" `Quick
+          par_case "parallel freelist" `Quick
             test_arena_freelist_parallel;
         ] );
       ( "shared-bag",
         [
-          Alcotest.test_case "parallel block transfer" `Quick
+          par_case "parallel block transfer" `Quick
             test_shared_bag_parallel;
         ] );
     ]

@@ -1,0 +1,469 @@
+(* Linearizability checker + systematic exploration (lib/lincheck).
+
+   Four directions of evidence:
+   - the WGL checker gives the right verdict on hand-written histories
+     (overlap legality, real-time precedence, FIFO/LIFO order, pending
+     operations, minimal counterexample prefixes);
+   - histories round-trip through JSON, and the golden corpus under
+     test/histories/ re-checks to the verdict encoded in each file name;
+   - bounded-preemption exploration of correct scheme x structure cells
+     passes while actually exploring (several schedules, real branch
+     points), and recorded schedules replay deterministically;
+   - the apparatus has teeth: the broken-EBR and broken-HP reclaimers from
+     broken_schemes.ml and the seeded mutant_queue.ml (dequeue missing its
+     head re-validation CAS) are each rejected with a replayable schedule.
+
+   The heavyweight 9-schemes x 4-structures matrix lives in
+   lincheck_matrix.ml behind the @lincheck-matrix alias, not in tier-1. *)
+
+module H = Lincheck.History
+module Spec = Lincheck.Spec
+module Checker = Lincheck.Checker
+module Explore = Lincheck.Explore
+module Lh = Workload.Lin_harness
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written histories *)
+
+let e ?(pid = 0) op res inv ret =
+  {
+    H.e_pid = pid;
+    e_op = op;
+    e_res = Some res;
+    e_inv = inv;
+    e_ret = ret;
+    e_inv_time = inv;
+    e_ret_time = ret;
+  }
+
+let pend ?(pid = 0) op inv =
+  {
+    H.e_pid = pid;
+    e_op = op;
+    e_res = None;
+    e_inv = inv;
+    e_ret = max_int;
+    e_inv_time = inv;
+    e_ret_time = max_int;
+  }
+
+let is_lin spec h =
+  match Checker.check spec h with
+  | Checker.Linearizable -> true
+  | Checker.Non_linearizable _ -> false
+
+let test_set_overlap () =
+  (* mem(1) runs concurrently with add(1): both answers are legal. *)
+  let base b =
+    [|
+      e ~pid:0 (H.Add 1) (H.RBool true) 0 3;
+      e ~pid:1 (H.Mem 1) (H.RBool b) 1 2;
+    |]
+  in
+  Alcotest.(check bool) "concurrent mem=true" true (is_lin Spec.set (base true));
+  Alcotest.(check bool)
+    "concurrent mem=false" true
+    (is_lin Spec.set (base false))
+
+let test_set_precedence () =
+  (* add(1) completed strictly before mem(1): only true is legal now. *)
+  let h b =
+    [|
+      e ~pid:0 (H.Add 1) (H.RBool true) 0 1;
+      e ~pid:1 (H.Mem 1) (H.RBool b) 2 3;
+    |]
+  in
+  Alcotest.(check bool) "later mem=true ok" true (is_lin Spec.set (h true));
+  Alcotest.(check bool)
+    "stale mem=false rejected" false
+    (is_lin Spec.set (h false));
+  (* ... and a mem(1)=true with no add anywhere cannot linearize. *)
+  Alcotest.(check bool)
+    "mem=true from thin air rejected" false
+    (is_lin Spec.set [| e (H.Mem 1) (H.RBool true) 0 1 |])
+
+let test_set_minimal_prefix () =
+  (* The violation is complete once the stale mem returns: the minimal
+     prefix must stop there and drop the trailing unrelated op. *)
+  let h =
+    [|
+      e ~pid:0 (H.Add 1) (H.RBool true) 0 1;
+      e ~pid:1 (H.Mem 1) (H.RBool false) 2 3;
+      e ~pid:0 (H.Add 2) (H.RBool true) 4 5;
+    |]
+  in
+  match Checker.check Spec.set h with
+  | Checker.Linearizable -> Alcotest.fail "expected non-linearizable"
+  | Checker.Non_linearizable p ->
+      Alcotest.(check int) "minimal prefix has 2 events" 2 (H.ops p)
+
+let test_queue_fifo () =
+  let enq v i = e ~pid:0 (H.Enq v) H.RUnit i (i + 1) in
+  let deq ?(pid = 1) v i = e ~pid H.Deq (H.RVal (Some v)) i (i + 1) in
+  Alcotest.(check bool)
+    "fifo order ok" true
+    (is_lin Spec.queue [| enq 1 0; enq 2 2; deq 1 4; deq 2 6 |]);
+  Alcotest.(check bool)
+    "lifo order rejected" false
+    (is_lin Spec.queue [| enq 1 0; enq 2 2; deq 2 4; deq 1 6 |]);
+  Alcotest.(check bool)
+    "duplicate dequeue rejected" false
+    (is_lin Spec.queue
+       [| enq 1 0; enq 2 2; deq 1 4; deq ~pid:2 1 6 |]);
+  Alcotest.(check bool)
+    "empty dequeue while nonempty rejected" false
+    (is_lin Spec.queue [| enq 1 0; e ~pid:1 H.Deq (H.RVal None) 2 3 |])
+
+let test_stack_lifo () =
+  let push v i = e ~pid:0 (H.Push v) H.RUnit i (i + 1) in
+  let pop v i = e ~pid:1 H.Pop (H.RVal (Some v)) i (i + 1) in
+  Alcotest.(check bool)
+    "lifo ok" true
+    (is_lin Spec.stack [| push 1 0; push 2 2; pop 2 4; pop 1 6 |]);
+  Alcotest.(check bool)
+    "fifo rejected" false
+    (is_lin Spec.stack [| push 1 0; push 2 2; pop 1 4; pop 2 6 |])
+
+let test_pending () =
+  (* A pending add may (but need not) linearize: both observations of the
+     set are legal while it is in flight. *)
+  let h b =
+    [| pend ~pid:0 (H.Add 1) 0; e ~pid:1 (H.Mem 1) (H.RBool b) 1 2 |]
+  in
+  Alcotest.(check bool) "pending add seen" true (is_lin Spec.set (h true));
+  Alcotest.(check bool) "pending add unseen" true (is_lin Spec.set (h false));
+  (* A pending dequeue cannot excuse a duplicate completed dequeue. *)
+  Alcotest.(check bool)
+    "pending op cannot fix duplicate" false
+    (is_lin Spec.queue
+       [|
+         e ~pid:0 (H.Enq 1) H.RUnit 0 1;
+         e ~pid:1 H.Deq (H.RVal (Some 1)) 2 3;
+         e ~pid:2 H.Deq (H.RVal (Some 1)) 4 5;
+         pend ~pid:0 (H.Enq 2) 6;
+       |])
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip + golden corpus *)
+
+let history = Alcotest.testable (fun fmt h -> Format.pp_print_string fmt (H.to_string h)) ( = )
+
+let test_json_roundtrip () =
+  let cfg = { Lh.default_config with nprocs = 2; ops_per_proc = 4 } in
+  let h = Lh.run_once ~ds:"list" ~scheme:"debra" cfg (Explore.policy_of_schedule []) in
+  Alcotest.(check bool) "recorded something" true (H.ops h > 4);
+  let h' = H.of_json (H.to_json h) in
+  Alcotest.check history "to_json/of_json round-trips" h h';
+  let tmp = Filename.temp_file "lincheck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      H.save h tmp;
+      Alcotest.check history "save/load round-trips" h (H.load tmp));
+  (* malformed input is a clean error, not a crash *)
+  Alcotest.check_raises "malformed rejected" (H.Malformed "missing key \"events\"")
+    (fun () -> ignore (H.of_json (Telemetry.Json.Obj [])))
+
+(* Golden corpus: test/histories/<spec>__<label>__<ok|bad>.json.  Each file
+   must parse and re-check to the verdict its name encodes. *)
+let test_golden_corpus () =
+  (* dune runtest runs in the stanza dir (where the glob_files deps land);
+     dune exec from the repo root sees the source tree instead *)
+  let dir = if Sys.file_exists "histories" then "histories" else "test/histories" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "corpus non-empty (%d files)" (List.length files))
+    true
+    (List.length files >= 6);
+  List.iter
+    (fun f ->
+      match String.split_on_char '_' (Filename.remove_extension f) with
+      | spec_name :: _ ->
+          let spec =
+            match Spec.by_name spec_name with
+            | Some s -> s
+            | None -> Alcotest.fail (f ^ ": unknown spec prefix")
+          in
+          let expect_ok =
+            Filename.check_suffix (Filename.remove_extension f) "ok"
+          in
+          let h = H.load (Filename.concat dir f) in
+          Alcotest.(check bool) f expect_ok (is_lin spec h)
+      | [] -> Alcotest.fail (f ^ ": bad name"))
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Exploration: clean cells pass (while really exploring), and schedules
+   replay deterministically. *)
+
+let smoke_cfg =
+  { Lh.default_config with nprocs = 2; ops_per_proc = 3; key_range = 2; prefill = 1 }
+
+let test_explore_clean () =
+  List.iter
+    (fun (ds, scheme) ->
+      match Lh.explore ~budget:2 ~max_runs:400 ~ds ~scheme smoke_cfg with
+      | Explore.Pass st ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s explored >1 schedule" ds scheme)
+            true (st.Explore.runs > 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s found branch points" ds scheme)
+            true
+            (st.Explore.branch_points > 0)
+      | Explore.Fail { reason; schedule; _ } ->
+          Alcotest.fail
+            (Printf.sprintf "%s/%s rejected: %s\nschedule: %s" ds scheme reason
+               (Explore.schedule_to_string schedule)))
+    [ ("list", "debra"); ("queue", "debra+"); ("bst", "hp") ]
+
+let test_replay_deterministic () =
+  let policy () = Explore.policy_of_schedule [] in
+  let h1 = Lh.run_once ~ds:"list" ~scheme:"ebr" smoke_cfg (policy ()) in
+  let h2 = Lh.run_once ~ds:"list" ~scheme:"ebr" smoke_cfg (policy ()) in
+  Alcotest.check history "same schedule, same history" h1 h2
+
+(* ------------------------------------------------------------------ *)
+(* Teeth: the mutants are rejected with replayable schedules. *)
+
+(* Seeded MS-queue mutant under `none` (so the arena cannot trip first and
+   the rejection is the checker's): two one-shot dequeuers over a two
+   element queue; the missing head re-validation lets both claim the same
+   value under one well-placed preemption. *)
+module MN = Lh.Mk (Workload.Schemes.RM1_none)
+module MQ = Mutant_queue.Make (Workload.Schemes.RM1_none)
+
+let run_mutant_queue policy =
+  let cfg = { smoke_cfg with nprocs = 2 } in
+  let group, rm = MN.fresh cfg in
+  let q = MQ.create rm ~capacity:64 in
+  let rec_ = H.recorder ~nprocs:2 in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  List.iter
+    (fun v ->
+      MN.record rec_ ctx0 (H.Enq v) (fun () -> MQ.enqueue q ctx0 v) (fun () -> H.RUnit))
+    [ 901; 902 ];
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    MN.record rec_ ctx H.Deq (fun () -> MQ.dequeue q ctx) (fun r -> H.RVal r)
+  in
+  ignore
+    (Sim.run ~machine:(MN.machine_for cfg) ~max_steps:200_000 ~policy group
+       (Array.init 2 body));
+  H.snapshot rec_
+
+let check_queue h =
+  match Checker.check Spec.queue h with
+  | Checker.Linearizable -> None
+  | v -> Some (Checker.verdict_to_string v)
+
+let test_mutant_queue_rejected () =
+  match
+    Explore.explore ~budget:2 ~max_runs:500 ~run_one:run_mutant_queue
+      ~check:check_queue ()
+  with
+  | Explore.Pass _ -> Alcotest.fail "mutant queue slipped past exploration"
+  | Explore.Fail { schedule; reason; stats; _ } ->
+      Printf.printf
+        "mutant queue rejected after %d schedules\n  schedule: %s\n  %s\n"
+        stats.Explore.runs
+        (Explore.schedule_to_string schedule)
+        reason;
+      Alcotest.(check bool)
+        "rejected by the checker, not a trap" true
+        (String.length reason >= 16
+        && String.sub reason 0 16 = "NON-LINEARIZABLE");
+      (* The printed schedule is a real counterexample: replaying it alone
+         reproduces the violation. *)
+      let h = run_mutant_queue (Explore.policy_of_schedule schedule) in
+      Alcotest.(check bool)
+        "schedule replays to the same violation" true
+        (check_queue h <> None)
+
+(* Broken EBR (no grace period): a reader suspended mid-traversal resumes
+   into a record the deleter has already freed — the arena traps it on some
+   explored schedule, and that schedule replays. *)
+module MBE = Lh.Mk (Broken_schemes.RM_broken_ebr)
+
+let run_broken_ebr policy =
+  let cfg = { smoke_cfg with nprocs = 2 } in
+  let group, rm = MBE.fresh cfg in
+  let (module S) = MBE.Face.hm_list in
+  let s = S.create rm ~capacity:cfg.capacity in
+  let rec_ = H.recorder ~nprocs:2 in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  for k = 1 to 4 do
+    MBE.record rec_ ctx0 (H.Add k)
+      (fun () -> S.insert s ctx0 ~key:k ~value:k)
+      (fun b -> H.RBool b)
+  done;
+  let bodies =
+    [|
+      (fun () ->
+        (* deleter: frees every node immediately on retire *)
+        let ctx = Runtime.Group.ctx group 0 in
+        for k = 1 to 4 do
+          MBE.record rec_ ctx (H.Remove k)
+            (fun () -> S.delete s ctx k)
+            (fun b -> H.RBool b)
+        done);
+      (fun () ->
+        (* reader: traverses across the nodes being freed *)
+        let ctx = Runtime.Group.ctx group 1 in
+        for _ = 1 to 2 do
+          MBE.record rec_ ctx (H.Mem 4)
+            (fun () -> S.contains s ctx 4)
+            (fun b -> H.RBool b)
+        done);
+    |]
+  in
+  ignore
+    (Sim.run ~machine:(MBE.machine_for cfg) ~max_steps:200_000 ~policy group
+       bodies);
+  H.snapshot rec_
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_broken_ebr_rejected () =
+  match
+    Explore.explore ~budget:2 ~max_runs:800 ~run_one:run_broken_ebr
+      ~check:(fun h ->
+        match Checker.check Spec.set h with
+        | Checker.Linearizable -> None
+        | v -> Some (Checker.verdict_to_string v))
+      ()
+  with
+  | Explore.Pass _ -> Alcotest.fail "broken EBR slipped past exploration"
+  | Explore.Fail { schedule; reason; stats; _ } ->
+      Printf.printf
+        "broken EBR rejected after %d schedules\n  schedule: %s\n  reason: %s\n"
+        stats.Explore.runs
+        (Explore.schedule_to_string schedule)
+        reason;
+      Alcotest.(check bool)
+        "trapped as use-after-free" true
+        (contains_sub ~sub:"Use_after_free" reason);
+      let replay_trapped =
+        match run_broken_ebr (Explore.policy_of_schedule schedule) with
+        | (_ : H.t) -> false
+        | exception Memory.Arena.Use_after_free _ -> true
+      in
+      Alcotest.(check bool) "schedule replays to the same trap" true
+        replay_trapped
+
+(* Broken HP (no post-announce validation): the deleter accumulates enough
+   retires to scan and free; a reader that announced too late resumes into
+   a freed record. *)
+module MBH = Lh.Mk (Broken_schemes.RM_broken_hp)
+
+let broken_hp_cfg =
+  {
+    smoke_cfg with
+    nprocs = 2;
+    params =
+      {
+        Lh.explore_params with
+        Reclaim.Intf.Params.hp_slots = 8;
+        (* threshold floor: scan after 8 retires *)
+        hp_retire_factor = 0;
+      };
+  }
+
+let run_broken_hp policy =
+  let cfg = broken_hp_cfg in
+  let group, rm = MBH.fresh cfg in
+  let (module S) = MBH.Face.hm_list in
+  let s = S.create rm ~capacity:cfg.capacity in
+  let rec_ = H.recorder ~nprocs:2 in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  for k = 1 to 9 do
+    MBH.record rec_ ctx0 (H.Add k)
+      (fun () -> S.insert s ctx0 ~key:k ~value:k)
+      (fun b -> H.RBool b)
+  done;
+  let bodies =
+    [|
+      (fun () ->
+        (* deleter: the 8th retire crosses the scan threshold and frees
+           everything not (validly) announced *)
+        let ctx = Runtime.Group.ctx group 0 in
+        for k = 1 to 9 do
+          MBH.record rec_ ctx (H.Remove k)
+            (fun () -> S.delete s ctx k)
+            (fun b -> H.RBool b)
+        done);
+      (fun () ->
+        (* reader: one long traversal through the doomed prefix *)
+        let ctx = Runtime.Group.ctx group 1 in
+        MBH.record rec_ ctx (H.Mem 9)
+          (fun () -> S.contains s ctx 9)
+          (fun b -> H.RBool b));
+    |]
+  in
+  ignore
+    (Sim.run ~machine:(MBH.machine_for cfg) ~max_steps:400_000 ~policy group
+       bodies);
+  H.snapshot rec_
+
+let test_broken_hp_rejected () =
+  match
+    Explore.explore ~budget:2 ~max_runs:1500 ~run_one:run_broken_hp
+      ~check:(fun h ->
+        match Checker.check Spec.set h with
+        | Checker.Linearizable -> None
+        | v -> Some (Checker.verdict_to_string v))
+      ()
+  with
+  | Explore.Pass _ -> Alcotest.fail "broken HP slipped past exploration"
+  | Explore.Fail { schedule; reason; stats; _ } ->
+      Printf.printf
+        "broken HP rejected after %d schedules\n  schedule: %s\n  reason: %s\n"
+        stats.Explore.runs
+        (Explore.schedule_to_string schedule)
+        reason;
+      Alcotest.(check bool)
+        "trapped as use-after-free" true
+        (contains_sub ~sub:"Use_after_free" reason)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "set overlap" `Quick test_set_overlap;
+          Alcotest.test_case "set precedence" `Quick test_set_precedence;
+          Alcotest.test_case "minimal prefix" `Quick test_set_minimal_prefix;
+          Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "stack lifo" `Quick test_stack_lifo;
+          Alcotest.test_case "pending ops" `Quick test_pending;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "golden corpus" `Quick test_golden_corpus;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "clean cells pass" `Quick test_explore_clean;
+          Alcotest.test_case "replay deterministic" `Quick
+            test_replay_deterministic;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "mutant queue rejected" `Quick
+            test_mutant_queue_rejected;
+          Alcotest.test_case "broken ebr rejected" `Quick
+            test_broken_ebr_rejected;
+          Alcotest.test_case "broken hp rejected" `Quick
+            test_broken_hp_rejected;
+        ] );
+    ]

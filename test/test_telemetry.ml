@@ -148,6 +148,7 @@ let small_cfg ?telemetry ?stall ?(duration = 300_000) ?(n = 4) () =
   chaos = None;
     budget = -1;
     max_steps = None;
+    history = None;
   }
 
 let test_trace_well_formed () =
