@@ -25,9 +25,20 @@
     help routine touches (then the descriptor last), and a [published] flag
     — set atomically-with-the-CAS from the signal handler's perspective —
     lets recovery decide between re-helping the published descriptor and
-    restarting. *)
+    restarting.
+
+    Typestate tier: the tree uses the lifecycle half of
+    {!Reclaim.Intf.RECORD_MANAGER.Typed} — typed allocation, sentinels,
+    publication/unlink CASes and witness-consuming retire, plus [acquire]
+    at the HP validation sites — but keeps raw dereferences: helping walks
+    descriptors and possibly-retired records that no guard can witness
+    (paper §3), which is precisely why this tree needs epoch-style schemes.
+    The [enter_qstate] in [finish_op] likewise stays untyped: it runs after
+    [run_op] returns, where no session witness is in scope. *)
 
 module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  module T = RM.Typed
+
   (* Internal node fields *)
   let f_left = 0
   let f_right = 1
@@ -107,18 +118,20 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     in
     let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
     let t = { rm; internal; leaf; info; root = Memory.Ptr.null } in
-    let l1 = RM.alloc rm ctx leaf in
-    Memory.Arena.set_const ctx leaf l1 c_key inf1;
-    Memory.Arena.set_const ctx leaf l1 c_value 0;
-    let l2 = RM.alloc rm ctx leaf in
-    Memory.Arena.set_const ctx leaf l2 c_key inf2;
-    Memory.Arena.set_const ctx leaf l2 c_value 0;
-    let root = RM.alloc rm ctx internal in
-    Memory.Arena.set_const ctx internal root c_ikey inf2;
-    Memory.Arena.write ctx internal root f_left l1;
-    Memory.Arena.write ctx internal root f_right l2;
-    Memory.Arena.write ctx internal root f_update 0;
-    { t with root }
+    let l1 = T.alloc rm ctx leaf in
+    T.init_const rm ctx leaf l1 c_key inf1;
+    T.init_const rm ctx leaf l1 c_value 0;
+    let l1 = T.sentinel rm ctx l1 in
+    let l2 = T.alloc rm ctx leaf in
+    T.init_const rm ctx leaf l2 c_key inf2;
+    T.init_const rm ctx leaf l2 c_value 0;
+    let l2 = T.sentinel rm ctx l2 in
+    let root = T.alloc rm ctx internal in
+    T.init_const rm ctx internal root c_ikey inf2;
+    T.init rm ctx internal root f_left l1;
+    T.init rm ctx internal root f_right l2;
+    T.init rm ctx internal root f_update 0;
+    { t with root = T.sentinel rm ctx root }
 
   let is_leaf t p = Memory.Ptr.arena_id p = Memory.Arena.heap_id t.leaf
 
@@ -138,10 +151,14 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
      time proves the child had not been retired when our announcement became
      visible.  Anything other than Clean is "suspicious" and restarts the
      operation — the paper's workaround, which forfeits lock-freedom. *)
-  let protect_child t ctx ~parent ~child =
-    RM.protect t.rm ctx child ~verify:(fun () ->
-        state_of (update_of t ctx parent) = clean
-        && (left_of t ctx parent = child || right_of t ctx parent = child))
+  let protect_child t ctx s ~parent ~child =
+    match
+      T.acquire t.rm ctx s child ~verify:(fun () ->
+          state_of (update_of t ctx parent) = clean
+          && (left_of t ctx parent = child || right_of t ctx parent = child))
+    with
+    | Some _ -> true
+    | None -> false
 
   type found = {
     gp : Memory.Ptr.t;  (* null iff p is the root *)
@@ -153,7 +170,7 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   (* Search from the root.  Under HP, [gp], [p] and [l] are protected on
      return; epoch schemes traverse (possibly retired) nodes freely. *)
-  let search t ctx key =
+  let search t ctx s key =
     let unprotect_maybe p =
       if (not (Memory.Ptr.is_null p)) && p <> t.root then
         RM.unprotect t.rm ctx p
@@ -168,7 +185,7 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           if key < key_of t ctx p' then left_of t ctx p'
           else right_of t ctx p'
         in
-        if not (protect_child t ctx ~parent:p' ~child:l') then raise Restart;
+        if not (protect_child t ctx s ~parent:p' ~child:l') then raise Restart;
         unprotect_maybe gp;
         step gp' gpupdate' p' pupdate' l'
       end
@@ -178,7 +195,7 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       let l =
         if key < inf2 then left_of t ctx t.root else right_of t ctx t.root
       in
-      if not (protect_child t ctx ~parent:t.root ~child:l) then begin
+      if not (protect_child t ctx s ~parent:t.root ~child:l) then begin
         RM.unprotect_all t.rm ctx;
         from_root ()
       end
@@ -200,11 +217,16 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       Memory.Arena.cas ctx t.internal parent f_right ~expect:old new_
     else false
 
-  (* Retire the descriptor displaced by a successful update-word CAS. *)
-  let retire_overwritten t ctx ~old_word ~new_word =
+  (* The descriptor displaced by a successful update-word CAS is what that
+     CAS unlinks: passing it to [cas_at ~unlinks] mints the witness the
+     winner's retire consumes. *)
+  let displaced t ~old_word ~new_word =
     let old_info = info_of t old_word and new_info = info_of t new_word in
     if (not (Memory.Ptr.is_null old_info)) && old_info <> new_info then
-      RM.retire t.rm ctx old_info
+      [ old_info ]
+    else []
+
+  let retire_all t ctx ws = List.iter (fun w -> T.retire t.rm ctx w) ws
 
   (* Help routines.  [deep] tells whether we may recursively help unrelated
      operations: true in operation bodies, false in neutralization recovery,
@@ -227,11 +249,19 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     let other =
       if right_of t ctx p = l then left_of t ctx p else right_of t ctx p
     in
-    if cas_child t ctx gp p other then begin
-      (* This process performed the removal: it retires both nodes. *)
-      RM.retire t.rm ctx p;
-      RM.retire t.rm ctx l
-    end;
+    let unlink_child field =
+      T.cas_at t.rm ctx t.internal gp field ~expect:p other ~publishes:[]
+        ~unlinks:[ p; l ]
+    in
+    (match
+       if left_of t ctx gp = p then unlink_child f_left
+       else if right_of t ctx gp = p then unlink_child f_right
+       else None
+     with
+    | Some ws ->
+        (* This process performed the removal: it retires both nodes. *)
+        retire_all t ctx ws
+    | None -> ());
     ignore
       (Memory.Arena.cas ctx t.internal gp f_update
          ~expect:(pack t ~state:dflag ~info:op)
@@ -242,8 +272,16 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     let p = Memory.Arena.get_const ctx t.info op c_p in
     let pupdate = Memory.Arena.get_const ctx t.info op c_pupdate in
     let markw = pack t ~state:mark ~info:op in
-    let marked = Memory.Arena.cas ctx t.internal p f_update ~expect:pupdate markw in
-    if marked then retire_overwritten t ctx ~old_word:pupdate ~new_word:markw;
+    let marked =
+      match
+        T.cas_at t.rm ctx t.internal p f_update ~expect:pupdate markw
+          ~publishes:[] ~unlinks:(displaced t ~old_word:pupdate ~new_word:markw)
+      with
+      | Some ws ->
+          retire_all t ctx ws;
+          true
+      | None -> false
+    in
     let current = update_of t ctx p in
     if marked || current = markw then begin
       help_marked t ctx op;
@@ -289,14 +327,14 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   let contains t ctx key =
     let r =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           RM.runprotect_all t.rm ctx;
           RM.unprotect_all t.rm ctx;
           None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
-          let { l; _ } = search t ctx key in
+        (fun s ->
+          T.leave t.rm ctx s;
+          let { l; _ } = search t ctx s key in
           key_of t ctx l = key)
     in
     finish_op t ctx;
@@ -304,14 +342,14 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   let get t ctx key =
     let r =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           RM.runprotect_all t.rm ctx;
           RM.unprotect_all t.rm ctx;
           None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
-          let { l; _ } = search t ctx key in
+        (fun s ->
+          T.leave t.rm ctx s;
+          let { l; _ } = search t ctx s key in
           if key_of t ctx l = key then
             Some (Memory.Arena.get_const ctx t.leaf l c_value)
           else None)
@@ -329,20 +367,25 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   let insert t ctx ~key ~value =
     assert (key < inf1);
-    (* Quiescent preamble: allocate the three records of an insertion. *)
-    let new_leaf = RM.alloc t.rm ctx t.leaf in
-    Memory.Arena.set_const ctx t.leaf new_leaf c_key key;
-    Memory.Arena.set_const ctx t.leaf new_leaf c_value value;
-    let new_internal = RM.alloc t.rm ctx t.internal in
-    let op = RM.alloc t.rm ctx t.info in
+    (* Quiescent preamble: allocate the three records of an insertion.  The
+       fresh witnesses stay live across retries — only the successful flag
+       CAS publishes (and spends) all three at once. *)
+    let new_leaf = T.alloc t.rm ctx t.leaf in
+    let new_leafp = T.fresh_ptr new_leaf in
+    T.init_const t.rm ctx t.leaf new_leaf c_key key;
+    T.init_const t.rm ctx t.leaf new_leaf c_value value;
+    let new_internal = T.alloc t.rm ctx t.internal in
+    let new_internalp = T.fresh_ptr new_internal in
+    let op = T.alloc t.rm ctx t.info in
+    let opp = T.fresh_ptr op in
     let published = ref false in
     let result =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           if !published then begin
             (* The descriptor is in the tree: finish our own operation using
                only RProtected records, then report success. *)
-            help_insert t ctx op;
+            help_insert t ctx opp;
             RM.runprotect_all t.rm ctx;
             RM.unprotect_all t.rm ctx;
             Some true
@@ -352,10 +395,10 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
             RM.unprotect_all t.rm ctx;
             None
           end)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
+        (fun s ->
+          T.leave t.rm ctx s;
           let rec attempt () =
-            let { p; l; pupdate; _ } = search t ctx key in
+            let { p; l; pupdate; _ } = search t ctx s key in
             if key_of t ctx l = key then false
             else if state_of pupdate <> clean then begin
               help t ctx pupdate;
@@ -364,40 +407,40 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
             end
             else begin
               let lkey = key_of t ctx l in
-              Memory.Arena.set_const ctx t.internal new_internal c_ikey
+              T.init_const t.rm ctx t.internal new_internal c_ikey
                 (max key lkey);
               if key < lkey then begin
-                Memory.Arena.write ctx t.internal new_internal f_left new_leaf;
-                Memory.Arena.write ctx t.internal new_internal f_right l
+                T.init t.rm ctx t.internal new_internal f_left new_leafp;
+                T.init t.rm ctx t.internal new_internal f_right l
               end
               else begin
-                Memory.Arena.write ctx t.internal new_internal f_left l;
-                Memory.Arena.write ctx t.internal new_internal f_right new_leaf
+                T.init t.rm ctx t.internal new_internal f_left l;
+                T.init t.rm ctx t.internal new_internal f_right new_leafp
               end;
-              Memory.Arena.write ctx t.internal new_internal f_update 0;
-              Memory.Arena.set_const ctx t.info op c_tag tag_iinfo;
-              Memory.Arena.set_const ctx t.info op c_gp Memory.Ptr.null;
-              Memory.Arena.set_const ctx t.info op c_p p;
-              Memory.Arena.set_const ctx t.info op c_l l;
-              Memory.Arena.set_const ctx t.info op c_new new_internal;
-              Memory.Arena.set_const ctx t.info op c_pupdate pupdate;
-              rprotect_for_recovery t ctx ~records:[ p; l ] ~desc:op;
-              let flagged = pack t ~state:iflag ~info:op in
-              if
-                Memory.Arena.cas ctx t.internal p f_update ~expect:pupdate
-                  flagged
-              then begin
-                published := true;
-                retire_overwritten t ctx ~old_word:pupdate ~new_word:flagged;
-                help_insert t ctx op;
-                true
-              end
-              else begin
-                help t ctx (update_of t ctx p);
-                if RM.supports_crash_recovery then RM.runprotect_all t.rm ctx;
-                RM.unprotect_all t.rm ctx;
-                attempt ()
-              end
+              T.init t.rm ctx t.internal new_internal f_update 0;
+              T.init_const t.rm ctx t.info op c_tag tag_iinfo;
+              T.init_const t.rm ctx t.info op c_gp Memory.Ptr.null;
+              T.init_const t.rm ctx t.info op c_p p;
+              T.init_const t.rm ctx t.info op c_l l;
+              T.init_const t.rm ctx t.info op c_new new_internalp;
+              T.init_const t.rm ctx t.info op c_pupdate pupdate;
+              rprotect_for_recovery t ctx ~records:[ p; l ] ~desc:opp;
+              let flagged = pack t ~state:iflag ~info:opp in
+              match
+                T.cas_at t.rm ctx t.internal p f_update ~expect:pupdate flagged
+                  ~publishes:[ op; new_internal; new_leaf ]
+                  ~unlinks:(displaced t ~old_word:pupdate ~new_word:flagged)
+              with
+              | Some ws ->
+                  published := true;
+                  retire_all t ctx ws;
+                  help_insert t ctx opp;
+                  true
+              | None ->
+                  help t ctx (update_of t ctx p);
+                  if RM.supports_crash_recovery then RM.runprotect_all t.rm ctx;
+                  RM.unprotect_all t.rm ctx;
+                  attempt ()
             end
           in
           attempt ())
@@ -406,9 +449,9 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     (* Quiescent postamble: an unsuccessful insert never published its
        records — return them to the pool. *)
     if not result then begin
-      RM.dealloc t.rm ctx new_leaf;
-      RM.dealloc t.rm ctx new_internal;
-      RM.dealloc t.rm ctx op
+      T.abandon t.rm ctx new_leaf;
+      T.abandon t.rm ctx new_internal;
+      T.abandon t.rm ctx op
     end;
     result
 
@@ -417,13 +460,14 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   let delete t ctx key =
     let rec op_loop () =
       (* Quiescent preamble: a fresh descriptor per published attempt. *)
-      let op = RM.alloc t.rm ctx t.info in
+      let op = T.alloc t.rm ctx t.info in
+      let opp = T.fresh_ptr op in
       let published = ref false in
       let outcome =
-        RM.run_op t.rm ctx
+        T.run_op t.rm ctx
           ~recover:(fun () ->
             if !published then begin
-              let finished = help_delete t ctx ~deep:false op in
+              let finished = help_delete t ctx ~deep:false opp in
               RM.runprotect_all t.rm ctx;
               RM.unprotect_all t.rm ctx;
               Some (if finished then Deleted else RetryOp)
@@ -433,10 +477,10 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
               RM.unprotect_all t.rm ctx;
               None
             end)
-          (fun () ->
-            RM.leave_qstate t.rm ctx;
+          (fun s ->
+            T.leave t.rm ctx s;
             let rec attempt () =
-              let { gp; p; l; pupdate; gpupdate } = search t ctx key in
+              let { gp; p; l; pupdate; gpupdate } = search t ctx s key in
               if key_of t ctx l <> key then NotPresent
               else if state_of gpupdate <> clean then begin
                 help t ctx gpupdate;
@@ -449,29 +493,30 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
                 attempt ()
               end
               else begin
-                Memory.Arena.set_const ctx t.info op c_tag tag_dinfo;
-                Memory.Arena.set_const ctx t.info op c_gp gp;
-                Memory.Arena.set_const ctx t.info op c_p p;
-                Memory.Arena.set_const ctx t.info op c_l l;
-                Memory.Arena.set_const ctx t.info op c_new Memory.Ptr.null;
-                Memory.Arena.set_const ctx t.info op c_pupdate pupdate;
-                rprotect_for_recovery t ctx ~records:[ gp; p; l ] ~desc:op;
-                let flagged = pack t ~state:dflag ~info:op in
-                if
-                  Memory.Arena.cas ctx t.internal gp f_update ~expect:gpupdate
-                    flagged
-                then begin
-                  published := true;
-                  retire_overwritten t ctx ~old_word:gpupdate ~new_word:flagged;
-                  if help_delete t ctx ~deep:true op then Deleted else RetryOp
-                end
-                else begin
-                  help t ctx (update_of t ctx gp);
-                  if RM.supports_crash_recovery then
-                    RM.runprotect_all t.rm ctx;
-                  RM.unprotect_all t.rm ctx;
-                  attempt ()
-                end
+                T.init_const t.rm ctx t.info op c_tag tag_dinfo;
+                T.init_const t.rm ctx t.info op c_gp gp;
+                T.init_const t.rm ctx t.info op c_p p;
+                T.init_const t.rm ctx t.info op c_l l;
+                T.init_const t.rm ctx t.info op c_new Memory.Ptr.null;
+                T.init_const t.rm ctx t.info op c_pupdate pupdate;
+                rprotect_for_recovery t ctx ~records:[ gp; p; l ] ~desc:opp;
+                let flagged = pack t ~state:dflag ~info:opp in
+                match
+                  T.cas_at t.rm ctx t.internal gp f_update ~expect:gpupdate
+                    flagged ~publishes:[ op ]
+                    ~unlinks:(displaced t ~old_word:gpupdate ~new_word:flagged)
+                with
+                | Some ws ->
+                    published := true;
+                    retire_all t ctx ws;
+                    if help_delete t ctx ~deep:true opp then Deleted
+                    else RetryOp
+                | None ->
+                    help t ctx (update_of t ctx gp);
+                    if RM.supports_crash_recovery then
+                      RM.runprotect_all t.rm ctx;
+                    RM.unprotect_all t.rm ctx;
+                    attempt ()
               end
             in
             attempt ())
@@ -480,7 +525,7 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       match outcome with
       | Deleted -> true
       | NotPresent ->
-          RM.dealloc t.rm ctx op;
+          T.abandon t.rm ctx op;
           false
       | RetryOp -> op_loop ()
     in

@@ -17,9 +17,19 @@
     preamble, the body between [leave_qstate]/[enter_qstate].  Under DEBRA+
     a neutralized operation simply restarts: every update is a single
     published CAS, so there is no partial state to repair and no descriptor
-    to help. *)
+    to help.
+
+    This structure is written entirely against the typestate surface
+    ({!Reclaim.Intf.RECORD_MANAGER.Typed}): every dereference goes through
+    a guard witness, the candidate node of an insert stays a [fresh]
+    witness until its publishing CAS spends it, and retire only accepts
+    the [unlinked] witness minted by the successful unlink CAS.  The
+    wrappers delegate 1:1 to the untyped calls, so the instrumented access
+    sequence — and therefore every pinned golden schedule — is unchanged. *)
 
 module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  module T = RM.Typed
+
   let f_next = 0 (* mutable: successor pointer; mark bit = logically deleted *)
   let c_key = 0
   let c_value = 1
@@ -36,10 +46,10 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   let create_in arena rm =
     let env = RM.env rm in
     let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
-    let head = RM.alloc rm ctx arena in
-    Memory.Arena.set_const ctx arena head c_key min_int;
-    Memory.Arena.write ctx arena head f_next Memory.Ptr.null;
-    { rm; arena; head }
+    let head = T.alloc rm ctx arena in
+    T.init_const rm ctx arena head c_key min_int;
+    T.init rm ctx arena head f_next Memory.Ptr.null;
+    { rm; arena; head = T.sentinel rm ctx head }
 
   let node_arena rm ~capacity =
     let env = RM.env rm in
@@ -49,46 +59,53 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   let create rm ~capacity = create_in (node_arena rm ~capacity) rm
 
   let arena t = t.arena
-  let key_of t ctx p = Memory.Arena.get_const ctx t.arena p c_key
-  let next_of t ctx p = Memory.Arena.read ctx t.arena p f_next
+  let key_of t ctx g = T.get_const t.rm ctx t.arena g c_key
+  let next_of t ctx g = T.read t.rm ctx t.arena g f_next
 
   exception Restart
 
-  (* [find t ctx key] returns (prev, cur) with prev.next = cur, cur the
-     first node of key >= [key] (or null), and both protected (prev's
-     protection is skipped for the permanent head).  Marked nodes met along
-     the way are unlinked and retired. *)
-  let find t ctx key =
+  (* [find t ctx s key] returns (prev, cur) with prev.next = cur, cur a
+     guard on the first node of key >= [key] (or [None] at the end of the
+     list), prev guarded (the permanent head needs no announcement).
+     Marked nodes met along the way are unlinked and retired — the unlink
+     CAS mints the witness its retire spends. *)
+  let find t ctx s key =
     let rec from_head () =
-      match scan t.head (next_of t ctx t.head) with
+      let head = T.root_guard t.rm s t.head in
+      match scan head (next_of t ctx head) with
       | position -> position
       | exception Restart ->
-          RM.unprotect_all t.rm ctx;
+          T.release_all t.rm ctx;
           from_head ()
     and scan prev cur =
-      if Memory.Ptr.is_null cur then (prev, cur)
+      if Memory.Ptr.is_null cur then (prev, None)
       else begin
         let cur = Memory.Ptr.unmark cur in
-        let ok =
-          RM.protect t.rm ctx cur ~verify:(fun () -> next_of t ctx prev = cur)
-        in
-        if not ok then raise Restart;
-        let next = next_of t ctx cur in
-        if Memory.Ptr.is_marked next then begin
-          (* cur is logically deleted: unlink it. *)
-          let next = Memory.Ptr.unmark next in
-          if Memory.Arena.cas ctx t.arena prev f_next ~expect:cur next then begin
-            RM.retire t.rm ctx cur;
-            RM.unprotect t.rm ctx cur;
-            scan prev next
-          end
-          else raise Restart
-        end
-        else if key_of t ctx cur >= key then (prev, cur)
-        else begin
-          if prev <> t.head then RM.unprotect t.rm ctx prev;
-          scan cur next
-        end
+        match
+          T.acquire t.rm ctx s cur ~verify:(fun () -> next_of t ctx prev = cur)
+        with
+        | None -> raise Restart
+        | Some curg -> (
+            let next = next_of t ctx curg in
+            if Memory.Ptr.is_marked next then begin
+              (* cur is logically deleted: unlink it. *)
+              let next = Memory.Ptr.unmark next in
+              match
+                T.cas_unlink t.rm ctx t.arena prev f_next ~expect:cur next
+                  ~unlinks:[ cur ]
+              with
+              | Some [ w ] ->
+                  T.retire t.rm ctx w;
+                  T.release t.rm ctx curg;
+                  scan prev next
+              | Some _ -> assert false
+              | None -> raise Restart
+            end
+            else if key_of t ctx curg >= key then (prev, Some curg)
+            else begin
+              if T.ptr prev <> t.head then T.release t.rm ctx prev;
+              scan curg next
+            end)
       end
     in
     from_head ()
@@ -96,16 +113,16 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   (* Preamble/body/postamble shell shared by all operations. *)
   let with_op t ctx body =
     let result =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           (* Single-CAS updates leave nothing to help: clean up and restart. *)
           RM.runprotect_all t.rm ctx;
-          RM.unprotect_all t.rm ctx;
+          T.release_all t.rm ctx;
           None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
-          let r = body () in
-          RM.enter_qstate t.rm ctx;
+        (fun s ->
+          T.leave t.rm ctx s;
+          let r = body s in
+          T.enter t.rm ctx s;
           r)
     in
     ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
@@ -113,42 +130,49 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     result
 
   let contains t ctx key =
-    with_op t ctx (fun () ->
-        let _, cur = find t ctx key in
-        (not (Memory.Ptr.is_null cur)) && key_of t ctx cur = key)
+    with_op t ctx (fun s ->
+        match find t ctx s key with
+        | _, Some cur -> key_of t ctx cur = key
+        | _, None -> false)
 
   let get t ctx key =
-    with_op t ctx (fun () ->
-        let _, cur = find t ctx key in
-        if (not (Memory.Ptr.is_null cur)) && key_of t ctx cur = key then
-          Some (Memory.Arena.get_const ctx t.arena cur c_value)
-        else None)
+    with_op t ctx (fun s ->
+        match find t ctx s key with
+        | _, Some cur when key_of t ctx cur = key ->
+            Some (T.get_const t.rm ctx t.arena cur c_value)
+        | _ -> None)
 
   let insert t ctx ~key ~value =
-    (* Quiescent preamble: allocate and initialize the candidate node; it
-       survives restarts and is released if the key turns out present. *)
-    let node = RM.alloc t.rm ctx t.arena in
-    Memory.Arena.set_const ctx t.arena node c_key key;
-    Memory.Arena.set_const ctx t.arena node c_value value;
+    (* Quiescent preamble: allocate and initialize the candidate node; its
+       fresh witness survives restarts (only a successful publishing CAS
+       spends it) and is abandoned if the key turns out present. *)
+    let node = T.alloc t.rm ctx t.arena in
+    T.init_const t.rm ctx t.arena node c_key key;
+    T.init_const t.rm ctx t.arena node c_value value;
     let inserted =
-      with_op t ctx (fun () ->
+      with_op t ctx (fun s ->
           let rec attempt () =
-            let prev, cur = find t ctx key in
-            if (not (Memory.Ptr.is_null cur)) && key_of t ctx cur = key then
-              false
-            else begin
-              Memory.Arena.write ctx t.arena node f_next cur;
-              if Memory.Arena.cas ctx t.arena prev f_next ~expect:cur node then
-                true
-              else begin
-                RM.unprotect_all t.rm ctx;
-                attempt ()
-              end
-            end
+            let prev, cur = find t ctx s key in
+            match cur with
+            | Some curg when key_of t ctx curg = key -> false
+            | _ ->
+                let curp =
+                  match cur with
+                  | Some curg -> T.ptr curg
+                  | None -> Memory.Ptr.null
+                in
+                T.init t.rm ctx t.arena node f_next curp;
+                if
+                  T.publish_cas t.rm ctx t.arena prev f_next ~expect:curp node
+                then true
+                else begin
+                  T.release_all t.rm ctx;
+                  attempt ()
+                end
           in
           attempt ())
     in
-    if not inserted then RM.dealloc t.rm ctx node;
+    if not inserted then T.abandon t.rm ctx node;
     inserted
 
   let delete t ctx key =
@@ -160,45 +184,50 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
        the successful CAS and the assignment. *)
     let linearized = ref false in
     let result =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           RM.runprotect_all t.rm ctx;
-          RM.unprotect_all t.rm ctx;
+          T.release_all t.rm ctx;
           if !linearized then Some true else None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
+        (fun s ->
+          T.leave t.rm ctx s;
           let rec attempt () =
-            let prev, cur = find t ctx key in
-            if Memory.Ptr.is_null cur || key_of t ctx cur <> key then false
-            else begin
-              let next = next_of t ctx cur in
-              if Memory.Ptr.is_marked next then begin
-                RM.unprotect_all t.rm ctx;
-                attempt ()
-              end
-              else if
-                Memory.Arena.cas ctx t.arena cur f_next ~expect:next
-                  (Memory.Ptr.mark next)
-              then begin
-                linearized := true;
-                (* Logically deleted; unlink now or let a later find clean
-                   up. *)
-                if Memory.Arena.cas ctx t.arena prev f_next ~expect:cur next
-                then RM.retire t.rm ctx cur
+            match find t ctx s key with
+            | _, None -> false
+            | prev, Some curg ->
+                if key_of t ctx curg <> key then false
                 else begin
-                  RM.unprotect_all t.rm ctx;
-                  ignore (find t ctx key)
-                end;
-                true
-              end
-              else begin
-                RM.unprotect_all t.rm ctx;
-                attempt ()
-              end
-            end
+                  let next = next_of t ctx curg in
+                  if Memory.Ptr.is_marked next then begin
+                    T.release_all t.rm ctx;
+                    attempt ()
+                  end
+                  else if
+                    T.cas t.rm ctx t.arena curg f_next ~expect:next
+                      (Memory.Ptr.mark next)
+                  then begin
+                    linearized := true;
+                    (* Logically deleted; unlink now or let a later find
+                       clean up. *)
+                    (match
+                       T.cas_unlink t.rm ctx t.arena prev f_next
+                         ~expect:(T.ptr curg) next ~unlinks:[ T.ptr curg ]
+                     with
+                    | Some [ w ] -> T.retire t.rm ctx w
+                    | Some _ -> assert false
+                    | None ->
+                        T.release_all t.rm ctx;
+                        ignore (find t ctx s key));
+                    true
+                  end
+                  else begin
+                    T.release_all t.rm ctx;
+                    attempt ()
+                  end
+                end
           in
           let r = attempt () in
-          RM.enter_qstate t.rm ctx;
+          T.enter t.rm ctx s;
           r)
     in
     ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-

@@ -4,9 +4,17 @@
     discipline follows Michael's original treatment: protect the observed
     head (verify it is still the head — the dummy is retired only after the
     head moves), then its successor (verify via the protected head's next
-    pointer). *)
+    pointer).
+
+    Like {!Hm_list}, the queue is written against the typestate surface
+    ({!Reclaim.Intf.RECORD_MANAGER.Typed}): dereferences go through
+    guards, the enqueue candidate remains a [fresh] witness until the
+    publishing CAS spends it, and the old dummy is retired only through
+    the [unlinked] witness minted by the successful head-swing CAS. *)
 
 module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  module T = RM.Typed
+
   let f_next = 0
   let c_value = 0
 
@@ -24,8 +32,9 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
         ~mut_fields:1 ~const_fields:1 ~capacity:(capacity + 1)
     in
     let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
-    let dummy = RM.alloc rm ctx arena in
-    Memory.Arena.write ctx arena dummy f_next Memory.Ptr.null;
+    let dummy = T.alloc rm ctx arena in
+    T.init rm ctx arena dummy f_next Memory.Ptr.null;
+    let dummy = T.expose rm ctx dummy in
     { rm; arena; head = Runtime.Svar.make dummy; tail = Runtime.Svar.make dummy }
 
   let finish_op _t ctx =
@@ -37,115 +46,120 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
      linearized must report success — a lagging tail is repaired by other
      operations' helping. *)
   let enqueue t ctx value =
-    let node = RM.alloc t.rm ctx t.arena in
-    Memory.Arena.set_const ctx t.arena node c_value value;
-    Memory.Arena.write ctx t.arena node f_next Memory.Ptr.null;
+    let node = T.alloc t.rm ctx t.arena in
+    let nodep = T.fresh_ptr node in
+    T.init_const t.rm ctx t.arena node c_value value;
+    T.init t.rm ctx t.arena node f_next Memory.Ptr.null;
     let linearized = ref false in
-    RM.run_op t.rm ctx
+    T.run_op t.rm ctx
       ~recover:(fun () ->
-        RM.unprotect_all t.rm ctx;
+        T.release_all t.rm ctx;
         if !linearized then Some () else None)
-      (fun () ->
-        RM.leave_qstate t.rm ctx;
+      (fun s ->
+        T.leave t.rm ctx s;
         let rec attempt () =
-      let tail = Runtime.Svar.get ctx t.tail in
-      if
-        not
-          (RM.protect t.rm ctx tail ~verify:(fun () ->
-               Runtime.Svar.get ctx t.tail = tail))
-      then attempt ()
-      else begin
-        let next = Memory.Arena.read ctx t.arena tail f_next in
-        if not (Memory.Ptr.is_null next) then begin
-          (* Help swing the lagging tail. *)
-          ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
-          RM.unprotect t.rm ctx tail;
-          attempt ()
-        end
-            else if
-              Memory.Arena.cas ctx t.arena tail f_next ~expect:Memory.Ptr.null
-                node
-            then begin
-              linearized := true;
-              ignore (Runtime.Svar.cas ctx t.tail ~expect:tail node);
-              RM.unprotect t.rm ctx tail
-            end
-            else begin
-              RM.unprotect t.rm ctx tail;
-              attempt ()
-            end
-          end
+          let tail = Runtime.Svar.get ctx t.tail in
+          match
+            T.acquire t.rm ctx s tail ~verify:(fun () ->
+                Runtime.Svar.get ctx t.tail = tail)
+          with
+          | None -> attempt ()
+          | Some tailg ->
+              let next = T.read t.rm ctx t.arena tailg f_next in
+              if not (Memory.Ptr.is_null next) then begin
+                (* Help swing the lagging tail. *)
+                ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
+                T.release t.rm ctx tailg;
+                attempt ()
+              end
+              else if
+                T.publish_cas t.rm ctx t.arena tailg f_next
+                  ~expect:Memory.Ptr.null node
+              then begin
+                linearized := true;
+                ignore (Runtime.Svar.cas ctx t.tail ~expect:tail nodep);
+                T.release t.rm ctx tailg
+              end
+              else begin
+                T.release t.rm ctx tailg;
+                attempt ()
+              end
         in
         attempt ();
-        RM.enter_qstate t.rm ctx);
+        T.enter t.rm ctx s);
     finish_op t ctx
 
   (* Dequeue retires the old dummy after its linearizing CAS; as in the
      stack, the only neutralization point after the CAS precedes the limbo
-     insertion, so recovery retires exactly once. *)
+     insertion, so recovery retires exactly once — the unlinked witness is
+     consumed only when the limbo insertion completes. *)
   let dequeue t ctx =
     let taken = ref None in
     let r =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
-          RM.unprotect_all t.rm ctx;
+          T.release_all t.rm ctx;
           match !taken with
-          | Some (node, v) ->
-              RM.retire t.rm ctx node;
+          | Some (w, v) ->
+              T.retire t.rm ctx w;
               Some (Some v)
           | None -> None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
+        (fun s ->
+          T.leave t.rm ctx s;
           let rec attempt () =
-      let head = Runtime.Svar.get ctx t.head in
-      if
-        not
-          (RM.protect t.rm ctx head ~verify:(fun () ->
-               Runtime.Svar.get ctx t.head = head))
-      then attempt ()
-      else begin
-        let tail = Runtime.Svar.get ctx t.tail in
-        let next = Memory.Arena.read ctx t.arena head f_next in
-        if Memory.Ptr.is_null next then begin
-          RM.unprotect t.rm ctx head;
-          None (* empty *)
-        end
-        else if
-          not
-            (RM.protect t.rm ctx next ~verify:(fun () ->
-                 (* Re-verify the *head*, not [head.next]: next pointers are
-                    immutable once set, so [head.next = next] would still
-                    hold after [next] itself was dequeued and retired.  Head
-                    still being [head] proves neither record has been
-                    retired (Michael's original re-check). *)
-                 Runtime.Svar.get ctx t.head = head))
-        then begin
-          RM.unprotect t.rm ctx head;
-          attempt ()
-        end
-        else if head = tail then begin
-          (* Tail is lagging: help it forward, then retry. *)
-          ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
-          RM.unprotect_all t.rm ctx;
-          attempt ()
-        end
-        else begin
-          let v = Memory.Arena.get_const ctx t.arena next c_value in
-          if Runtime.Svar.cas ctx t.head ~expect:head next then begin
-            taken := Some (head, v);
-            RM.retire t.rm ctx head;
-            RM.unprotect_all t.rm ctx;
-            Some v
-          end
-          else begin
-            RM.unprotect_all t.rm ctx;
-            attempt ()
-          end
-        end
-      end
+            let head = Runtime.Svar.get ctx t.head in
+            match
+              T.acquire t.rm ctx s head ~verify:(fun () ->
+                  Runtime.Svar.get ctx t.head = head)
+            with
+            | None -> attempt ()
+            | Some headg -> (
+                let tail = Runtime.Svar.get ctx t.tail in
+                let next = T.read t.rm ctx t.arena headg f_next in
+                if Memory.Ptr.is_null next then begin
+                  T.release t.rm ctx headg;
+                  None (* empty *)
+                end
+                else
+                  match
+                    T.acquire t.rm ctx s next ~verify:(fun () ->
+                        (* Re-verify the *head*, not [head.next]: next
+                           pointers are immutable once set, so
+                           [head.next = next] would still hold after [next]
+                           itself was dequeued and retired.  Head still
+                           being [head] proves neither record has been
+                           retired (Michael's original re-check). *)
+                        Runtime.Svar.get ctx t.head = head)
+                  with
+                  | None ->
+                      T.release t.rm ctx headg;
+                      attempt ()
+                  | Some nextg ->
+                      if head = tail then begin
+                        (* Tail is lagging: help it forward, then retry. *)
+                        ignore (Runtime.Svar.cas ctx t.tail ~expect:tail next);
+                        T.release_all t.rm ctx;
+                        attempt ()
+                      end
+                      else begin
+                        let v = T.get_const t.rm ctx t.arena nextg c_value in
+                        match
+                          T.svar_cas_unlink t.rm ctx t.head ~expect:head next
+                            ~unlinks:[ head ]
+                        with
+                        | Some [ w ] ->
+                            taken := Some (w, v);
+                            T.retire t.rm ctx w;
+                            T.release_all t.rm ctx;
+                            Some v
+                        | Some _ -> assert false
+                        | None ->
+                            T.release_all t.rm ctx;
+                            attempt ()
+                      end)
           in
           let r = attempt () in
-          RM.enter_qstate t.rm ctx;
+          T.enter t.rm ctx s;
           r)
     in
     finish_op t ctx;

@@ -25,11 +25,21 @@
     under [RM.run_op] with recoveries that track the linearization point:
     an effectful completion (a successful insert's link, a successful
     delete's unlink-and-retire) happens inside a masked window, so recovery
-    reports it exactly once and never re-executes it. *)
+    reports it exactly once and never re-executes it.
+
+    Typestate tier: like the BST, the skip list uses the lifecycle half of
+    {!Reclaim.Intf.RECORD_MANAGER.Typed} — typed allocation and sentinels,
+    [acquire] at the HP validation sites, and the lock-held
+    [publish_locked]/[unlink_locked] witnesses (its updates happen under
+    locks, not CASes) feeding the witness-consuming retire — while keeping
+    raw dereferences for the wait-free searches that may stand on retired
+    nodes. *)
 
 let max_level = 16
 
 module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
+  module T = RM.Typed
+
   (* Node layout *)
   let c_key = 0
   let c_value = 1
@@ -53,24 +63,27 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
         ~mut_fields:(3 + max_level) ~const_fields:3 ~capacity:(capacity + 2)
     in
     let ctx = Runtime.Group.ctx env.Reclaim.Intf.Env.group 0 in
-    let head = RM.alloc rm ctx arena in
-    let tail = RM.alloc rm ctx arena in
-    Memory.Arena.set_const ctx arena head c_key min_int;
-    Memory.Arena.set_const ctx arena head c_value 0;
-    Memory.Arena.set_const ctx arena head c_top (max_level - 1);
-    Memory.Arena.set_const ctx arena tail c_key max_int;
-    Memory.Arena.set_const ctx arena tail c_value 0;
-    Memory.Arena.set_const ctx arena tail c_top (max_level - 1);
+    let head = T.alloc rm ctx arena in
+    let tail = T.alloc rm ctx arena in
+    let tailp = T.fresh_ptr tail in
+    T.init_const rm ctx arena head c_key min_int;
+    T.init_const rm ctx arena head c_value 0;
+    T.init_const rm ctx arena head c_top (max_level - 1);
+    T.init_const rm ctx arena tail c_key max_int;
+    T.init_const rm ctx arena tail c_value 0;
+    T.init_const rm ctx arena tail c_top (max_level - 1);
     for l = 0 to max_level - 1 do
-      Memory.Arena.write ctx arena head (f_next l) tail;
-      Memory.Arena.write ctx arena tail (f_next l) Memory.Ptr.null
+      T.init rm ctx arena head (f_next l) tailp;
+      T.init rm ctx arena tail (f_next l) Memory.Ptr.null
     done;
-    Memory.Arena.write ctx arena head f_marked 0;
-    Memory.Arena.write ctx arena head f_fully_linked 1;
-    Memory.Arena.write ctx arena head f_lock 0;
-    Memory.Arena.write ctx arena tail f_marked 0;
-    Memory.Arena.write ctx arena tail f_fully_linked 1;
-    Memory.Arena.write ctx arena tail f_lock 0;
+    T.init rm ctx arena head f_marked 0;
+    T.init rm ctx arena head f_fully_linked 1;
+    T.init rm ctx arena head f_lock 0;
+    T.init rm ctx arena tail f_marked 0;
+    T.init rm ctx arena tail f_fully_linked 1;
+    T.init rm ctx arena tail f_lock 0;
+    let head = T.sentinel rm ctx head in
+    let tail = T.sentinel rm ctx tail in
     (* Signal masking around lock-held windows is only sound when senders
        wait for acknowledgement instead of counting a delivered signal as a
        completed neutralization (see the header). *)
@@ -138,11 +151,16 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   (* The skip-list traversal.  Fills preds/succs; returns the highest level
      at which the key was found, or -1. *)
-  let find t ctx key preds succs =
+  let find t ctx s key preds succs =
     let protect_step pred curr l =
       is_sentinel t curr
-      || RM.protect t.rm ctx curr ~verify:(fun () ->
-             next_of t ctx pred l = curr)
+      ||
+      match
+        T.acquire t.rm ctx s curr ~verify:(fun () ->
+            next_of t ctx pred l = curr)
+      with
+      | Some _ -> true
+      | None -> false
     in
     let rec attempt () =
       Array.fill preds 0 max_level Memory.Ptr.null;
@@ -182,9 +200,9 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
 
   (* Body-end quiescence (inside run_op: skipped when a recovery completes
      the operation instead, as in the other structures). *)
-  let quiesce t ctx =
-    RM.enter_qstate t.rm ctx;
-    RM.unprotect_all t.rm ctx
+  let quiesce t ctx s =
+    T.enter t.rm ctx s;
+    T.release_all t.rm ctx
 
   let bump_ops _t ctx =
     ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
@@ -205,20 +223,20 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     let preds = Array.make max_level Memory.Ptr.null in
     let succs = Array.make max_level Memory.Ptr.null in
     let r =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           RM.unprotect_all t.rm ctx;
           None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
+        (fun s ->
+          T.leave t.rm ctx s;
           let r =
             sandbox_retry t ctx (fun () ->
-                let lfound = find t ctx key preds succs in
+                let lfound = find t ctx s key preds succs in
                 lfound >= 0
                 && fully_linked t ctx succs.(lfound)
                 && not (marked t ctx succs.(lfound)))
           in
-          quiesce t ctx;
+          quiesce t ctx s;
           r)
     in
     bump_ops t ctx;
@@ -228,15 +246,15 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     let preds = Array.make max_level Memory.Ptr.null in
     let succs = Array.make max_level Memory.Ptr.null in
     let r =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
       ~recover:(fun () ->
         RM.unprotect_all t.rm ctx;
         None)
-      (fun () ->
-        RM.leave_qstate t.rm ctx;
+      (fun s ->
+        T.leave t.rm ctx s;
         let r =
           sandbox_retry t ctx (fun () ->
-              let lfound = find t ctx key preds succs in
+              let lfound = find t ctx s key preds succs in
               if
                 lfound >= 0
                 && fully_linked t ctx succs.(lfound)
@@ -245,7 +263,7 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
                 Some (Memory.Arena.get_const ctx t.arena succs.(lfound) c_value)
               else None)
         in
-        quiesce t ctx;
+        quiesce t ctx s;
         r)
     in
     bump_ops t ctx;
@@ -263,23 +281,24 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   let insert t ctx ~key ~value =
     assert (key > min_int && key < max_int);
     let top = random_level ctx in
-    (* Quiescent preamble: allocate the node. *)
-    let node = RM.alloc t.rm ctx t.arena in
-    Memory.Arena.set_const ctx t.arena node c_key key;
-    Memory.Arena.set_const ctx t.arena node c_value value;
-    Memory.Arena.set_const ctx t.arena node c_top top;
-    Memory.Arena.write ctx t.arena node f_marked 0;
-    Memory.Arena.write ctx t.arena node f_fully_linked 0;
-    Memory.Arena.write ctx t.arena node f_lock 0;
+    (* Quiescent preamble: allocate the node; its fresh witness is spent by
+       [publish_locked] inside the successful attempt's masked window. *)
+    let node = T.alloc t.rm ctx t.arena in
+    T.init_const t.rm ctx t.arena node c_key key;
+    T.init_const t.rm ctx t.arena node c_value value;
+    T.init_const t.rm ctx t.arena node c_top top;
+    T.init t.rm ctx t.arena node f_marked 0;
+    T.init t.rm ctx t.arena node f_fully_linked 0;
+    T.init t.rm ctx t.arena node f_lock 0;
     let preds = Array.make max_level Memory.Ptr.null in
     let succs = Array.make max_level Memory.Ptr.null in
     let highest_locked = ref (-1) in
     let inserted = ref false in
     let mask_, unmask_ = masker ctx in
-    let rec attempt () =
+    let rec attempt s =
       highest_locked := -1;
       match
-        let lfound = find t ctx key preds succs in
+        let lfound = find t ctx s key preds succs in
         if lfound >= 0 then begin
           let found = succs.(lfound) in
           if not (marked t ctx found) then begin
@@ -321,12 +340,15 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           end
           else begin
             for l = 0 to top do
-              Memory.Arena.write ctx t.arena node (f_next l) succs.(l)
+              T.init t.rm ctx t.arena node (f_next l) succs.(l)
             done;
+            (* The first predecessor link makes the node reachable: spend
+               the fresh witness here, under the validated locks. *)
+            let nodep = T.publish_locked t.rm ctx s node in
             for l = 0 to top do
-              Memory.Arena.write ctx t.arena preds.(l) (f_next l) node
+              Memory.Arena.write ctx t.arena preds.(l) (f_next l) nodep
             done;
-            Memory.Arena.write ctx t.arena node f_fully_linked 1;
+            Memory.Arena.write ctx t.arena nodep f_fully_linked 1;
             (* Linearized (still masked): recovery must answer true from
                here on, never re-link. *)
             inserted := true;
@@ -339,28 +361,28 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       | `Done r -> r
       | `Retry ->
           RM.unprotect_all t.rm ctx;
-          attempt ()
+          attempt s
       | exception Memory.Arena.Use_after_free _ when RM.sandboxed ->
           (* Transaction abort: release any locks taken (locked nodes cannot
              have been freed) and retry from a clean traversal. *)
           unlock_preds t ctx preds !highest_locked;
           unmask_ ();
           RM.unprotect_all t.rm ctx;
-          attempt ()
+          attempt s
     in
     let r =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           RM.unprotect_all t.rm ctx;
           if !inserted then Some true else None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
-          let r = attempt () in
-          quiesce t ctx;
+        (fun s ->
+          T.leave t.rm ctx s;
+          let r = attempt s in
+          quiesce t ctx s;
           r)
     in
     bump_ops t ctx;
-    if not r then RM.dealloc t.rm ctx node;
+    if not r then T.abandon t.rm ctx node;
     r
 
   let ok_to_delete t ctx node lfound =
@@ -377,10 +399,10 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     let highest_locked = ref (-1) in
     let deleted = ref false in
     let mask_, unmask_ = masker ctx in
-    let rec attempt () =
+    let rec attempt s =
       highest_locked := -1;
       match
-        let lfound = find t ctx key preds succs in
+        let lfound = find t ctx s key preds succs in
         if
           !is_marked
           || (lfound >= 0 && ok_to_delete t ctx succs.(lfound) lfound)
@@ -401,25 +423,25 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
             else begin
               Memory.Arena.write ctx t.arena !victim f_marked 1;
               is_marked := true;
-              finish_unlink ()
+              finish_unlink s
             end
           end
-          else finish_unlink ()
+          else finish_unlink s
         end
         else `Done false
       with
       | `Done r -> r
       | `Retry ->
           RM.unprotect_all t.rm ctx;
-          attempt ()
+          attempt s
       | exception Memory.Arena.Use_after_free _ when RM.sandboxed ->
           (* Transaction abort; the marked-and-locked victim, if any, stays
              ours (and masked), so the retry resumes the unlink. *)
           unlock_preds t ctx preds !highest_locked;
           if not !is_marked then unmask_ ();
           RM.unprotect_all t.rm ctx;
-          attempt ()
-    and finish_unlink () =
+          attempt s
+    and finish_unlink s =
       let valid = ref true in
       let prev = ref Memory.Ptr.null in
       let l = ref 0 in
@@ -443,7 +465,10 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
             (next_of t ctx !victim l)
         done;
         unlock t ctx !victim;
-        RM.retire t.rm ctx !victim;
+        (* The lock-held unlink above removed every link to the victim:
+           mint the witness the retire consumes. *)
+        let w = T.unlink_locked t.rm ctx s !victim in
+        T.retire t.rm ctx w;
         unlock_preds t ctx preds !highest_locked;
         (* Linearized and retired exactly once (still masked until here):
            recovery must answer true from now on. *)
@@ -453,14 +478,14 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       end
     in
     let r =
-      RM.run_op t.rm ctx
+      T.run_op t.rm ctx
         ~recover:(fun () ->
           RM.unprotect_all t.rm ctx;
           if !deleted then Some true else None)
-        (fun () ->
-          RM.leave_qstate t.rm ctx;
-          let r = attempt () in
-          quiesce t ctx;
+        (fun s ->
+          T.leave t.rm ctx s;
+          let r = attempt s in
+          quiesce t ctx s;
           r)
     in
     bump_ops t ctx;

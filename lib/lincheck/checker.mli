@@ -1,0 +1,35 @@
+(** Wing–Gong / WGL linearizability checker with memoized state hashing.
+
+    The search explores linearization orders directly: at every step the
+    candidates are the not-yet-linearized operations whose invocation
+    precedes every other pending response, and a candidate is taken only
+    when the sequential spec accepts its recorded result in the current
+    abstract state.  Visited configurations are memoized on the pair (set
+    of linearized operations, canonical spec state) — the WGL refinement
+    that turns the factorial search into one over distinct configurations.
+
+    Pending operations (no recorded response — a process died or was
+    stopped mid-operation) may linearize with any spec-legal result, or
+    not at all. *)
+
+exception Gave_up of int
+(** The search exceeded its node budget without a verdict. *)
+
+type verdict =
+  | Linearizable
+  | Non_linearizable of History.t
+      (** minimal non-linearizable prefix of the input history *)
+
+val linearizable : ?max_nodes:int -> Spec.t -> History.t -> bool
+(** One search, no counterexample minimization.
+    @raise Gave_up when more than [max_nodes] (default 5,000,000) search
+    nodes are visited. *)
+
+val check : ?max_nodes:int -> Spec.t -> History.t -> verdict
+(** {!linearizable}, plus minimal-counterexample search on rejection:
+    histories are truncated at successive response events (later responses
+    become pending) until the shortest prefix that already fails is found —
+    the counterexample a human debugs, and the one the golden corpus
+    pins. *)
+
+val verdict_to_string : verdict -> string

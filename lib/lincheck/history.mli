@@ -1,0 +1,79 @@
+(** Concurrent operation histories: the recorder half of the linearizability
+    checker.
+
+    A history is the sequence of invocation/response events one execution
+    produced.  The recorder taps the operation seams (the trial runner's op
+    loop, or a purpose-built exploration body) and logs each event with two
+    clocks: a {e global sequence number} — an atomic counter bumped at the
+    moment the event is recorded, which is the real-time precedence order
+    the checker uses — and the backend's virtual timestamp, kept for human
+    display only (under [`Random_walk]/[`Systematic] scheduling per-core
+    virtual clocks are not globally ordered, so they cannot serve as the
+    precedence order).
+
+    The sequence numbers are sound on both backends: an operation's
+    invocation is recorded before its first shared access and its response
+    after its last, so [ret_seq a < inv_seq b] implies operation [a] really
+    completed before [b] began. *)
+
+type op =
+  | Add of int  (** set insert; result {!RBool} *)
+  | Remove of int  (** set delete; result {!RBool} *)
+  | Mem of int  (** set contains; result {!RBool} *)
+  | Push of int  (** stack push; result {!RUnit} *)
+  | Pop  (** stack pop; result {!RVal} *)
+  | Enq of int  (** queue enqueue; result {!RUnit} *)
+  | Deq  (** queue dequeue; result {!RVal} *)
+
+type res = RBool of bool | RVal of int option | RUnit
+
+type entry = {
+  e_pid : int;
+  e_op : op;
+  e_res : res option;  (** [None] = pending: no response was recorded *)
+  e_inv : int;  (** global sequence number of the invocation *)
+  e_ret : int;  (** global sequence number of the response; [max_int] pending *)
+  e_inv_time : int;  (** virtual timestamp at invocation (display only) *)
+  e_ret_time : int;  (** virtual timestamp at response (display only) *)
+}
+
+type t = entry array
+(** sorted by [e_inv] *)
+
+(** {1 Recording} *)
+
+type token
+(** an in-flight operation, returned by {!invoke}, settled by {!return_} *)
+
+type recorder
+
+val recorder : nprocs:int -> recorder
+
+val invoke : recorder -> pid:int -> time:int -> op -> token
+(** record an invocation; at most one operation may be open per process *)
+
+val return_ : recorder -> token -> time:int -> res -> unit
+
+val snapshot : recorder -> t
+(** The history recorded so far: completed operations plus one pending
+    entry per process that died (or was stopped) mid-operation. *)
+
+val ops : t -> int
+val is_pending : entry -> bool
+
+(** {1 Display} *)
+
+val op_to_string : op -> string
+val res_to_string : res -> string
+val entry_to_string : entry -> string
+val to_string : t -> string
+
+(** {1 JSON round-trip (golden history corpus)} *)
+
+exception Malformed of string
+(** raised by {!of_json}/{!load} on a history that does not parse *)
+
+val to_json : t -> Telemetry.Json.t
+val of_json : Telemetry.Json.t -> t
+val save : t -> string -> unit
+val load : string -> t

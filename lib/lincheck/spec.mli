@@ -1,0 +1,29 @@
+(** Sequential specifications for the linearizability checker.
+
+    A spec is a deterministic state machine in canonical form: the state is
+    a plain [int list] whose representation is unique for a given abstract
+    value (sorted for sets, top-first for stacks, front-first for queues),
+    so states compare and hash structurally — which is what the checker's
+    memoization keys on. *)
+
+type t = {
+  name : string;
+  init : int list;  (** canonical empty state *)
+  apply : int list -> History.op -> History.res -> int list option;
+      (** [apply st op res] is the successor state when [res] is a legal
+          result of running [op] in [st], and [None] when the recorded
+          result contradicts the spec (the pair can then not linearize at
+          this point). *)
+}
+
+val set : t
+(** sorted-list set: [Add]/[Remove]/[Mem] *)
+
+val stack : t
+(** top-first stack: [Push]/[Pop] *)
+
+val queue : t
+(** front-first queue: [Enq]/[Deq] *)
+
+val by_name : string -> t option
+(** ["set"] / ["stack"] / ["queue"] *)

@@ -1,0 +1,101 @@
+(** Protocol-check results and the [PROTOCHECK_REPORT.json] writer. *)
+
+type structure = List | Bst | Queue | Skiplist
+
+let structure_name = function
+  | List -> "hm_list"
+  | Bst -> "efrb_bst"
+  | Queue -> "ms_queue"
+  | Skiplist -> "skiplist"
+
+(** The first violating path of a cell: which decision indices the oracle
+    answered adversarially, the decision log of that path, and the
+    violations (each carrying its own event trace). *)
+type counterexample = {
+  deny : int list;
+  decisions : string list;
+  violations : Engine.violation list;
+}
+
+type cell_result = {
+  structure : string;
+  scheme : string;
+  paths : int;  (** symbolic paths explored *)
+  branch_points : int;  (** decision points on the all-grant path *)
+  diverged : int;
+      (** paths that exhausted their budget: the structure stopped making
+          progress under adversarial decisions (lock-freedom loss, e.g. HP
+          on the helping tree — paper §3); not a protocol violation *)
+  crashed : int;  (** paths stopped by an arena generation trap *)
+  violations : int;  (** protocol violations summed over all paths *)
+  counterexample : counterexample option;
+}
+
+let clean c = c.violations = 0 && c.crashed = 0
+
+(* --- hand-rolled JSON (no external dependencies) --- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = Printf.sprintf "\"%s\"" (escape s)
+
+let json_list f l = "[" ^ String.concat "," (List.map f l) ^ "]"
+
+let json_violation (v : Engine.violation) =
+  Printf.sprintf
+    "{\"kind\":%s,\"pid\":%d,\"seq\":%d,\"record\":%s,\"detail\":%s,\"trace\":%s}"
+    (json_string (Engine.kind_name v.Engine.kind))
+    v.Engine.pid v.Engine.seq
+    (json_string (Memory.Ptr.to_string v.Engine.ptr))
+    (json_string v.Engine.detail)
+    (json_list json_string v.Engine.trace)
+
+let json_counterexample = function
+  | None -> "null"
+  | Some ce ->
+      Printf.sprintf "{\"deny\":%s,\"decisions\":%s,\"violations\":%s}"
+        (json_list string_of_int ce.deny)
+        (json_list json_string ce.decisions)
+        (json_list json_violation ce.violations)
+
+let json_cell c =
+  Printf.sprintf
+    "{\"structure\":%s,\"scheme\":%s,\"paths\":%d,\"branch_points\":%d,\"diverged\":%d,\"crashed\":%d,\"violations\":%d,\"clean\":%b,\"counterexample\":%s}"
+    (json_string c.structure) (json_string c.scheme) c.paths c.branch_points
+    c.diverged c.crashed c.violations (clean c)
+    (json_counterexample c.counterexample)
+
+let to_json cells =
+  let total_paths = List.fold_left (fun a c -> a + c.paths) 0 cells in
+  let dirty = List.filter (fun c -> not (clean c)) cells in
+  Printf.sprintf
+    "{\"cells\":%d,\"paths\":%d,\"violating_cells\":%d,\"results\":%s}\n"
+    (List.length cells) total_paths (List.length dirty)
+    (json_list json_cell cells)
+
+let write ~path cells =
+  let oc = open_out path in
+  output_string oc (to_json cells);
+  close_out oc
+
+let summary c =
+  Printf.sprintf "%-10s x %-10s %4d paths, %3d branch points, %s%s" c.structure
+    c.scheme c.paths c.branch_points
+    (if clean c then "clean" else Printf.sprintf "%d VIOLATIONS" c.violations)
+    (if c.diverged > 0 then
+       Printf.sprintf " (%d diverged: progress lost under adversary)"
+         c.diverged
+     else "")

@@ -55,6 +55,44 @@ module Params = struct
     }
 end
 
+(** The witness-level SMR protocol, as seen by a checker sitting {e above}
+    the {!Memory.Smr_event} bus.  The bus reports what the reclaimer and
+    the arenas physically did (protect slots, retires, frees, field
+    accesses); these events report what the data structure {e claimed} when
+    it went through the typed Record Manager surface
+    ({!RECORD_MANAGER.Typed}): which records are private, which CAS
+    published or unlinked what, which sentinels are permanent.  A protocol
+    analyzer (lib/protocheck) consumes both streams; production runs attach
+    neither hook and pay one option check per witness operation. *)
+module Protocol = struct
+  type event =
+    | Fresh of Memory.Ptr.t
+        (** record allocated through the typed surface: private to its owner
+            until published *)
+    | Publish of Memory.Ptr.t  (** fresh record became reachable *)
+    | Abandon of Memory.Ptr.t  (** fresh record deallocated unpublished *)
+    | Root of Memory.Ptr.t  (** permanent sentinel: never retired *)
+    | Acquire of { p : Memory.Ptr.t; granted : bool; adversary : bool }
+        (** a [Typed.acquire] attempt; [adversary] marks a verification the
+            oracle forced to fail — a scheme that still [granted] it skipped
+            its validation step *)
+    | Unlink of Memory.Ptr.t
+        (** an unlink witness was issued: the record provably left the
+            structure *)
+
+  (** Decision points a branching oracle may steer: every guard acquisition
+      and every lifecycle CAS.  [Grant] lets the operation proceed as the
+      memory says; [Adversary] simulates a concurrent defeat (a failed
+      validation, a lost CAS) without touching memory, so a single-process
+      analyzer can drive the structure down both branches of every
+      decision. *)
+  type point = Acquire_point of Memory.Ptr.t | Cas_point of Memory.Ptr.t
+
+  type decision = Grant | Adversary
+  type monitor = Runtime.Ctx.t -> event -> unit
+  type oracle = Runtime.Ctx.t -> point -> decision
+end
+
 module Env = struct
   (** Shared environment handed to every component: the process group, the
       heap of arenas, and the per-process block pools that all local
@@ -64,6 +102,11 @@ module Env = struct
     heap : Memory.Heap.t;
     block_pools : Bag.Block_pool.t array;
     params : Params.t;
+    mutable monitor : Protocol.monitor option;
+        (** protocol-event hook for the typed surface; [None] in production *)
+    mutable oracle : Protocol.oracle option;
+        (** branching oracle for guard/CAS decision points; [None] means
+            every decision is [Grant] *)
   }
 
   let create ?(params = Params.default) group heap =
@@ -75,6 +118,8 @@ module Env = struct
         Array.init n (fun _ ->
             Bag.Block_pool.create ~block_capacity:params.Params.block_capacity ());
       params;
+      monitor = None;
+      oracle = None;
     }
 
   let nprocs t = Runtime.Group.nprocs t.group
@@ -82,6 +127,14 @@ module Env = struct
   (** Publish an SMR protocol event on the heap's event bus (free when no
       sink is attached; see {!Memory.Smr_event}). *)
   let emit t ctx ev = Memory.Heap.emit t.heap ctx ev
+
+  (** Publish a witness-level protocol event (free when no monitor). *)
+  let observe t ctx ev =
+    match t.monitor with None -> () | Some f -> f ctx ev
+
+  (** Consult the branching oracle; [Grant] when none is attached. *)
+  let decide t ctx point =
+    match t.oracle with None -> Protocol.Grant | Some f -> f ctx point
 end
 
 module type ALLOCATOR = sig
@@ -286,4 +339,182 @@ module type RECORD_MANAGER = sig
       ([Some v]) or asks for a restart ([None]). *)
   val run_op :
     t -> Runtime.Ctx.t -> recover:(unit -> 'a option) -> (unit -> 'a) -> 'a
+
+  (** The typestate-hardened face of the Record Manager (nim-debra's
+      phantom-typed guards, rendered with abstract witness types).  Misuse
+      the runtime sanitizer used to catch dynamically becomes unrepresentable
+      for code written against this surface:
+
+      - a mid-operation dereference needs a {!Typed.guard}, and the only
+        ways to obtain one are a successful, verified {!Typed.acquire}
+        (which needs a {!Typed.session}, issued only by {!Typed.run_op}) or
+        a declared-permanent sentinel;
+      - {!Typed.retire} consumes a one-shot {!Typed.unlinked} witness, and
+        the only issuers are the lifecycle CASes / lock-held unlink
+        declarations — retiring a record that was never unlinked, or
+        retiring it twice, has no well-typed spelling;
+      - {!Typed.abandon} (the only deallocation that skips the grace
+        period) consumes a {!Typed.fresh} witness, which every publishing
+        CAS spends — freeing a reachable record without retire has no
+        well-typed spelling either.
+
+      Every wrapper delegates to exactly the untyped call it names, so a
+      converted structure performs the identical instrumented access
+      sequence; the additional {!Protocol} events flow only to an attached
+      monitor.  The untyped surface above remains for harnesses, drains and
+      scheme tests. *)
+  module Typed : sig
+    type session
+    (** Evidence of being inside one operation attempt under the Fig. 5
+        recovery shell; issued only by {!run_op}. *)
+
+    type guard
+    (** Evidence that one record may be dereferenced right now. *)
+
+    type fresh
+    (** Evidence that a record is allocated but still private: no other
+        process can reach it.  Spent by publication or {!abandon}. *)
+
+    type unlinked
+    (** One-shot evidence that a record has been removed from the
+        structure; the only currency {!retire} accepts. *)
+
+    val run_op :
+      t -> Runtime.Ctx.t -> recover:(unit -> 'a option) -> (session -> 'a) -> 'a
+
+    (** Quiescence transitions, tied to the operation that owns them. *)
+
+    val leave : t -> Runtime.Ctx.t -> session -> unit
+    val enter : t -> Runtime.Ctx.t -> session -> unit
+
+    (** Allocation lifecycle. *)
+
+    val alloc : t -> Runtime.Ctx.t -> Memory.Arena.t -> fresh
+    val fresh_ptr : fresh -> Memory.Ptr.t
+
+    val init : t -> Runtime.Ctx.t -> Memory.Arena.t -> fresh -> int -> int -> unit
+    (** Initialize a mutable field of a private record. *)
+
+    val init_const :
+      t -> Runtime.Ctx.t -> Memory.Arena.t -> fresh -> int -> int -> unit
+
+    val sentinel : t -> Runtime.Ctx.t -> fresh -> Memory.Ptr.t
+    (** Spend a fresh witness declaring a permanent, never-retired record
+        (list head, skiplist sentinels). *)
+
+    val expose : t -> Runtime.Ctx.t -> fresh -> Memory.Ptr.t
+    (** Spend a fresh witness publishing a record outside any CAS — initial
+        structure construction only (e.g. the MS queue's first dummy). *)
+
+    val abandon : t -> Runtime.Ctx.t -> fresh -> unit
+    (** Deallocate a never-published record (an insert that lost its race);
+        the typed face of [dealloc]. *)
+
+    (** Guards. *)
+
+    val acquire :
+      t ->
+      Runtime.Ctx.t ->
+      session ->
+      Memory.Ptr.t ->
+      verify:(unit -> bool) ->
+      guard option
+    (** [protect] with its validation step, as a witness issuer: [None]
+        means the record could not be secured and the traversal must
+        restart. *)
+
+    val root_guard : t -> session -> Memory.Ptr.t -> guard
+    (** Guard for a record declared via {!sentinel}: permanent records need
+        no announcement. *)
+
+    val covered : t -> session -> Memory.Ptr.t -> guard
+    (** Epoch-style blanket coverage: under a scheme that
+        [allows_retired_traversal] (or sandboxes accesses), being inside
+        the session {e is} the protection.  Rejected ([Invalid_argument])
+        under hazard-style schemes, where per-record acquisition is the
+        only sound guard. *)
+
+    val ptr : guard -> Memory.Ptr.t
+    val release : t -> Runtime.Ctx.t -> guard -> unit
+    val release_all : t -> Runtime.Ctx.t -> unit
+
+    (** Guarded dereference: the only typed spellings of a field access. *)
+
+    val read : t -> Runtime.Ctx.t -> Memory.Arena.t -> guard -> int -> int
+    val write : t -> Runtime.Ctx.t -> Memory.Arena.t -> guard -> int -> int -> unit
+    val get_const : t -> Runtime.Ctx.t -> Memory.Arena.t -> guard -> int -> int
+
+    val cas :
+      t -> Runtime.Ctx.t -> Memory.Arena.t -> guard -> int -> expect:int ->
+      int -> bool
+    (** Plain guarded CAS with no lifecycle effect (e.g. the logical-delete
+        mark bit).  An oracle decision point. *)
+
+    (** Lifecycle CASes.  Every one is an oracle decision point: under an
+        [Adversary] decision the CAS reports failure {e without} touching
+        memory, steering the structure down its retry/helping path. *)
+
+    val cas_at :
+      t ->
+      Runtime.Ctx.t ->
+      Memory.Arena.t ->
+      Memory.Ptr.t ->
+      int ->
+      expect:int ->
+      int ->
+      publishes:fresh list ->
+      unlinks:Memory.Ptr.t list ->
+      unlinked list option
+    (** The general primitive: one CAS that publishes [publishes] (their
+        fresh witnesses are spent) and removes [unlinks] (one witness per
+        record, in order) when it succeeds.  The container is a raw
+        pointer: structures whose containers are validated by other means
+        (a held lock, a packed-word identity check) use this directly;
+        fully-guarded structures use the sugar below. *)
+
+    val publish_cas :
+      t -> Runtime.Ctx.t -> Memory.Arena.t -> guard -> int -> expect:int ->
+      fresh -> bool
+    (** Publish one fresh record by CASing its pointer into a guarded
+        container. *)
+
+    val cas_unlink :
+      t ->
+      Runtime.Ctx.t ->
+      Memory.Arena.t ->
+      guard ->
+      int ->
+      expect:int ->
+      int ->
+      unlinks:Memory.Ptr.t list ->
+      unlinked list option
+    (** Unlink via a CAS on a guarded container. *)
+
+    val svar_cas_unlink :
+      t ->
+      Runtime.Ctx.t ->
+      int Runtime.Svar.t ->
+      expect:int ->
+      int ->
+      unlinks:Memory.Ptr.t list ->
+      unlinked list option
+    (** Unlink via a CAS on a shared variable outside any arena (the MS
+        queue's head swing). *)
+
+    val publish_locked : t -> Runtime.Ctx.t -> session -> fresh -> Memory.Ptr.t
+    (** Publication by plain writes under held locks (lazy skiplist):
+        spends the fresh witness at the linearization point. *)
+
+    val unlink_locked : t -> Runtime.Ctx.t -> session -> Memory.Ptr.t -> unlinked
+    (** Unlink by plain writes under held locks: the caller asserts every
+        incoming pointer was overwritten while the predecessors were
+        locked. *)
+
+    val unlinked_ptr : unlinked -> Memory.Ptr.t
+
+    val retire : t -> Runtime.Ctx.t -> unlinked -> unit
+    (** Spend an unlink witness, handing the record to the reclaimer.
+        Raises [Invalid_argument] on a witness already spent — the typed
+        face of the deleted double-retire sanitizer check. *)
+  end
 end

@@ -98,4 +98,176 @@ module Make
           | exception Memory.Arena.Use_after_free _ -> attempt ())
     in
     attempt ()
+
+  (* Alias the untyped surface the typed wrappers delegate to, before the
+     submodule shadows the names. *)
+  let untyped_alloc = alloc
+  let untyped_run_op = run_op
+
+  (* The typestate facade.  Every wrapper performs exactly the instrumented
+     calls of the untyped spelling it replaces — witness bookkeeping is
+     plain OCaml state and the protocol hooks are a single option check
+     when no monitor/oracle is attached — so converting a data structure
+     to this surface changes no schedule and no golden trace. *)
+  module Typed = struct
+    type session = S
+    type guard = { gp : Memory.Ptr.t }
+    type fresh = { fp : Memory.Ptr.t; mutable spent : bool }
+    type unlinked = { up : Memory.Ptr.t; mutable consumed : bool }
+
+    let observe t ctx ev = Intf.Env.observe t.env ctx ev
+    let decide t ctx point = Intf.Env.decide t.env ctx point
+
+    let run_op t ctx ~recover body =
+      untyped_run_op t ctx ~recover (fun () -> body S)
+
+    let leave t ctx (_ : session) = Reclaimer.leave_qstate t.reclaimer ctx
+    let enter t ctx (_ : session) = Reclaimer.enter_qstate t.reclaimer ctx
+
+    let alloc t ctx arena =
+      let p = untyped_alloc t ctx arena in
+      observe t ctx (Intf.Protocol.Fresh p);
+      { fp = p; spent = false }
+
+    let fresh_ptr f = f.fp
+
+    let spend f ~by =
+      if f.spent then
+        invalid_arg ("Typed." ^ by ^ ": fresh witness already spent");
+      f.spent <- true
+
+    let init t ctx arena f field v =
+      ignore t;
+      Memory.Arena.write ctx arena f.fp field v
+
+    let init_const t ctx arena f field v =
+      ignore t;
+      Memory.Arena.set_const ctx arena f.fp field v
+
+    let sentinel t ctx f =
+      spend f ~by:"sentinel";
+      observe t ctx (Intf.Protocol.Root f.fp);
+      f.fp
+
+    let expose t ctx f =
+      spend f ~by:"expose";
+      observe t ctx (Intf.Protocol.Publish f.fp);
+      f.fp
+
+    let abandon t ctx f =
+      spend f ~by:"abandon";
+      observe t ctx (Intf.Protocol.Abandon f.fp);
+      Pool.release t.pool ctx f.fp
+
+    let acquire t ctx (_ : session) p ~verify =
+      match decide t ctx (Intf.Protocol.Acquire_point p) with
+      | Intf.Protocol.Grant ->
+          let granted = Reclaimer.protect t.reclaimer ctx p ~verify in
+          observe t ctx
+            (Intf.Protocol.Acquire { p; granted; adversary = false });
+          if granted then Some { gp = p } else None
+      | Intf.Protocol.Adversary ->
+          (* Simulate a concurrent removal between announce and validate:
+             the verification fails.  A scheme that needs no validation
+             (epoch-style) legitimately grants; a hazard-style scheme that
+             grants anyway skipped its validation step, which the monitor
+             will flag.  Either way the caller is steered down its restart
+             branch. *)
+          let granted =
+            Reclaimer.protect t.reclaimer ctx p ~verify:(fun () -> false)
+          in
+          observe t ctx (Intf.Protocol.Acquire { p; granted; adversary = true });
+          if granted then Reclaimer.unprotect t.reclaimer ctx p;
+          None
+
+    let root_guard _t (_ : session) p = { gp = p }
+
+    let covered _t (_ : session) p =
+      if not (Reclaimer.allows_retired_traversal || Reclaimer.sandboxed) then
+        invalid_arg
+          (Printf.sprintf
+             "Typed.covered: %s protects per record, not per session"
+             Reclaimer.name);
+      { gp = p }
+
+    let ptr g = g.gp
+    let release t ctx g = Reclaimer.unprotect t.reclaimer ctx g.gp
+    let release_all t ctx = Reclaimer.unprotect_all t.reclaimer ctx
+    let read _t ctx arena g field = Memory.Arena.read ctx arena g.gp field
+    let write _t ctx arena g field v = Memory.Arena.write ctx arena g.gp field v
+
+    let get_const _t ctx arena g field =
+      Memory.Arena.get_const ctx arena g.gp field
+
+    let cas_at t ctx arena container field ~expect word ~publishes ~unlinks =
+      match decide t ctx (Intf.Protocol.Cas_point container) with
+      | Intf.Protocol.Adversary -> None
+      | Intf.Protocol.Grant ->
+          if Memory.Arena.cas ctx arena container field ~expect word then begin
+            List.iter
+              (fun f ->
+                spend f ~by:"cas_at";
+                observe t ctx (Intf.Protocol.Publish f.fp))
+              publishes;
+            Some
+              (List.map
+                 (fun p ->
+                   observe t ctx (Intf.Protocol.Unlink p);
+                   { up = p; consumed = false })
+                 unlinks)
+          end
+          else None
+
+    let cas t ctx arena g field ~expect word =
+      match
+        cas_at t ctx arena g.gp field ~expect word ~publishes:[] ~unlinks:[]
+      with
+      | Some _ -> true
+      | None -> false
+
+    let publish_cas t ctx arena g field ~expect f =
+      match
+        cas_at t ctx arena g.gp field ~expect
+          (f.fp : Memory.Ptr.t)
+          ~publishes:[ f ] ~unlinks:[]
+      with
+      | Some _ -> true
+      | None -> false
+
+    let cas_unlink t ctx arena g field ~expect word ~unlinks =
+      cas_at t ctx arena g.gp field ~expect word ~publishes:[] ~unlinks
+
+    let svar_cas_unlink t ctx sv ~expect word ~unlinks =
+      match decide t ctx (Intf.Protocol.Cas_point expect) with
+      | Intf.Protocol.Adversary -> None
+      | Intf.Protocol.Grant ->
+          if Runtime.Svar.cas ctx sv ~expect word then
+            Some
+              (List.map
+                 (fun p ->
+                   observe t ctx (Intf.Protocol.Unlink p);
+                   { up = p; consumed = false })
+                 unlinks)
+          else None
+
+    let publish_locked t ctx (_ : session) f =
+      spend f ~by:"publish_locked";
+      observe t ctx (Intf.Protocol.Publish f.fp);
+      f.fp
+
+    let unlink_locked t ctx (_ : session) p =
+      observe t ctx (Intf.Protocol.Unlink p);
+      { up = p; consumed = false }
+
+    let unlinked_ptr w = w.up
+
+    let retire t ctx w =
+      if w.consumed then
+        invalid_arg "Typed.retire: unlinked witness already consumed";
+      (* Consume only once the reclaimer call returns: a neutralization
+         raised inside retire (before the limbo insertion) leaves the
+         witness live for the recovery path to retire exactly once. *)
+      Reclaimer.retire t.reclaimer ctx w.up;
+      w.consumed <- true
+  end
 end

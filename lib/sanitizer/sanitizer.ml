@@ -59,12 +59,15 @@ module Config = struct
           else make ~scheme ~access:Hazard ~free:Hazard_scan ()
 end
 
+(* [Double_retire] and [Free_without_retire] were deleted as checks: the
+   typestate surface ({!Reclaim.Intf.RECORD_MANAGER.Typed}) makes both
+   unrepresentable — retire consumes a single-use [unlinked] witness, and a
+   published record has no [fresh] witness left to [abandon] back to the
+   allocator.  See DESIGN.md §12. *)
 type kind =
   | Use_after_free
   | Unprotected_access
   | Premature_free
-  | Double_retire
-  | Free_without_retire
   | Double_free
   | Leak
 
@@ -72,8 +75,6 @@ let kind_name = function
   | Use_after_free -> "use-after-free"
   | Unprotected_access -> "unprotected-access"
   | Premature_free -> "premature-free"
-  | Double_retire -> "double-retire"
-  | Free_without_retire -> "free-without-retire"
   | Double_free -> "double-free"
   | Leak -> "leak"
 
@@ -274,10 +275,9 @@ let on_free t ctx key ~via =
       match r.state with
       | Fresh -> r.state <- Freed (* unpublished dealloc, always legal *)
       | Published ->
-          flag t ctx Free_without_retire ~ptr:key
-            ~detail:
-              (Printf.sprintf "%s freed while logically in the structure (%s)"
-                 via (provenance r));
+          (* Freeing a published record without retiring it is untypeable:
+             [Typed.abandon] needs the fresh witness that publication spent.
+             Record the death without a check. *)
           r.state <- Freed
       | Retired ->
           check_free t ctx r key;
@@ -338,14 +338,11 @@ let on_event t ctx (ev : Memory.Smr_event.t) =
             r
       in
       match r.state with
-      | Retired ->
-          flag t ctx Double_retire ~ptr:key
-            ~detail:(Printf.sprintf "record already in limbo (%s)" (provenance r))
-      | Freed ->
-          flag t ctx Double_retire ~ptr:key
-            ~detail:
-              (Printf.sprintf "retire of an already-freed record (%s)"
-                 (provenance r))
+      | Retired | Freed ->
+          (* A second retire of the same incarnation is untypeable: the
+             [unlinked] witness is consumed by the first [Typed.retire].
+             Keep the shadow state as-is. *)
+          ()
       | Fresh | Published ->
           r.state <- Retired;
           r.retire_seq <- t.seq;

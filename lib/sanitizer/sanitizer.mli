@@ -72,14 +72,16 @@ module Config : sig
     t
 end
 
+(** Violation kinds.  Double-retire and free-without-retire are no longer
+    checked here: the typestate API ({!Reclaim.Intf.RECORD_MANAGER.Typed})
+    makes both unrepresentable — see the "static guarantees" table in the
+    README. *)
 type kind =
   | Use_after_free  (** access to a freed record *)
   | Unprotected_access
       (** access to a retired record without a covering protection *)
   | Premature_free
       (** free while a grace period was open or a protection held *)
-  | Double_retire
-  | Free_without_retire  (** published record freed without being retired *)
   | Double_free
   | Leak  (** shadow ledger and reclaimer limbo disagree at the end *)
 

@@ -1,0 +1,155 @@
+(* The symbolic SMR protocol analyzer (lib/protocheck), both directions:
+
+   - completeness: the full 4-structure x 9-scheme matrix is clean on every
+     explored path (the typed structures obey protect-before-deref,
+     no-access-after-retire, retire-only-after-unlink under every scheme);
+   - sharpness: the seeded mutants are rejected with concrete
+     counterexample paths — the grace-skipping EBR (premature-free on the
+     all-grant path), the validation-skipping HP (skipped-validation, which
+     needs an adversarial acquire decision to surface), and a raw-API BST
+     that never protects and retires without an unlink witness;
+   - the typestate surface itself: a second retire of the same unlinked
+     witness is rejected at the API boundary, which is why the runtime
+     sanitizer no longer carries a double-retire check. *)
+
+open Protocheck
+
+module CE = Cell.Make (Broken_schemes.RM_broken_ebr)
+module CH = Cell.Make (Broken_schemes.RM_broken_hp)
+module MB = Mutant_bst.Make (Matrix.RM_hp)
+
+let has_kind k (ce : Report.counterexample) =
+  List.exists (fun v -> v.Engine.kind = k) ce.violations
+
+let find_kind k (ce : Report.counterexample) =
+  List.find (fun v -> v.Engine.kind = k) ce.violations
+
+(* Every cell of the real matrix must be clean on every explored path.
+   Diverged paths (a structure that stops making progress under
+   adversarial decisions, e.g. HP on the helping BST) are recorded but are
+   a progress property, not a safety violation. *)
+let test_clean_matrix () =
+  let cells = Matrix.all () in
+  Alcotest.(check int) "matrix size" 36 (List.length cells);
+  List.iter
+    (fun c ->
+      if not (Report.clean c) then
+        Alcotest.failf "cell %s is not clean" (Report.summary c))
+    cells
+
+let test_broken_ebr_rejected () =
+  let c = CE.check ~scheme:"broken-ebr" Report.List in
+  Alcotest.(check bool) "rejected" false (Report.clean c);
+  match c.Report.counterexample with
+  | None -> Alcotest.fail "no counterexample path recorded"
+  | Some ce ->
+      Alcotest.(check bool) "premature-free" true
+        (has_kind Engine.Premature_free ce);
+      let v = find_kind Engine.Premature_free ce in
+      Alcotest.(check bool) "counterexample trace present" true
+        (v.Engine.trace <> [])
+
+let test_broken_hp_rejected () =
+  let c = CH.check ~scheme:"broken-hp" Report.List in
+  Alcotest.(check bool) "rejected" false (Report.clean c);
+  match c.Report.counterexample with
+  | None -> Alcotest.fail "no counterexample path recorded"
+  | Some ce ->
+      Alcotest.(check bool) "skipped-validation" true
+        (has_kind Engine.Skipped_validation ce);
+      (* the bug only surfaces when a validation is forced to fail *)
+      Alcotest.(check bool) "needs an adversarial decision" true
+        (ce.Report.deny <> []);
+      let v = find_kind Engine.Skipped_validation ce in
+      Alcotest.(check bool) "counterexample trace present" true
+        (v.Engine.trace <> [])
+
+(* The raw-API BST under a strict hazard configuration: unprotected
+   traversal and witness-less retire, both on the all-grant path. *)
+let test_mutant_bst_rejected () =
+  let group = Runtime.Group.create ~seed:7 1 in
+  let heap = Memory.Heap.create () in
+  let env = Reclaim.Intf.Env.create ~params:Cell.params group heap in
+  let rm = Matrix.RM_hp.create env in
+  let config =
+    Engine.config_of_flags ~scheme:"hp" ~allows_retired_traversal:false
+      ~sandboxed:false ~strict:true ()
+  in
+  let eng = Engine.create ~config ~nprocs:1 () in
+  let detach = Engine.attach eng env in
+  let ctx = Runtime.Group.ctx group 0 in
+  let t = MB.create rm ~capacity:64 in
+  ignore (MB.insert t ctx ~key:5);
+  ignore (MB.insert t ctx ~key:3);
+  ignore (MB.insert t ctx ~key:8);
+  ignore (MB.contains t ctx 3);
+  ignore (MB.delete t ctx 8);
+  detach ();
+  Alcotest.(check bool) "retire-without-unlink" true
+    (Engine.has eng Engine.Retire_without_unlink);
+  Alcotest.(check bool) "unprotected-access" true
+    (Engine.has eng Engine.Unprotected_access);
+  let v =
+    List.find
+      (fun v -> v.Engine.kind = Engine.Retire_without_unlink)
+      (Engine.violations eng)
+  in
+  Alcotest.(check bool) "counterexample trace present" true
+    (v.Engine.trace <> [])
+
+(* The deleted sanitizer checks are subsumed by the witness API: a second
+   retire of the same unlinked witness is an [Invalid_argument] at the API
+   boundary, before any reclaimer state is touched. *)
+let test_typed_double_retire_rejected () =
+  let module RM = Matrix.RM_ebr in
+  let module T = RM.Typed in
+  let group = Runtime.Group.create ~seed:3 1 in
+  let heap = Memory.Heap.create () in
+  let env = Reclaim.Intf.Env.create group heap in
+  let rm = RM.create env in
+  let ctx = Runtime.Group.ctx group 0 in
+  let arena =
+    Memory.Heap.new_arena heap ~name:"double_retire" ~mut_fields:1
+      ~const_fields:0 ~capacity:8
+  in
+  let raised =
+    T.run_op rm ctx
+      ~recover:(fun () -> None)
+      (fun s ->
+        T.leave rm ctx s;
+        let f = T.alloc rm ctx arena in
+        T.init rm ctx arena f 0 0;
+        let p = T.publish_locked rm ctx s f in
+        let w = T.unlink_locked rm ctx s p in
+        T.retire rm ctx w;
+        let r =
+          try
+            T.retire rm ctx w;
+            false
+          with Invalid_argument _ -> true
+        in
+        T.enter rm ctx s;
+        r)
+  in
+  Alcotest.(check bool) "second retire rejected" true raised
+
+let () =
+  Alcotest.run "protocheck"
+    [
+      ( "matrix",
+        [ Alcotest.test_case "all 36 cells clean" `Slow test_clean_matrix ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "broken ebr: premature free" `Quick
+            test_broken_ebr_rejected;
+          Alcotest.test_case "broken hp: skipped validation" `Quick
+            test_broken_hp_rejected;
+          Alcotest.test_case "raw-api bst: unprotected deref + raw retire"
+            `Quick test_mutant_bst_rejected;
+        ] );
+      ( "typestate",
+        [
+          Alcotest.test_case "double retire is unrepresentable" `Quick
+            test_typed_double_retire_rejected;
+        ] );
+    ]

@@ -264,7 +264,11 @@ let test_broken_hp () =
   Alcotest.(check bool) "unprotected-access caught" true caught
 
 (* The sanitizer's own state machine, exercised directly (no simulator):
-   double retire and access-after-free on a half-instrumented toy. *)
+   premature free and access-after-free on a half-instrumented toy.  A
+   second Retire of the same incarnation is deliberately emitted and must
+   be {e ignored} (not flagged, not double-counted in the limbo ledger):
+   the double-retire check moved into the type system — [Typed.retire]
+   consumes its witness — so the sanitizer treats the event as a no-op. *)
 let test_state_machine_direct () =
   let group = Runtime.Group.create ~seed:1 2 in
   let heap = Memory.Heap.create () in
@@ -293,8 +297,6 @@ let test_state_machine_direct () =
       (try ignore (Memory.Arena.read ctx1 arena p 0)
        with Memory.Arena.Use_after_free _ -> ());
       Sanitizer.leak_check san ~limbo_size:0);
-  Alcotest.(check bool) "double retire" true
-    (Sanitizer.has san Sanitizer.Double_retire);
   Alcotest.(check bool) "premature free" true
     (Sanitizer.has san Sanitizer.Premature_free);
   Alcotest.(check bool) "use after free" true
