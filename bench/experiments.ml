@@ -126,6 +126,10 @@ let record_outcome o =
   check_history o;
   if !json then json_rows := outcome_json o :: !json_rows
 
+(* The kv experiment builds its own JSON rows (open-loop runs have no
+   Trial.outcome); it feeds the same accumulator. *)
+let record_kv_row row = if !json then json_rows := row :: !json_rows
+
 (* Shadow Common's run_panel so every panel in this file feeds the JSON
    accumulator. *)
 let run_panel ~title ~runners ~threads ~cfg_of =

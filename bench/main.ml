@@ -31,7 +31,7 @@
 let known =
   [
     "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "schemes"; "summary";
-    "ablate"; "micro"; "e-stall"; "e-chaos"; "all";
+    "ablate"; "micro"; "e-stall"; "e-chaos"; "kv"; "all";
   ]
 
 let run_one ~scale = function
@@ -46,6 +46,7 @@ let run_one ~scale = function
   | "micro" -> Micro.run ()
   | "e-stall" -> Stall.run ~scale
   | "e-chaos" -> E_chaos.run ~scale
+  | "kv" -> Kv_bench.run ~scale
   | name -> Printf.eprintf "unknown experiment %S\n" name
 
 (* With --json, each experiment's outcomes (accumulated by
@@ -54,7 +55,10 @@ let run_one_json ~scale name =
   Experiments.json_rows := [];
   run_one ~scale name;
   if !Experiments.json then begin
-    let file = Printf.sprintf "BENCH_%s.json" name in
+    (* The kv campaign's baseline is checked in as BENCH_KV.json. *)
+    let file =
+      Printf.sprintf "BENCH_%s.json" (if name = "kv" then "KV" else name)
+    in
     let doc =
       Telemetry.Json.Obj
         [
@@ -108,7 +112,21 @@ let run_explore ~budget ~full =
   end
 
 let main experiments backend full sanitize json trace metrics_out chaos_seed
-    explore check_lin history_out =
+    explore check_lin history_out
+    (shards, structure, dist, arrival, rate, requests, nkeys, mix, slo, procs,
+     explore_free, kv_schemes) =
+  Kv_bench.shards := shards;
+  Kv_bench.structure := structure;
+  Kv_bench.dist_name := dist;
+  Kv_bench.arrival_name := arrival;
+  Kv_bench.arrival_rate := rate;
+  Kv_bench.requests := requests;
+  Kv_bench.nkeys := nkeys;
+  Kv_bench.mix_name := mix;
+  Kv_bench.slo_spec := slo;
+  Kv_bench.nprocs := procs;
+  Kv_bench.explore_free := explore_free;
+  Kv_bench.scheme_filter := kv_schemes;
   match explore with
   | Some budget -> run_explore ~budget ~full
   | None ->
@@ -238,6 +256,102 @@ let history_out_arg =
   Arg.(
     value & opt (some string) None & info [ "history-out" ] ~docv:"FILE" ~doc)
 
+(* Flags of the kv experiment (the open-loop E-kv campaign). *)
+let kv_args =
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"kv: number of store shards (one record manager each).")
+  in
+  let structure =
+    Arg.(
+      value & opt string "skiplist"
+      & info [ "structure" ] ~docv:"DS"
+          ~doc:
+            "kv: index structure per shard: $(b,skiplist), $(b,bst), \
+             $(b,hm_list) or $(b,hash).")
+  in
+  let dist =
+    Arg.(
+      value & opt string "zipfian"
+      & info [ "dist" ] ~docv:"DIST"
+          ~doc:
+            "kv: key-popularity distribution: $(b,uniform), $(b,zipfian) \
+             (theta 0.99) or $(b,zipfian:<theta>).")
+  in
+  let arrival =
+    Arg.(
+      value & opt string "burst"
+      & info [ "arrival" ] ~docv:"PATTERN"
+          ~doc:
+            "kv: open-loop arrival pattern: $(b,poisson), $(b,burst) (8x \
+             peaks) or $(b,burst:<peak-multiplier>).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 400_000.0
+      & info [ "arrival-rate" ] ~docv:"R"
+          ~doc:
+            "kv: base arrival rate in requests per second of the backend \
+             clock.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 0
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "kv: total requests per scheme (0 = 20000, or 100000 with \
+             --full).")
+  in
+  let nkeys =
+    Arg.(
+      value & opt int 4096
+      & info [ "nkeys" ] ~docv:"N" ~doc:"kv: size of the key universe.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "session"
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "kv: operation mix preset: $(b,read_heavy), $(b,session), \
+             $(b,write_heavy) or $(b,scan_heavy).")
+  in
+  let slo =
+    Arg.(
+      value & opt string "p99=25000,p999=120000"
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "kv: latency budget per percentile in ns, e.g. \
+             $(b,p50=2000,p99=25000,p999=120000); empty = no budget.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 4
+      & info [ "kv-procs" ] ~docv:"N" ~doc:"kv: worker processes.")
+  in
+  let explore_free =
+    Arg.(
+      value & flag
+      & info [ "explore-free" ]
+          ~doc:
+            "kv: run every sim cell twice and fail unless the two JSON \
+             rows are byte-identical (deterministic-replay self-check; \
+             skipped on the domains backend).")
+  in
+  let schemes =
+    Arg.(
+      value & opt string ""
+      & info [ "kv-schemes" ] ~docv:"LIST"
+          ~doc:
+            "kv: comma-separated subset of schemes to run (default all: \
+             none,ebr,debra,debra+,hp).")
+  in
+  Term.(
+    const (fun a b c d e f g h i j k l -> (a, b, c, d, e, f, g, h, i, j, k, l))
+    $ shards $ structure $ dist $ arrival $ rate $ requests $ nkeys $ mix
+    $ slo $ procs $ explore_free $ schemes)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the DEBRA/DEBRA+ paper" in
   Cmd.v
@@ -245,6 +359,6 @@ let cmd =
     Term.(
       const main $ experiments_arg $ backend_arg $ full_arg $ sanitize_arg
       $ json_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ explore_arg
-      $ check_lin_arg $ history_out_arg)
+      $ check_lin_arg $ history_out_arg $ kv_args)
 
 let () = exit (Cmd.eval cmd)

@@ -531,6 +531,117 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     in
     op_loop ()
 
+  (* [remove] is [delete] returning the deleted leaf's value: the process
+     whose dflag CAS wins read the (const) value just before flagging, so
+     the unique winner learns it.  A separate spelling keeps [delete]'s
+     instrumented access sequence — pinned by golden schedules —
+     unchanged. *)
+  let remove t ctx key =
+    let rec op_loop () =
+      let op = T.alloc t.rm ctx t.info in
+      let opp = T.fresh_ptr op in
+      let published = ref false in
+      let captured = ref 0 in
+      let outcome =
+        T.run_op t.rm ctx
+          ~recover:(fun () ->
+            if !published then begin
+              let finished = help_delete t ctx ~deep:false opp in
+              RM.runprotect_all t.rm ctx;
+              RM.unprotect_all t.rm ctx;
+              Some (if finished then Deleted else RetryOp)
+            end
+            else begin
+              RM.runprotect_all t.rm ctx;
+              RM.unprotect_all t.rm ctx;
+              None
+            end)
+          (fun s ->
+            T.leave t.rm ctx s;
+            let rec attempt () =
+              let { gp; p; l; pupdate; gpupdate } = search t ctx s key in
+              if key_of t ctx l <> key then NotPresent
+              else if state_of gpupdate <> clean then begin
+                help t ctx gpupdate;
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+              else if state_of pupdate <> clean then begin
+                help t ctx pupdate;
+                RM.unprotect_all t.rm ctx;
+                attempt ()
+              end
+              else begin
+                captured := Memory.Arena.get_const ctx t.leaf l c_value;
+                T.init_const t.rm ctx t.info op c_tag tag_dinfo;
+                T.init_const t.rm ctx t.info op c_gp gp;
+                T.init_const t.rm ctx t.info op c_p p;
+                T.init_const t.rm ctx t.info op c_l l;
+                T.init_const t.rm ctx t.info op c_new Memory.Ptr.null;
+                T.init_const t.rm ctx t.info op c_pupdate pupdate;
+                rprotect_for_recovery t ctx ~records:[ gp; p; l ] ~desc:opp;
+                let flagged = pack t ~state:dflag ~info:opp in
+                match
+                  T.cas_at t.rm ctx t.internal gp f_update ~expect:gpupdate
+                    flagged ~publishes:[ op ]
+                    ~unlinks:(displaced t ~old_word:gpupdate ~new_word:flagged)
+                with
+                | Some ws ->
+                    published := true;
+                    retire_all t ctx ws;
+                    if help_delete t ctx ~deep:true opp then Deleted
+                    else RetryOp
+                | None ->
+                    help t ctx (update_of t ctx gp);
+                    if RM.supports_crash_recovery then
+                      RM.runprotect_all t.rm ctx;
+                    RM.unprotect_all t.rm ctx;
+                    attempt ()
+              end
+            in
+            attempt ())
+      in
+      finish_op t ctx;
+      match outcome with
+      | Deleted -> Some !captured
+      | NotPresent ->
+          T.abandon t.rm ctx op;
+          None
+      | RetryOp -> op_loop ()
+    in
+    op_loop ()
+
+  (* [fold_entry t ctx key ~f] finds the leaf and runs [f] inside the open
+     session while (under HP) the leaf and its parent are still protected
+     by the search.  [live ()] is true while the parent's update word is
+     clean and still points at the leaf: the mark CAS on the parent is the
+     delete's linearization point, and anything reachable from [value] is
+     retired strictly after it — "parent still points at leaf" alone would
+     NOT suffice, because an external-tree unlink removes the parent from
+     the grandparent while the parent keeps pointing at the leaf. *)
+  let fold_entry t ctx key ~f =
+    let r =
+      T.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.runprotect_all t.rm ctx;
+          RM.unprotect_all t.rm ctx;
+          None)
+        (fun s ->
+          T.leave t.rm ctx s;
+          let { p; l; _ } = search t ctx s key in
+          if key_of t ctx l = key then begin
+            let value = Memory.Arena.get_const ctx t.leaf l c_value in
+            let live () =
+              state_of (update_of t ctx p) = clean
+              && (left_of t ctx p = l || right_of t ctx p = l)
+            in
+            Some (f s ~value ~live)
+          end
+          else None)
+    in
+    finish_op t ctx;
+    r
+
   (* Uninstrumented helpers for tests. *)
 
   let to_list t =

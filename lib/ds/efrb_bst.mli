@@ -53,6 +53,22 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
   val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
   val delete : t -> Runtime.Ctx.t -> int -> bool
 
+  (** [remove t ctx key] is [delete] returning the deleted leaf's value —
+      the unique dflag winner learns it; [None] if absent. *)
+  val remove : t -> Runtime.Ctx.t -> int -> int option
+
+  (** [fold_entry t ctx key ~f] runs [f session ~value ~live] while the
+      found leaf (and its parent) are protected inside the operation's
+      session; [live ()] is true while the parent's update word is clean
+      and still points at the leaf — suitable as acquire-time verification
+      for a pointer stored in [value]. *)
+  val fold_entry :
+    t ->
+    Runtime.Ctx.t ->
+    int ->
+    f:(RM.Typed.session -> value:int -> live:(unit -> bool) -> 'a) ->
+    'a option
+
   (** Uninstrumented inspection (quiescent callers only). *)
 
   val to_list : t -> int list

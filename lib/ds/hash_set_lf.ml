@@ -32,6 +32,8 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   let get t ctx key = Bucket.get (bucket t key) ctx key
   let insert t ctx ~key ~value = Bucket.insert (bucket t key) ctx ~key ~value
   let delete t ctx key = Bucket.delete (bucket t key) ctx key
+  let remove t ctx key = Bucket.remove (bucket t key) ctx key
+  let fold_entry t ctx key ~f = Bucket.fold_entry (bucket t key) ctx key ~f
 
   (* Uninstrumented helpers. *)
   let size t = Array.fold_left (fun acc b -> acc + Bucket.size b) 0 t.buckets

@@ -17,6 +17,18 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
   val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
   val delete : t -> Runtime.Ctx.t -> int -> bool
 
+  (** Value-returning delete and guarded entry visit, delegated to the
+      bucket list (see {!Hm_list.Make}). *)
+
+  val remove : t -> Runtime.Ctx.t -> int -> int option
+
+  val fold_entry :
+    t ->
+    Runtime.Ctx.t ->
+    int ->
+    f:(RM.Typed.session -> value:int -> live:(unit -> bool) -> 'a) ->
+    'a option
+
   (** Uninstrumented inspection (quiescent callers only). *)
 
   val size : t -> int

@@ -234,6 +234,86 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1;
     result
 
+  (* [remove] is [delete] returning the deleted node's value: the unique
+     process whose mark CAS linearizes the delete reads [c_value] (const,
+     so the read commutes with the CAS) and hands it back.  Kept as a
+     separate spelling so [delete]'s instrumented access sequence — pinned
+     by golden schedules — is untouched. *)
+  let remove t ctx key =
+    let linearized = ref None in
+    let result =
+      T.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.runprotect_all t.rm ctx;
+          T.release_all t.rm ctx;
+          match !linearized with Some v -> Some (Some v) | None -> None)
+        (fun s ->
+          T.leave t.rm ctx s;
+          let rec attempt () =
+            match find t ctx s key with
+            | _, None -> None
+            | prev, Some curg ->
+                if key_of t ctx curg <> key then None
+                else begin
+                  let next = next_of t ctx curg in
+                  if Memory.Ptr.is_marked next then begin
+                    T.release_all t.rm ctx;
+                    attempt ()
+                  end
+                  else begin
+                    let value = T.get_const t.rm ctx t.arena curg c_value in
+                    if
+                      T.cas t.rm ctx t.arena curg f_next ~expect:next
+                        (Memory.Ptr.mark next)
+                    then begin
+                      linearized := Some value;
+                      (match
+                         T.cas_unlink t.rm ctx t.arena prev f_next
+                           ~expect:(T.ptr curg) next ~unlinks:[ T.ptr curg ]
+                       with
+                      | Some [ w ] -> T.retire t.rm ctx w
+                      | Some _ -> assert false
+                      | None ->
+                          T.release_all t.rm ctx;
+                          ignore (find t ctx s key));
+                      Some value
+                    end
+                    else begin
+                      T.release_all t.rm ctx;
+                      attempt ()
+                    end
+                  end
+                end
+          in
+          let r = attempt () in
+          T.enter t.rm ctx s;
+          r)
+    in
+    ctx.Runtime.Ctx.stats.Runtime.Ctx.ops <-
+      ctx.Runtime.Ctx.stats.Runtime.Ctx.ops + 1;
+    result
+
+  (* [fold_entry t ctx key ~f] looks the key up and, if present, runs [f]
+     inside the operation's still-open session while the node is guarded:
+     [f s ~value ~live] may acquire further protections through [s] (e.g.
+     on a pointer stored in [value]) using [live] — true while the node is
+     not yet logically deleted — as the acquire-time verification.  A
+     hazard-style scheme is sound here because the value's referent (if it
+     is a record) is retired only {e after} this node's delete linearizes:
+     an announcement validated by [live] therefore happens-before that
+     retire's scan.  Epoch schemes need no validation — the open session
+     alone keeps any record seen unmarked in-window unreclaimed. *)
+  let fold_entry t ctx key ~f =
+    with_op t ctx (fun s ->
+        match find t ctx s key with
+        | _, Some curg when key_of t ctx curg = key ->
+            let value = T.get_const t.rm ctx t.arena curg c_value in
+            let live () =
+              not (Memory.Ptr.is_marked (next_of t ctx curg))
+            in
+            Some (f s ~value ~live)
+        | _ -> None)
+
   (* Uninstrumented helpers for tests and invariant checks. *)
 
   let to_list t =

@@ -41,6 +41,22 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
   val insert : t -> Runtime.Ctx.t -> key:int -> value:int -> bool
   val delete : t -> Runtime.Ctx.t -> int -> bool
 
+  (** [remove t ctx key] is [delete] returning the deleted node's value:
+      the unique linearizing deleter learns the value, [None] if absent. *)
+  val remove : t -> Runtime.Ctx.t -> int -> int option
+
+  (** [fold_entry t ctx key ~f] runs [f session ~value ~live] while the
+      found node is guarded inside the operation's session; [live ()] is
+      true while the node is not yet logically deleted, suitable as an
+      acquire-time verification for protecting a pointer stored in
+      [value].  [None] if the key is absent. *)
+  val fold_entry :
+    t ->
+    Runtime.Ctx.t ->
+    int ->
+    f:(RM.Typed.session -> value:int -> live:(unit -> bool) -> 'a) ->
+    'a option
+
   (** Uninstrumented inspection (quiescent callers only). *)
 
   val to_list : t -> int list

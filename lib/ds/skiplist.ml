@@ -491,6 +491,142 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     bump_ops t ctx;
     r
 
+  (* [remove] is [delete] returning the victim's value, read (const field)
+     in the masked window between locking the victim and marking it — the
+     unique marker learns the value.  A separate spelling keeps [delete]'s
+     instrumented access sequence, pinned by golden schedules, unchanged. *)
+  let remove t ctx key =
+    let preds = Array.make max_level Memory.Ptr.null in
+    let succs = Array.make max_level Memory.Ptr.null in
+    let victim = ref Memory.Ptr.null in
+    let is_marked = ref false in
+    let top = ref (-1) in
+    let highest_locked = ref (-1) in
+    let removed = ref None in
+    let value = ref 0 in
+    let mask_, unmask_ = masker ctx in
+    let rec attempt s =
+      highest_locked := -1;
+      match
+        let lfound = find t ctx s key preds succs in
+        if
+          !is_marked
+          || (lfound >= 0 && ok_to_delete t ctx succs.(lfound) lfound)
+        then begin
+          if not !is_marked then begin
+            victim := succs.(lfound);
+            top := top_of t ctx !victim;
+            mask_ ();
+            lock t ctx !victim;
+            if marked t ctx !victim then begin
+              unlock t ctx !victim;
+              unmask_ ();
+              `Done None
+            end
+            else begin
+              value := Memory.Arena.get_const ctx t.arena !victim c_value;
+              Memory.Arena.write ctx t.arena !victim f_marked 1;
+              is_marked := true;
+              finish_unlink s
+            end
+          end
+          else finish_unlink s
+        end
+        else `Done None
+      with
+      | `Done r -> r
+      | `Retry ->
+          RM.unprotect_all t.rm ctx;
+          attempt s
+      | exception Memory.Arena.Use_after_free _ when RM.sandboxed ->
+          unlock_preds t ctx preds !highest_locked;
+          if not !is_marked then unmask_ ();
+          RM.unprotect_all t.rm ctx;
+          attempt s
+    and finish_unlink s =
+      let valid = ref true in
+      let prev = ref Memory.Ptr.null in
+      let l = ref 0 in
+      while !valid && !l <= !top do
+        let pred = preds.(!l) in
+        if pred <> !prev then begin
+          lock t ctx pred;
+          highest_locked := !l;
+          prev := pred
+        end;
+        valid := (not (marked t ctx pred)) && next_of t ctx pred !l = !victim;
+        incr l
+      done;
+      if not !valid then begin
+        unlock_preds t ctx preds !highest_locked;
+        `Retry
+      end
+      else begin
+        for l = !top downto 0 do
+          Memory.Arena.write ctx t.arena preds.(l) (f_next l)
+            (next_of t ctx !victim l)
+        done;
+        unlock t ctx !victim;
+        let w = T.unlink_locked t.rm ctx s !victim in
+        T.retire t.rm ctx w;
+        unlock_preds t ctx preds !highest_locked;
+        removed := Some !value;
+        unmask_ ();
+        `Done !removed
+      end
+    in
+    let r =
+      T.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          match !removed with Some v -> Some (Some v) | None -> None)
+        (fun s ->
+          T.leave t.rm ctx s;
+          let r = attempt s in
+          quiesce t ctx s;
+          r)
+    in
+    bump_ops t ctx;
+    r
+
+  (* [fold_entry t ctx key ~f] finds the key and runs [f] inside the open
+     session while the node is protected (it sits in [succs], so the
+     traversal's protection survives): [f s ~value ~live] may acquire
+     further protections through [s], with [live] — true while the node is
+     not yet marked — as the acquire-time verification.  Sound for a
+     hazard-style chained acquire because anything reachable from [value]
+     is retired only after the node is marked. *)
+  let fold_entry t ctx key ~f =
+    let preds = Array.make max_level Memory.Ptr.null in
+    let succs = Array.make max_level Memory.Ptr.null in
+    let r =
+      T.run_op t.rm ctx
+        ~recover:(fun () ->
+          RM.unprotect_all t.rm ctx;
+          None)
+        (fun s ->
+          T.leave t.rm ctx s;
+          let r =
+            sandbox_retry t ctx (fun () ->
+                let lfound = find t ctx s key preds succs in
+                if
+                  lfound >= 0
+                  && fully_linked t ctx succs.(lfound)
+                  && not (marked t ctx succs.(lfound))
+                then begin
+                  let node = succs.(lfound) in
+                  let value = Memory.Arena.get_const ctx t.arena node c_value in
+                  let live () = not (marked t ctx node) in
+                  Some (f s ~value ~live)
+                end
+                else None)
+          in
+          quiesce t ctx s;
+          r)
+    in
+    bump_ops t ctx;
+    r
+
   (* Uninstrumented helpers. *)
 
   let to_list t =

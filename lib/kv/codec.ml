@@ -1,0 +1,82 @@
+(** String key/value codec over the tagged-pointer arenas.
+
+    The arenas store integer words, so the KV layer needs two encodings:
+
+    - {b Index keys.}  The SET-face structures key on a single int.
+      {!encode_key} maps a string to one: a key of at most 7 bytes packs
+      losslessly (length and bytes fit a 63-bit OCaml int with a tag bit),
+      so short keys are injective; a longer key hashes to 56 bits
+      (FNV-1a-style fold), with the full key stored in the payload record
+      and re-verified on every read.  The two ranges are disjoint (the tag
+      bit), and every encoded key stays strictly inside the sentinel keys
+      of all structures (positive, below {!Ds.Efrb_bst.Make.inf1}).
+
+    - {b Payload records.}  A session's key and value are packed 7 bytes
+      per word (a 63-bit int carries 7 full bytes) into the const fields
+      of one payload record: [c_expiry] (absolute deadline in backend
+      cycles, [max_int] = no TTL), [c_meta] (packed key/value lengths),
+      then [ceil ((klen+vlen)/7)] data words.
+
+    Hash collisions between two long keys are possible (~2^-56 per pair);
+    the store verifies the decoded key against the requested one on every
+    read, so a collision reads as a miss, and a colliding put overwrites —
+    documented last-writer-wins, see DESIGN.md §13. *)
+
+let word_bytes = 7
+
+(* Payload-record const field indices. *)
+let c_expiry = 0
+let c_meta = 1
+let c_data = 2
+
+let short_bit = 1 lsl 59
+let hash_mask = (1 lsl 56) - 1
+
+let encode_key s =
+  let n = String.length s in
+  if n <= word_bytes then begin
+    let acc = ref 0 in
+    String.iter (fun c -> acc := (!acc lsl 8) lor Char.code c) s;
+    short_bit lor (n lsl 56) lor !acc
+  end
+  else begin
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land hash_mask)
+      s;
+    !h
+  end
+
+let meta ~klen ~vlen = (klen lsl 24) lor vlen
+let klen_of meta = meta lsr 24
+let vlen_of meta = meta land 0xFFFFFF
+let words_needed ~klen ~vlen = (klen + vlen + word_bytes - 1) / word_bytes
+
+(* Big-endian byte packing, key then value, 7 bytes per word; the last
+   word is packed flush (no padding bits above the leading byte). *)
+let data_words ~key ~value =
+  let s = key ^ value in
+  let n = String.length s in
+  Array.init (words_needed ~klen:(String.length key) ~vlen:(String.length value))
+    (fun w ->
+      let acc = ref 0 in
+      for i = w * word_bytes to min n ((w + 1) * word_bytes) - 1 do
+        acc := (!acc lsl 8) lor Char.code s.[i]
+      done;
+      !acc)
+
+let decode ~meta ~read =
+  let klen = klen_of meta and vlen = vlen_of meta in
+  let n = klen + vlen in
+  let b = Bytes.create n in
+  let nwords = (n + word_bytes - 1) / word_bytes in
+  for w = 0 to nwords - 1 do
+    let len = min word_bytes (n - (w * word_bytes)) in
+    let word = read w in
+    for j = 0 to len - 1 do
+      Bytes.set b
+        ((w * word_bytes) + j)
+        (Char.chr ((word lsr (8 * (len - 1 - j))) land 0xFF))
+    done
+  done;
+  (Bytes.sub_string b 0 klen, Bytes.sub_string b klen vlen)

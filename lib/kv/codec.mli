@@ -1,0 +1,32 @@
+(** String key/value codec over the arenas' integer words (see the
+    implementation header for the encodings and the collision policy). *)
+
+val word_bytes : int
+(** Payload bytes carried per arena word (7: a 63-bit int's full bytes). *)
+
+(** Payload-record const field indices. *)
+
+val c_expiry : int
+(** Absolute expiry deadline in backend cycles; [max_int] = no TTL. *)
+
+val c_meta : int
+val c_data : int
+
+val encode_key : string -> int
+(** Injective for keys of at most 7 bytes; a 56-bit hash above that (the
+    store re-verifies the stored key on read).  Always positive and
+    strictly inside every structure's sentinel keys. *)
+
+val meta : klen:int -> vlen:int -> int
+val klen_of : int -> int
+val vlen_of : int -> int
+
+val words_needed : klen:int -> vlen:int -> int
+(** Data words required for a key/value pair. *)
+
+val data_words : key:string -> value:string -> int array
+(** The packed data words, key bytes then value bytes. *)
+
+val decode : meta:int -> read:(int -> int) -> string * string
+(** [(key, value)] back from the packed words; [read i] must return data
+    word [i]. *)

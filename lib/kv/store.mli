@@ -1,0 +1,58 @@
+(** Sharded KV/session store over the SET-face structures, one record
+    manager per shard (see the implementation header for the layout, the
+    read/write protocols, TTL expiry, and the multi-RM signal-delivery
+    argument). *)
+
+module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
+  type t
+
+  val structure_names : string list
+  (** Index structures [create] accepts (SET-face names). *)
+
+  val create :
+    ?structure:string ->
+    ?params:Reclaim.Intf.Params.t ->
+    ?payload_words:int ->
+    shards:int ->
+    capacity_per_shard:int ->
+    group:Runtime.Group.t ->
+    unit ->
+    t
+  (** Build a store of [shards] independent record managers (default
+      structure ["skiplist"], default [payload_words] 10 — 70 bytes of
+      key+value per entry).  Must be called from a quiescent context
+      before workers start.  Raises [Invalid_argument] on an unknown
+      structure or non-positive sizes. *)
+
+  val nshards : t -> int
+
+  val shard_of_key : t -> string -> int
+  (** Deterministic key→shard routing (mix then range partition). *)
+
+  val put : ?ttl:int -> t -> Runtime.Ctx.t -> key:string -> value:string -> unit
+  (** Upsert.  [ttl] is a relative deadline in backend cycles; absent
+      means the entry never expires.  Raises [Invalid_argument] when the
+      key is empty or key+value exceed the payload capacity. *)
+
+  val get : t -> Runtime.Ctx.t -> string -> string option
+  (** Lookup; an entry past its deadline reads as a miss and is lazily
+      removed (its payload retired) by the reader that finds it. *)
+
+  val delete : t -> Runtime.Ctx.t -> string -> bool
+  (** Remove and retire; true if this call won the removal. *)
+
+  (** Uninstrumented inspection — quiescent callers only. *)
+
+  val size : t -> int
+  val shard_sizes : t -> int array
+
+  val heaps : t -> Memory.Heap.t array
+  (** Per-shard heaps, for attaching sanitizers or telemetry sinks. *)
+
+  val limbo : t -> int
+  val bytes_claimed : t -> int
+  val check_invariants : t -> unit
+
+  val flush : t -> Runtime.Ctx.t -> unit
+  (** Drain every shard's limbo as far as its scheme allows. *)
+end

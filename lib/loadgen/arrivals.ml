@@ -1,0 +1,65 @@
+(** Open-loop arrival processes.
+
+    The schedule is materialized up front as an array of absolute arrival
+    times in backend cycles: request [i] is {e due} at [schedule.(i)]
+    whether or not any worker is free then.  Workers that fall behind
+    serve requests late and the latency accounting (measured from the
+    scheduled arrival, not the dequeue) makes the queueing delay visible —
+    the whole point of open-loop generation, and the difference from the
+    closed-loop trial harness where a slow scheme simply issues fewer
+    requests (coordinated omission).
+
+    Inter-arrival gaps are exponential draws at the instantaneous rate, so
+    [Poisson] is a homogeneous Poisson process and [Burst] a piecewise one
+    (a square wave between [base] and [peak] with the given [period_s] and
+    [duty] fraction at the peak).  Everything is derived from the seed
+    alone — on the deterministic simulator the schedule, and hence the
+    whole run, replays exactly. *)
+
+type t =
+  | Poisson of float  (** requests per second of the backend clock *)
+  | Burst of { base : float; peak : float; period_s : float; duty : float }
+
+let of_spec ~rate = function
+  | "poisson" -> Some (Poisson rate)
+  | "burst" ->
+      (* Default burst shape: quiet floor at the named rate, 10 ms peaks
+         at 8x, one period per 50 ms. *)
+      Some (Burst { base = rate; peak = 8.0 *. rate; period_s = 0.05; duty = 0.2 })
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "burst"; mult ] -> (
+          match float_of_string_opt mult with
+          | Some m when m >= 1.0 ->
+              Some (Burst { base = rate; peak = m *. rate; period_s = 0.05; duty = 0.2 })
+          | _ -> None)
+      | _ -> None)
+
+let to_string = function
+  | Poisson r -> Printf.sprintf "poisson(%.0f/s)" r
+  | Burst { base; peak; period_s; duty } ->
+      Printf.sprintf "burst(%.0f/s base, %.0f/s peak, %.0fms period, %.0f%% duty)"
+        base peak (period_s *. 1e3) (duty *. 100.)
+
+let names = [ "poisson"; "burst"; "burst:<peak-multiplier>" ]
+
+let rate_at t ~seconds =
+  match t with
+  | Poisson r -> r
+  | Burst { base; peak; period_s; duty } ->
+      let phase = Float.rem seconds period_s /. period_s in
+      if phase < duty then peak else base
+
+let schedule t ~clock ~n ~seed =
+  let rng = Random.State.make [| seed; 0x0a11 |] in
+  let times = Array.make n 0 in
+  let now = ref 0.0 in
+  for i = 0 to n - 1 do
+    let rate = rate_at t ~seconds:!now in
+    if rate <= 0.0 then invalid_arg "Arrivals.schedule: rate must be > 0";
+    (* Exponential inter-arrival; 1-u keeps the log argument non-zero. *)
+    let u = Random.State.float rng 1.0 in
+    now := !now +. (-.Float.log (1.0 -. u) /. rate);
+    times.(i) <- Exec.Clock.cycles_of_seconds clock !now
+  done;
+  times

@@ -1,0 +1,17 @@
+(** Open-loop arrival processes (see the implementation header for why
+    arrivals are scheduled in absolute time, independent of service). *)
+
+type t =
+  | Poisson of float  (** requests per second of the backend clock *)
+  | Burst of { base : float; peak : float; period_s : float; duty : float }
+
+val of_spec : rate:float -> string -> t option
+(** ["poisson"], ["burst"] (8x peaks) or ["burst:<peak-multiplier>"],
+    anchored at [rate] requests/second. *)
+
+val to_string : t -> string
+val names : string list
+
+val schedule : t -> clock:Exec.Clock.t -> n:int -> seed:int -> int array
+(** [n] absolute arrival times in backend cycles, strictly from the seed
+    (deterministic), monotone non-decreasing. *)

@@ -89,6 +89,51 @@ let op t ~pid ~kind ~start ~finish =
   | None -> ()
   | Some tr -> Trace.complete tr ~pid ~name:kind ~cat:"op" ~start ~finish
 
+(* Per-process recording buffers for parallel backends: each domain records
+   into its own histogram table with no synchronization, and the tables are
+   folded into the shared per-kind histograms once, at flush.  Only trace
+   emission — a shared append-only buffer, active only when a trace is
+   attached — still serializes, on one mutex shared by all locals. *)
+
+type local = {
+  l_pid : int;
+  l_owner : t;
+  mutable l_hists : (string * Histogram.t) list;
+  l_trace_mutex : Mutex.t option;
+}
+
+let locals t =
+  let tm = match t.trace with None -> None | Some _ -> Some (Mutex.create ()) in
+  Array.init t.nprocs (fun pid ->
+      { l_pid = pid; l_owner = t; l_hists = []; l_trace_mutex = tm })
+
+let local_hist l kind =
+  match List.assoc_opt kind l.l_hists with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create ~sub_bits:l.l_owner.sub_bits () in
+      l.l_hists <- l.l_hists @ [ (kind, h) ];
+      h
+
+let local_op l ~kind ~start ~finish =
+  Histogram.record (local_hist l kind) (ns_of l.l_owner (finish - start));
+  match (l.l_owner.trace, l.l_trace_mutex) with
+  | Some tr, Some m ->
+      Mutex.lock m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock m)
+        (fun () ->
+          Trace.complete tr ~pid:l.l_pid ~name:kind ~cat:"op" ~start ~finish)
+  | _ -> ()
+
+let merge_locals t ls =
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun (kind, h) -> Histogram.merge_into h ~into:(hist_for t kind))
+        l.l_hists)
+    ls
+
 let sink t : Memory.Smr_event.sink =
   let c = t.counts in
   fun ctx ev ->

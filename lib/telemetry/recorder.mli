@@ -53,6 +53,29 @@ val sink : t -> Memory.Smr_event.sink
 val op : t -> pid:int -> kind:string -> start:int -> finish:int -> unit
 (** Record one completed operation ([start]/[finish] in virtual cycles). *)
 
+(** {2 Per-process buffers for parallel backends}
+
+    On the domains backend many workers record concurrently; routing them
+    all through {!op} would serialize the hot path on one lock.  Instead
+    each worker records into its own {!local} buffer with no
+    synchronization, and {!merge_locals} folds every buffer into the shared
+    per-kind histograms once, after the run.  When a trace is attached,
+    trace emission (a shared buffer) still serializes on one mutex shared
+    by the locals; histogram recording never does. *)
+
+type local
+
+val locals : t -> local array
+(** One buffer per process, indexed by pid. *)
+
+val local_op : local -> kind:string -> start:int -> finish:int -> unit
+(** Record one completed operation into this process' buffer. *)
+
+val merge_locals : t -> local array -> unit
+(** Fold every buffer's histograms into the recorder's shared table (same
+    [sub_bits], so the merge is exact).  Call once, after all recording
+    processes have finished. *)
+
 val histogram : t -> string -> Histogram.t option
 (** The latency histogram (in simulated ns) for an operation kind. *)
 

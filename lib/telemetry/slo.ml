@@ -1,0 +1,116 @@
+(** Tail-latency SLO verdicts over latency histograms.
+
+    A {!budget} names per-percentile latency ceilings (in the histogram's
+    unit, nanoseconds everywhere in this repo); {!judge} compares one
+    histogram against it and returns a pass/fail {!verdict} listing every
+    breached percentile.  Scoping (per shard, per op kind, per scheme) is
+    the caller's business — a verdict just carries the scope label it was
+    judged under.
+
+    Budgets parse from a compact spec string so they can ride on a CLI
+    flag: ["p99=20000,p999=100000"] caps p99 at 20µs and p999 at 100µs;
+    omitted percentiles are unconstrained. *)
+
+type budget = { p50_ns : int option; p99_ns : int option; p999_ns : int option }
+
+let no_budget = { p50_ns = None; p99_ns = None; p999_ns = None }
+
+let budget_of_spec spec =
+  if String.trim spec = "" then no_budget
+  else
+    List.fold_left
+      (fun b part ->
+        match String.index_opt part '=' with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Slo.budget_of_spec: %S (want p99=NS,...)" part)
+        | Some i -> (
+            let key = String.trim (String.sub part 0 i) in
+            let v =
+              match
+                int_of_string_opt
+                  (String.trim
+                     (String.sub part (i + 1) (String.length part - i - 1)))
+              with
+              | Some v when v >= 0 -> v
+              | _ ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Slo.budget_of_spec: bad value in %S (want a \
+                        non-negative ns integer)"
+                       part)
+            in
+            match key with
+            | "p50" -> { b with p50_ns = Some v }
+            | "p99" -> { b with p99_ns = Some v }
+            | "p999" -> { b with p999_ns = Some v }
+            | _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Slo.budget_of_spec: unknown percentile %S (want \
+                      p50/p99/p999)"
+                     key)))
+      no_budget
+      (String.split_on_char ',' spec)
+
+type breach = { percentile : string; observed_ns : int; budget_ns : int }
+
+type verdict = {
+  scope : string;  (** e.g. ["shard3"] or ["all"] *)
+  kind : string;  (** operation kind, e.g. ["get"] *)
+  count : int;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  breaches : breach list;
+  pass : bool;  (** no percentile over budget (vacuously true when empty) *)
+}
+
+let judge budget ~scope ~kind h =
+  let q p = Histogram.quantile h p in
+  let p50 = q 0.50 and p99 = q 0.99 and p999 = q 0.999 in
+  let check name observed = function
+    | Some cap when Histogram.count h > 0 && observed > cap ->
+        [ { percentile = name; observed_ns = observed; budget_ns = cap } ]
+    | _ -> []
+  in
+  let breaches =
+    check "p50" p50 budget.p50_ns
+    @ check "p99" p99 budget.p99_ns
+    @ check "p999" p999 budget.p999_ns
+  in
+  {
+    scope;
+    kind;
+    count = Histogram.count h;
+    p50;
+    p99;
+    p999;
+    breaches;
+    pass = breaches = [];
+  }
+
+let verdict_json v =
+  Json.Obj
+    [
+      ("scope", Json.String v.scope);
+      ("kind", Json.String v.kind);
+      ("count", Json.Int v.count);
+      ("p50_ns", Json.Int v.p50);
+      ("p99_ns", Json.Int v.p99);
+      ("p999_ns", Json.Int v.p999);
+      ( "breaches",
+        Json.List
+          (List.map
+             (fun b ->
+               Json.Obj
+                 [
+                   ("percentile", Json.String b.percentile);
+                   ("observed_ns", Json.Int b.observed_ns);
+                   ("budget_ns", Json.Int b.budget_ns);
+                 ])
+             v.breaches) );
+      ("pass", Json.Bool v.pass);
+    ]
+
+let all_pass vs = List.for_all (fun v -> v.pass) vs

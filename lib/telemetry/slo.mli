@@ -1,0 +1,31 @@
+(** Tail-latency SLO verdicts: compare a latency histogram against
+    per-percentile budgets and report pass/fail with the breached
+    percentiles (see the implementation header). *)
+
+type budget = { p50_ns : int option; p99_ns : int option; p999_ns : int option }
+
+val no_budget : budget
+(** Every percentile unconstrained: every verdict passes. *)
+
+val budget_of_spec : string -> budget
+(** Parse ["p99=20000,p999=100000"]-style specs (values in ns; empty string
+    = {!no_budget}).  Raises [Invalid_argument] on malformed input. *)
+
+type breach = { percentile : string; observed_ns : int; budget_ns : int }
+
+type verdict = {
+  scope : string;
+  kind : string;
+  count : int;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  breaches : breach list;
+  pass : bool;
+}
+
+val judge : budget -> scope:string -> kind:string -> Histogram.t -> verdict
+(** Judge one histogram.  An empty histogram passes vacuously. *)
+
+val verdict_json : verdict -> Json.t
+val all_pass : verdict list -> bool

@@ -18,6 +18,26 @@ module Face (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     val delete : t -> Runtime.Ctx.t -> int -> bool
     val contains : t -> Runtime.Ctx.t -> int -> bool
 
+    (** Map half of the face, used by the KV layer.  [get] reads the value
+        stored under a key; [remove] is a value-returning delete (the
+        unique linearizing deleter learns the value); [fold_entry] runs its
+        callback inside the operation's still-open session while the found
+        node is protected, so the callback may chain a [RM.Typed.acquire]
+        on a pointer stored in [value] using [live] as the verification. *)
+
+    val get : t -> Runtime.Ctx.t -> int -> int option
+    val remove : t -> Runtime.Ctx.t -> int -> int option
+
+    val fold_entry :
+      t ->
+      Runtime.Ctx.t ->
+      int ->
+      f:(RM.Typed.session -> value:int -> live:(unit -> bool) -> 'a) ->
+      'a option
+
+    (** Uninstrumented inspection (quiescent callers only). *)
+    val size : t -> int
+
     (** Uninstrumented invariant walk; raises on a broken structure.  Used
         for post-fault validation after chaos trials. *)
     val check_invariants : t -> unit
@@ -27,7 +47,28 @@ module Face (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   module Skiplist = Ds.Skiplist.Make (RM)
   module Hm_list = Ds.Hm_list.Make (RM)
 
+  (* The lock-free hash set's [create] takes a bucket count; the face fixes
+     the sizing policy (~64 keys per bucket) so the KV shard layer can
+     select it like any other structure. *)
+  module Hash_set = struct
+    include Ds.Hash_set_lf.Make (RM)
+
+    let create rm ~capacity =
+      create rm ~buckets:(max 16 (capacity / 64)) ~capacity
+  end
+
   let bst : (module SET) = (module Bst)
   let skiplist : (module SET) = (module Skiplist)
   let hm_list : (module SET) = (module Hm_list)
+  let hash_set : (module SET) = (module Hash_set)
+
+  (* Structure selector shared by the KV shard layer and benches. *)
+  let by_name = function
+    | "bst" -> Some bst
+    | "skiplist" -> Some skiplist
+    | "hm_list" | "list" -> Some hm_list
+    | "hash" | "hash_set" -> Some hash_set
+    | _ -> None
+
+  let names = [ "skiplist"; "bst"; "hm_list"; "hash" ]
 end

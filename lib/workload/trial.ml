@@ -155,6 +155,10 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       match san with None -> f () | Some sa -> Sanitizer.with_checks sa f
     in
     let chaos_engine = ref None in
+    (* Set by [recording_body] on a parallel backend: folds the per-domain
+       telemetry buffers into the recorder's shared histograms, once, after
+       the run. *)
+    let merge_telemetry = ref (fun () -> ()) in
     let run_result, base_claimed, limbo, invariant_failure =
       checked (fun () ->
           let s = S.create rm ~capacity in
@@ -251,20 +255,21 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           in
           (* Same loop with per-operation timestamping.  Kept separate so
              the telemetry-off path contains no recording code at all.  On
-             a non-deterministic backend the recorder's histogram table is
-             shared mutable state, so recording serializes on a mutex; the
-             deterministic path records directly, exactly as before. *)
+             a non-deterministic backend each domain records into its own
+             per-process buffer (no synchronization on the hot path) and
+             the buffers are merged into the shared histograms after the
+             run; the deterministic path records directly, exactly as
+             before. *)
           let recording_body rec_ =
             let record =
               if E.deterministic then Telemetry.Recorder.op rec_
               else begin
-                let m = Mutex.create () in
+                let locals = Telemetry.Recorder.locals rec_ in
+                merge_telemetry :=
+                  (fun () -> Telemetry.Recorder.merge_locals rec_ locals);
                 fun ~pid ~kind ~start ~finish ->
-                  Mutex.lock m;
-                  Fun.protect
-                    ~finally:(fun () -> Mutex.unlock m)
-                    (fun () ->
-                      Telemetry.Recorder.op rec_ ~pid ~kind ~start ~finish)
+                  Telemetry.Recorder.local_op locals.(pid) ~kind ~start
+                    ~finish
               end
             in
             fun pid () ->
@@ -327,6 +332,7 @@ module Run (RM : Reclaim.Intf.RECORD_MANAGER) = struct
           Option.iter Chaos.uninstall !chaos_engine;
           Option.iter (fun restore -> restore ()) restore_stall;
           Option.iter (fun sub -> Memory.Heap.remove_sink heap sub) tel_sub;
+          !merge_telemetry ();
           let limbo = RM.limbo_size rm in
           (* Post-fault validation: whatever the faults did, the structure
              the survivors left behind must still satisfy its invariants. *)
