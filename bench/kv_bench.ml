@@ -102,53 +102,86 @@ module Make_runner (RM : Reclaim.Intf.RECORD_MANAGER) = struct
         ~cycles_per_ns:(Exec.Clock.cycles_per_ns clock)
         ~nprocs:c.nprocs ()
     in
+    (* Reclamation-pressure counters (bounded-patience alloc retries and
+       emergency-reclaim escalations) ride the recorder alongside the
+       event-bus counters. *)
+    Telemetry.Recorder.add_counter rec_ ~name:"kv_alloc_retries" (fun () ->
+        (Store.pressure store).Reclaim.Intf.Pressure.alloc_retries);
+    Telemetry.Recorder.add_counter rec_ ~name:"kv_emergency_reclaims"
+      (fun () ->
+        (Store.pressure store).Reclaim.Intf.Pressure.emergency_reclaims);
+    Telemetry.Recorder.add_counter rec_ ~name:"kv_emergency_freed" (fun () ->
+        (Store.pressure store).Reclaim.Intf.Pressure.emergency_freed);
     let served = Array.make c.nprocs 0 in
-    let exec_op ctx op =
-      match op with
-      | Loadgen.Get r ->
-          let k = key_of_rank r in
-          ignore (Store.get store ctx k);
-          Store.shard_of_key store k
-      | Loadgen.Put r ->
-          let k = key_of_rank r in
-          Store.put ?ttl:(ttl_for r) store ctx ~key:k
-            ~value:(value_of_rank r);
-          Store.shard_of_key store k
-      | Loadgen.Delete r ->
-          let k = key_of_rank r in
-          ignore (Store.delete store ctx k);
-          Store.shard_of_key store k
-      | Loadgen.Scan (start, len) ->
-          for i = start to start + len - 1 do
-            ignore (Store.get store ctx (key_of_rank (i mod c.nkeys)))
-          done;
-          Store.shard_of_key store (key_of_rank start)
+    let noutcomes = List.length Loadgen.outcomes in
+    let oidx : Loadgen.outcome -> int = function
+      | Served -> 0
+      | Shed -> 1
+      | Rejected -> 2
+      | Timed_out -> 3
+      | Failed -> 4
     in
-    (* Each request lands in two histograms: its operation kind and its
-       shard.  The deterministic simulator records straight into the
-       recorder; domains record into per-pid buffers merged after the
-       run (same machinery as the trial pipeline). *)
+    let ocounts = Array.make_matrix c.nprocs noutcomes 0 in
+    (* The plain E-kv campaign has no admission control: every request is
+       served.  The overload campaign (e_overload.ml) reuses this runner
+       shape with a resilience service deciding the outcome instead. *)
+    let exec_op ctx ~due:_ op =
+      let shard =
+        match op with
+        | Loadgen.Get r ->
+            let k = key_of_rank r in
+            ignore (Store.get store ctx k);
+            Store.shard_of_key store k
+        | Loadgen.Put r ->
+            let k = key_of_rank r in
+            Store.put ?ttl:(ttl_for r) store ctx ~key:k
+              ~value:(value_of_rank r);
+            Store.shard_of_key store k
+        | Loadgen.Delete r ->
+            let k = key_of_rank r in
+            ignore (Store.delete store ctx k);
+            Store.shard_of_key store k
+        | Loadgen.Scan (start, len) ->
+            for i = start to start + len - 1 do
+              ignore (Store.get store ctx (key_of_rank (i mod c.nkeys)))
+            done;
+            Store.shard_of_key store (key_of_rank start)
+      in
+      (shard, Loadgen.Served)
+    in
+    (* Each served request lands in two histograms: its operation kind
+       and its shard; unserved outcomes are tallied and charged against
+       demand at judgement time (they sort as infinite latency).  The
+       deterministic simulator records straight into the recorder;
+       domains record into per-pid buffers merged after the run (same
+       machinery as the trial pipeline). *)
     let locals =
       if E.deterministic then None else Some (Telemetry.Recorder.locals rec_)
     in
     let record =
       match locals with
       | None ->
-          fun ~pid ~op ~shard ~start ~finish ->
-            served.(pid) <- served.(pid) + 1;
-            Telemetry.Recorder.op rec_ ~pid ~kind:(Loadgen.op_kind op) ~start
-              ~finish;
-            Telemetry.Recorder.op rec_ ~pid
-              ~kind:(Printf.sprintf "shard%d" shard)
-              ~start ~finish
+          fun ~pid ~op ~shard ~outcome ~start ~finish ->
+            ocounts.(pid).(oidx outcome) <- ocounts.(pid).(oidx outcome) + 1;
+            if outcome = Loadgen.Served then begin
+              served.(pid) <- served.(pid) + 1;
+              Telemetry.Recorder.op rec_ ~pid ~kind:(Loadgen.op_kind op)
+                ~start ~finish;
+              Telemetry.Recorder.op rec_ ~pid
+                ~kind:(Printf.sprintf "shard%d" shard)
+                ~start ~finish
+            end
       | Some ls ->
-          fun ~pid ~op ~shard ~start ~finish ->
-            served.(pid) <- served.(pid) + 1;
-            Telemetry.Recorder.local_op ls.(pid) ~kind:(Loadgen.op_kind op)
-              ~start ~finish;
-            Telemetry.Recorder.local_op ls.(pid)
-              ~kind:(Printf.sprintf "shard%d" shard)
-              ~start ~finish
+          fun ~pid ~op ~shard ~outcome ~start ~finish ->
+            ocounts.(pid).(oidx outcome) <- ocounts.(pid).(oidx outcome) + 1;
+            if outcome = Loadgen.Served then begin
+              served.(pid) <- served.(pid) + 1;
+              Telemetry.Recorder.local_op ls.(pid) ~kind:(Loadgen.op_kind op)
+                ~start ~finish;
+              Telemetry.Recorder.local_op ls.(pid)
+                ~kind:(Printf.sprintf "shard%d" shard)
+                ~start ~finish
+            end
     in
     let bodies = Loadgen.bodies plan ~group ~record ~exec_op in
     let result = E.run group bodies in
@@ -157,10 +190,36 @@ module Make_runner (RM : Reclaim.Intf.RECORD_MANAGER) = struct
     Store.check_invariants store;
     Store.flush store ctx0;
     let scope = Printf.sprintf "%s/%s" sname c.structure in
+    (* Demand per kind comes from the request plan, not from what the
+       server happened to serve — a shard that rejects everything must
+       not shrink its own denominator. *)
+    let demand_tbl = Hashtbl.create 16 in
+    let bump k =
+      Hashtbl.replace demand_tbl k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt demand_tbl k))
+    in
+    Array.iter
+      (fun op ->
+        bump (Loadgen.op_kind op);
+        let rank =
+          match op with
+          | Loadgen.Get r | Loadgen.Put r | Loadgen.Delete r -> r
+          | Loadgen.Scan (start, _) -> start
+        in
+        bump
+          (Printf.sprintf "shard%d"
+             (Store.shard_of_key store (key_of_rank rank))))
+      plan.Loadgen.ops;
+    let demand_of kind =
+      Option.value ~default:0 (Hashtbl.find_opt demand_tbl kind)
+    in
     let judge kind =
       match Telemetry.Recorder.histogram rec_ kind with
       | None -> None
-      | Some h -> Some (Telemetry.Slo.judge c.slo ~scope ~kind h)
+      | Some h ->
+          Some
+            (Telemetry.Slo.judge_demand c.slo ~scope ~kind
+               ~demand:(demand_of kind) h)
     in
     let kinds =
       List.filter
@@ -192,6 +251,16 @@ module Make_runner (RM : Reclaim.Intf.RECORD_MANAGER) = struct
            ("nprocs", Telemetry.Json.Int c.nprocs);
            ("requests", Telemetry.Json.Int c.requests);
            ("served", Telemetry.Json.Int served);
+           ( "outcomes",
+             Telemetry.Json.Obj
+               (List.map
+                  (fun o ->
+                    ( Loadgen.outcome_name o,
+                      Telemetry.Json.Int
+                        (Array.fold_left
+                           (fun acc per_pid -> acc + per_pid.(oidx o))
+                           0 ocounts) ))
+                  Loadgen.outcomes) );
            ("dist", Telemetry.Json.String (Loadgen.Dist.to_string c.dist));
            ( "arrivals",
              Telemetry.Json.String (Loadgen.Arrivals.to_string c.arrivals) );

@@ -31,7 +31,7 @@
 let known =
   [
     "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "schemes"; "summary";
-    "ablate"; "micro"; "e-stall"; "e-chaos"; "kv"; "all";
+    "ablate"; "micro"; "e-stall"; "e-chaos"; "kv"; "e-overload"; "all";
   ]
 
 let run_one ~scale = function
@@ -47,6 +47,7 @@ let run_one ~scale = function
   | "e-stall" -> Stall.run ~scale
   | "e-chaos" -> E_chaos.run ~scale
   | "kv" -> Kv_bench.run ~scale
+  | "e-overload" -> E_overload.run ~scale
   | name -> Printf.eprintf "unknown experiment %S\n" name
 
 (* With --json, each experiment's outcomes (accumulated by
@@ -114,7 +115,7 @@ let run_explore ~budget ~full =
 let main experiments backend full sanitize json trace metrics_out chaos_seed
     explore check_lin history_out
     (shards, structure, dist, arrival, rate, requests, nkeys, mix, slo, procs,
-     explore_free, kv_schemes) =
+     explore_free, kv_schemes) (overload_requests, overload_schemes) =
   Kv_bench.shards := shards;
   Kv_bench.structure := structure;
   Kv_bench.dist_name := dist;
@@ -127,6 +128,8 @@ let main experiments backend full sanitize json trace metrics_out chaos_seed
   Kv_bench.nprocs := procs;
   Kv_bench.explore_free := explore_free;
   Kv_bench.scheme_filter := kv_schemes;
+  E_overload.requests := overload_requests;
+  E_overload.scheme_filter := overload_schemes;
   match explore with
   | Some budget -> run_explore ~budget ~full
   | None ->
@@ -138,6 +141,7 @@ let main experiments backend full sanitize json trace metrics_out chaos_seed
   Stall.trace_file := trace;
   Stall.metrics_file := metrics_out;
   E_chaos.replay_seed := chaos_seed;
+  E_overload.replay_seed := chaos_seed;
   let scale =
     if full then Experiments.full_scale else Experiments.quick_scale
   in
@@ -166,6 +170,11 @@ let main experiments backend full sanitize json trace metrics_out chaos_seed
   end;
   if !E_chaos.failures > 0 then begin
     Printf.eprintf "e-chaos: %d configuration(s) failed\n" !E_chaos.failures;
+    exit 1
+  end;
+  if !E_overload.failures > 0 then begin
+    Printf.eprintf "e-overload: %d cell(s) missed their expectation\n"
+      !E_overload.failures;
     exit 1
   end
 
@@ -352,6 +361,26 @@ let kv_args =
     $ shards $ structure $ dist $ arrival $ rate $ requests $ nkeys $ mix
     $ slo $ procs $ explore_free $ schemes)
 
+(* Flags of the e-overload campaign. *)
+let overload_args =
+  let requests =
+    Arg.(
+      value & opt int 0
+      & info [ "overload-requests" ] ~docv:"N"
+          ~doc:
+            "e-overload: requests per cell (0 = 6000, or 20000 with \
+             --full).")
+  in
+  let schemes =
+    Arg.(
+      value & opt string ""
+      & info [ "overload-schemes" ] ~docv:"LIST"
+          ~doc:
+            "e-overload: comma-separated subset of schemes to run (default \
+             all: none,ebr,qsbr,debra,debra+,hp,rc,ts,st).")
+  in
+  Term.(const (fun a b -> (a, b)) $ requests $ schemes)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the DEBRA/DEBRA+ paper" in
   Cmd.v
@@ -359,6 +388,6 @@ let cmd =
     Term.(
       const main $ experiments_arg $ backend_arg $ full_arg $ sanitize_arg
       $ json_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ explore_arg
-      $ check_lin_arg $ history_out_arg $ kv_args)
+      $ check_lin_arg $ history_out_arg $ kv_args $ overload_args)
 
 let () = exit (Cmd.eval cmd)

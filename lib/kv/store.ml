@@ -48,14 +48,24 @@
     removed, so memory safety is unaffected).
 
     {b Signals.}  With several RMs on one group, each reclaimer's
-    [create] overwrites the contexts' signal handler: the last-created
-    shard's handler serves every signal.  Under reliable delivery DEBRA+
-    counts one successful send as a completed neutralization — unsound if
-    the handler consults the wrong RM's quiescent bit — so [create]
-    switches the group to acknowledgement-based (unreliable) delivery
-    whenever the scheme can neutralize, exactly as the lazy skip list does
-    for its masked lock windows (which the retire window here also
-    needs). *)
+    [create] overwrites the contexts' signal handler slot, so [make_shard]
+    {e chains} them: after creating a shard's RM it composes the newly
+    installed handler with whatever was there before, and one delivered
+    signal runs every shard's handler in creation order.  A handler that
+    aborts the interrupted operation ({!Runtime.Ctx.Neutralized} — DEBRA+
+    on the one shard where this process is mid-operation) does not
+    silence its siblings: the abort is caught, the remaining handlers
+    run, and it is re-raised at the end of the chain.  Without the chain,
+    a collector whose handler lives in an earlier slot (ThreadScan
+    waiting for ack writes, DEBRA+ polling an announcement) waits on a
+    handler that never runs — a cross-shard wedge.
+
+    Under reliable delivery DEBRA+ counts one successful send as a
+    completed neutralization — unsound if the handler consults the wrong
+    RM's quiescent bit — so [create] also switches the group to
+    acknowledgement-based (unreliable) delivery whenever the scheme can
+    neutralize, exactly as the lazy skip list does for its masked lock
+    windows (which the retire window here also needs). *)
 
 module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   module T = RM.Typed
@@ -100,7 +110,26 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
       =
     let heap = Memory.Heap.create () in
     let env = Reclaim.Intf.Env.create ~params group heap in
+    (* Chain signal handlers across shards (see the header): every RM
+       overwrites the per-context handler slot, so compose the handler
+       this RM installs with whatever was installed before it.  An abort
+       raised by one shard's handler is deferred until the whole chain has
+       run, so no shard's collector starves on a sibling's raise. *)
+    let prev =
+      Array.map (fun c -> c.Runtime.Ctx.handler) group.Runtime.Group.ctxs
+    in
     let rm = RM.create env in
+    Array.iteri
+      (fun i c ->
+        let installed = c.Runtime.Ctx.handler in
+        if installed != prev.(i) then
+          c.Runtime.Ctx.handler <-
+            (fun c' ->
+              let aborted = ref false in
+              (try prev.(i) c' with Runtime.Ctx.Neutralized -> aborted := true);
+              (try installed c' with Runtime.Ctx.Neutralized -> aborted := true);
+              if !aborted then raise Runtime.Ctx.Neutralized))
+      group.Runtime.Group.ctxs;
     (* Headroom above the live set: retired payloads sit in limbo until
        their scheme frees them, and allocation failure falls back to the
        record manager's emergency reclamation. *)
@@ -284,6 +313,76 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) = struct
   let size t = Array.fold_left (fun acc sh -> acc + sh.size ()) 0 t.shards
   let check_invariants t = Array.iter (fun sh -> sh.check ()) t.shards
   let limbo t = Array.fold_left (fun a sh -> a + RM.limbo_size sh.rm) 0 t.shards
+  let shard_limbo t k = RM.limbo_size t.shards.(k).rm
+  let shard_pool t k = RM.pool_population t.shards.(k).rm
+  let shard_pressure t k = RM.pressure t.shards.(k).rm
+
+  let pressure t =
+    let acc = Reclaim.Intf.Pressure.create () in
+    Array.iter
+      (fun sh ->
+        let p = RM.pressure sh.rm in
+        acc.Reclaim.Intf.Pressure.alloc_retries <-
+          acc.Reclaim.Intf.Pressure.alloc_retries
+          + p.Reclaim.Intf.Pressure.alloc_retries;
+        acc.Reclaim.Intf.Pressure.emergency_reclaims <-
+          acc.Reclaim.Intf.Pressure.emergency_reclaims
+          + p.Reclaim.Intf.Pressure.emergency_reclaims;
+        acc.Reclaim.Intf.Pressure.emergency_freed <-
+          acc.Reclaim.Intf.Pressure.emergency_freed
+          + p.Reclaim.Intf.Pressure.emergency_freed)
+      t.shards;
+    acc
+
+  let supports_crash_recovery = RM.supports_crash_recovery
+
+  (* Watermark escalation entry point: force reclamation work on one
+     shard now, mid-traffic, without waiting for an allocation failure. *)
+  let emergency_reclaim t ctx ~shard = RM.emergency_reclaim t.shards.(shard).rm ctx
+
+  (* True while [ctx]'s process is mid-operation on any shard — the
+     [in_op] predicate chaos' [In_operation] crash trigger wants. *)
+  let in_operation t ctx =
+    Array.exists (fun sh -> not (RM.is_quiescent sh.rm ctx)) t.shards
+
+  (* A crashed process that died mid-operation on this shard pins its
+     epoch-style reclamation: the announcement can never be withdrawn.
+     Schemes with neutralization recover (ESRCH reads as permanently
+     quiescent); per-record schemes never pinned anything.  [shard_wedged]
+     is therefore the health signal a breaker may act on: permanently
+     pinned and the scheme cannot recover. *)
+  let shard_pinned_by_crash t k =
+    let sh = t.shards.(k) in
+    let n = Runtime.Group.nprocs t.group in
+    let rec scan pid =
+      pid < n
+      && ((Runtime.Group.is_crashed t.group pid
+           && not (RM.is_quiescent sh.rm (Runtime.Group.ctx t.group pid)))
+         || scan (pid + 1))
+    in
+    scan 0
+
+  let shard_wedged t k =
+    RM.allows_retired_traversal
+    && (not RM.supports_crash_recovery)
+    && shard_pinned_by_crash t k
+
+  (* Straggler primitive for the overload campaign: park mid-operation on
+     one shard for [cycles], pinning that shard's epoch for the duration
+     (the E-stall scenario scoped to a single record manager).  On wake
+     the first instrumented access delivers any pending neutralization —
+     [run_op]'s recovery shell absorbs the abort. *)
+  let hold_shard t ctx ~shard ~cycles =
+    let sh = t.shards.(shard) in
+    T.run_op sh.rm ctx
+      ~recover:(fun () ->
+        T.release_all sh.rm ctx;
+        Some ())
+      (fun s ->
+        T.leave sh.rm ctx s;
+        Runtime.Ctx.stall ctx cycles;
+        Runtime.Ctx.work ctx 1;
+        T.enter sh.rm ctx s)
 
   let bytes_claimed t =
     Array.fold_left (fun a sh -> a + Memory.Heap.bytes_claimed sh.heap) 0

@@ -50,6 +50,44 @@ module Make (RM : Reclaim.Intf.RECORD_MANAGER) : sig
   (** Per-shard heaps, for attaching sanitizers or telemetry sinks. *)
 
   val limbo : t -> int
+
+  val shard_limbo : t -> int -> int
+  (** One shard's records awaiting reclamation (uninstrumented gauge). *)
+
+  val shard_pool : t -> int -> int
+  (** One shard's pool population (records parked for reuse). *)
+
+  val shard_pressure : t -> int -> Reclaim.Intf.Pressure.t
+  (** One shard's live reclamation-pressure counters. *)
+
+  val pressure : t -> Reclaim.Intf.Pressure.t
+  (** Pressure summed over all shards (a fresh snapshot). *)
+
+  val supports_crash_recovery : bool
+  (** The scheme's neutralization predicate, re-exported for drivers. *)
+
+  val emergency_reclaim : t -> Runtime.Ctx.t -> shard:int -> int
+  (** Force reclamation work on one shard now (watermark escalation):
+      the scheme's allocation-failure path, invoked before any failure.
+      Returns records freed.  Performs instrumented accesses. *)
+
+  val in_operation : t -> Runtime.Ctx.t -> bool
+  (** True while this process is mid-operation on any shard — the
+      [in_op] predicate for chaos' [In_operation] crash trigger. *)
+
+  val shard_pinned_by_crash : t -> int -> bool
+  (** A process died mid-operation on this shard and its announcement
+      still reads non-quiescent. *)
+
+  val shard_wedged : t -> int -> bool
+  (** {!shard_pinned_by_crash} and the scheme can never advance past the
+      corpse (epoch-style without neutralization): reclamation on this
+      shard is permanently pinned — a circuit-breaker health input. *)
+
+  val hold_shard : t -> Runtime.Ctx.t -> shard:int -> cycles:int -> unit
+  (** Park mid-operation on one shard for [cycles] (the E-stall straggler
+      scoped to a single shard), absorbing any neutralization on wake. *)
+
   val bytes_claimed : t -> int
   val check_invariants : t -> unit
 

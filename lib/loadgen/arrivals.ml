@@ -19,6 +19,7 @@
 type t =
   | Poisson of float  (** requests per second of the backend clock *)
   | Burst of { base : float; peak : float; period_s : float; duty : float }
+  | Spike of { base : float; peak : float; start_s : float; len_s : float }
 
 let of_spec ~rate = function
   | "poisson" -> Some (Poisson rate)
@@ -26,12 +27,22 @@ let of_spec ~rate = function
       (* Default burst shape: quiet floor at the named rate, 10 ms peaks
          at 8x, one period per 50 ms. *)
       Some (Burst { base = rate; peak = 8.0 *. rate; period_s = 0.05; duty = 0.2 })
+  | "spike" ->
+      (* Default spike shape: one 8x overload window, 10 ms long, after
+         10 ms of quiet — the degradation-report phases (pre / burst /
+         post) fall straight out of the window bounds. *)
+      Some (Spike { base = rate; peak = 8.0 *. rate; start_s = 0.01; len_s = 0.01 })
   | s -> (
       match String.split_on_char ':' s with
       | [ "burst"; mult ] -> (
           match float_of_string_opt mult with
           | Some m when m >= 1.0 ->
               Some (Burst { base = rate; peak = m *. rate; period_s = 0.05; duty = 0.2 })
+          | _ -> None)
+      | [ "spike"; mult ] -> (
+          match float_of_string_opt mult with
+          | Some m when m >= 1.0 ->
+              Some (Spike { base = rate; peak = m *. rate; start_s = 0.01; len_s = 0.01 })
           | _ -> None)
       | _ -> None)
 
@@ -40,8 +51,13 @@ let to_string = function
   | Burst { base; peak; period_s; duty } ->
       Printf.sprintf "burst(%.0f/s base, %.0f/s peak, %.0fms period, %.0f%% duty)"
         base peak (period_s *. 1e3) (duty *. 100.)
+  | Spike { base; peak; start_s; len_s } ->
+      Printf.sprintf "spike(%.0f/s base, %.0f/s peak, at %.0fms for %.0fms)"
+        base peak (start_s *. 1e3) (len_s *. 1e3)
 
-let names = [ "poisson"; "burst"; "burst:<peak-multiplier>" ]
+let names =
+  [ "poisson"; "burst"; "burst:<peak-multiplier>"; "spike";
+    "spike:<peak-multiplier>" ]
 
 let rate_at t ~seconds =
   match t with
@@ -49,6 +65,19 @@ let rate_at t ~seconds =
   | Burst { base; peak; period_s; duty } ->
       let phase = Float.rem seconds period_s /. period_s in
       if phase < duty then peak else base
+  | Spike { base; peak; start_s; len_s } ->
+      if seconds >= start_s && seconds < start_s +. len_s then peak else base
+
+(** The single overload window of a [Spike], in cycles — the phase
+    boundaries a degradation report classifies requests against.  [None]
+    for shapes without one well-defined window. *)
+let spike_window t ~clock =
+  match t with
+  | Spike { start_s; len_s; _ } ->
+      Some
+        ( Exec.Clock.cycles_of_seconds clock start_s,
+          Exec.Clock.cycles_of_seconds clock (start_s +. len_s) )
+  | Poisson _ | Burst _ -> None
 
 let schedule t ~clock ~n ~seed =
   let rng = Random.State.make [| seed; 0x0a11 |] in

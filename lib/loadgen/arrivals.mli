@@ -4,13 +4,22 @@
 type t =
   | Poisson of float  (** requests per second of the backend clock *)
   | Burst of { base : float; peak : float; period_s : float; duty : float }
+  | Spike of { base : float; peak : float; start_s : float; len_s : float }
+      (** quiet at [base], one overload window at [peak] of [len_s]
+          seconds starting at [start_s], quiet again — the E-overload
+          shape, with well-defined pre/burst/post phases *)
 
 val of_spec : rate:float -> string -> t option
-(** ["poisson"], ["burst"] (8x peaks) or ["burst:<peak-multiplier>"],
-    anchored at [rate] requests/second. *)
+(** ["poisson"], ["burst"] (8x peaks), ["burst:<peak-multiplier>"],
+    ["spike"] (one 8x window) or ["spike:<peak-multiplier>"], anchored at
+    [rate] requests/second. *)
 
 val to_string : t -> string
 val names : string list
+
+val spike_window : t -> clock:Exec.Clock.t -> (int * int) option
+(** A [Spike]'s overload window as absolute cycles [(start, end_)];
+    [None] for the periodic/homogeneous shapes. *)
 
 val schedule : t -> clock:Exec.Clock.t -> n:int -> seed:int -> int array
 (** [n] absolute arrival times in backend cycles, strictly from the seed

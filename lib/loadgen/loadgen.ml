@@ -16,9 +16,12 @@
     it immediately — and the recorded latency runs from the {e scheduled}
     arrival to completion, so queueing delay accumulated while all
     workers were busy is charged to the request.  This is the open-loop
-    discipline: unlike the closed-loop trial harness, a slow scheme
-    cannot shed load by issuing fewer requests, it can only let the queue
-    (and the tail) grow. *)
+    discipline: the {e client} never sheds — every request is claimed and
+    accounted — but the {e server} may: [exec_op] returns an {!outcome},
+    so a request the service sheds, rejects at a tripped breaker, or
+    cancels past its deadline is recorded as that outcome rather than
+    silently vanishing from the histograms, and SLO/goodput accounting
+    can charge it against demand ({!Telemetry.Slo.judge_demand}). *)
 
 module Dist = Dist
 module Arrivals = Arrivals
@@ -54,6 +57,28 @@ let op_kind = function
   | Delete _ -> "delete"
   | Scan _ -> "scan"
 
+(* Server-side fate of one request.  [Served] is the only outcome whose
+   latency belongs in the SLO histograms; everything else is a distinct
+   form of non-service that goodput accounting must count against demand. *)
+type outcome =
+  | Served  (** completed within its deadline (or no deadline was set) *)
+  | Shed  (** dropped by brownout admission control before service *)
+  | Rejected  (** refused by an open circuit breaker *)
+  | Timed_out
+      (** deadline exceeded: cancelled unserved at claim time, or served
+          but completed past the deadline (the response is waste either
+          way) *)
+  | Failed  (** service raised (allocation failure after retries, ...) *)
+
+let outcome_name = function
+  | Served -> "served"
+  | Shed -> "shed"
+  | Rejected -> "rejected"
+  | Timed_out -> "timed_out"
+  | Failed -> "failed"
+
+let outcomes = [ Served; Shed; Rejected; Timed_out; Failed ]
+
 let scan_length = 16
 
 type plan = {
@@ -87,9 +112,10 @@ let generate ~n ~nkeys ~dist ~mix ~arrivals ~clock ~seed =
 let length plan = Array.length plan.arrivals
 
 (* [bodies plan ~group ~record ~exec_op] builds one worker body per
-   process in [group].  [exec_op ctx op] serves a request and returns the
-   shard it hit; [record] is called once per request with the scheduled
-   arrival as [start]. *)
+   process in [group].  [exec_op ctx ~due op] serves a request (or sheds,
+   rejects or cancels it — its business) and returns the shard it was
+   routed to plus its outcome; [record] is called once per request with
+   the scheduled arrival as [start]. *)
 let bodies plan ~group ~record ~exec_op =
   let n = length plan in
   let next = Runtime.Svar.make 0 in
@@ -105,8 +131,8 @@ let bodies plan ~group ~record ~exec_op =
             let now = Runtime.Ctx.now ctx in
             if now < due then Runtime.Ctx.stall ctx (due - now);
             let op = plan.ops.(i) in
-            let shard = exec_op ctx op in
-            record ~pid:ctx.Runtime.Ctx.pid ~op ~shard ~start:due
+            let shard, outcome = exec_op ctx ~due op in
+            record ~pid:ctx.Runtime.Ctx.pid ~op ~shard ~outcome ~start:due
               ~finish:(Runtime.Ctx.now ctx)
           end
         done)

@@ -22,6 +22,19 @@ val mix_names : string list
 val op_kind : op -> string
 (** ["get"], ["put"], ["delete"] or ["scan"] — telemetry kind names. *)
 
+(** Server-side fate of one request.  The open-loop client claims and
+    accounts every request; the server decides whether it was served,
+    shed in brownout, rejected by a breaker, cancelled/late past its
+    deadline, or failed outright.  Only [Served] latencies belong in the
+    SLO histograms; the rest are counted against demand. *)
+type outcome = Served | Shed | Rejected | Timed_out | Failed
+
+val outcome_name : outcome -> string
+(** ["served"], ["shed"], ["rejected"], ["timed_out"], ["failed"]. *)
+
+val outcomes : outcome list
+(** All outcomes, in report order. *)
+
 val scan_length : int
 
 type plan = {
@@ -47,10 +60,17 @@ val bodies :
   plan ->
   group:Runtime.Group.t ->
   record:
-    (pid:int -> op:op -> shard:int -> start:int -> finish:int -> unit) ->
-  exec_op:(Runtime.Ctx.t -> op -> int) ->
+    (pid:int ->
+    op:op ->
+    shard:int ->
+    outcome:outcome ->
+    start:int ->
+    finish:int ->
+    unit) ->
+  exec_op:(Runtime.Ctx.t -> due:int -> op -> int * outcome) ->
   (unit -> unit) array
 (** One worker body per process: workers claim requests with a shared
     fetch-and-add, stall until each request is due, serve it via
-    [exec_op] (which returns the shard hit) and [record] it with the
-    scheduled arrival as [start]. *)
+    [exec_op] (which receives the scheduled arrival as [due] — the
+    deadline anchor — and returns the shard hit plus the request's
+    {!outcome}) and [record] it with the scheduled arrival as [start]. *)

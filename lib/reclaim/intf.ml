@@ -277,6 +277,36 @@ end
 
 module type MAKE_RECLAIMER = functor (P : POOL) -> RECLAIMER with module Pool = P
 
+(** Reclamation-pressure counters, bumped by the assembled Record
+    Manager's allocation path (never by the components): how often
+    [alloc] had to fall back to emergency reclamation, how many patience
+    retries it burned, and what the emergency passes freed.  Host-side
+    state — reading or bumping them costs no simulated cycles — so a
+    watermark controller or a degradation report can watch allocation
+    distress live, the way {!RECLAIMER.limbo_size} exposes limbo. *)
+module Pressure = struct
+  type t = {
+    mutable alloc_retries : int;
+        (** fruitless [alloc] passes: an emergency pass freed nothing and
+            the patience loop spun once more *)
+    mutable emergency_reclaims : int;
+        (** [emergency_reclaim] invocations (both the [alloc] fallback and
+            explicit escalation calls) *)
+    mutable emergency_freed : int;
+        (** records those invocations handed back to the pool *)
+  }
+
+  let create () =
+    { alloc_retries = 0; emergency_reclaims = 0; emergency_freed = 0 }
+
+  let snapshot t =
+    {
+      alloc_retries = t.alloc_retries;
+      emergency_reclaims = t.emergency_reclaims;
+      emergency_freed = t.emergency_freed;
+    }
+end
+
 (** The assembled interface a data structure programs against. *)
 module type RECORD_MANAGER = sig
   module Alloc : ALLOCATOR
@@ -330,6 +360,12 @@ module type RECORD_MANAGER = sig
       failure.  [alloc] calls it automatically and retries once before
       letting the failure escape. *)
   val emergency_reclaim : t -> Runtime.Ctx.t -> int
+
+  (** Live reclamation-pressure counters (see {!Pressure}): the returned
+      record is the manager's own mutable state, updated as [alloc] and
+      [emergency_reclaim] run; callers wanting a fixed point in time take
+      {!Pressure.snapshot}. *)
+  val pressure : t -> Pressure.t
 
   (** [run_op t ctx ~recover body] executes one data structure operation
       with neutralization recovery (paper Fig. 5): when [body] is aborted by

@@ -18,6 +18,7 @@ module Make
     env : Intf.Env.t;
     pool : Pool.t;
     reclaimer : Reclaimer.t;
+    pressure : Intf.Pressure.t;
   }
 
   let scheme_name =
@@ -26,10 +27,23 @@ module Make
   let create env =
     let alloc = A.create env in
     let pool = Pool.create env alloc in
-    { env; pool; reclaimer = Reclaimer.create env pool }
+    {
+      env;
+      pool;
+      reclaimer = Reclaimer.create env pool;
+      pressure = Intf.Pressure.create ();
+    }
 
   let env t = t.env
-  let emergency_reclaim t ctx = Reclaimer.emergency_reclaim t.reclaimer ctx
+  let pressure t = t.pressure
+
+  let emergency_reclaim t ctx =
+    let freed = Reclaimer.emergency_reclaim t.reclaimer ctx in
+    t.pressure.Intf.Pressure.emergency_reclaims <-
+      t.pressure.Intf.Pressure.emergency_reclaims + 1;
+    t.pressure.Intf.Pressure.emergency_freed <-
+      t.pressure.Intf.Pressure.emergency_freed + freed;
+    freed
 
   (* Allocation with graceful degradation: when the arena (or the heap's
      record budget) is exhausted, force reclamation work that the scheme
@@ -51,8 +65,11 @@ module Make
       try Pool.allocate t.pool ctx arena
       with (Memory.Arena.Out_of_memory _ | Memory.Arena.Arena_full _) as e ->
         if emergency_reclaim t ctx > 0 then attempt 0
-        else if fruitless + 1 >= patience then raise e
-        else attempt (fruitless + 1)
+        else begin
+          t.pressure.Intf.Pressure.alloc_retries <-
+            t.pressure.Intf.Pressure.alloc_retries + 1;
+          if fruitless + 1 >= patience then raise e else attempt (fruitless + 1)
+        end
     in
     attempt 0
   let dealloc t ctx p = Pool.release t.pool ctx p

@@ -1,0 +1,38 @@
+(** Full-jitter exponential backoff (the AWS-style retry spacing).
+
+    Attempt [k] draws a delay uniformly from [0, min (cap, base * 2^k));
+    the full-jitter draw decorrelates retries from every client that
+    failed at the same instant, which is what actually prevents a retry
+    storm — synchronized exponential backoff without jitter just moves
+    the thundering herd to a coarser grid.
+
+    All state is host-side and the RNG is seeded per client, so a sim
+    run's backoff sequence is a pure function of [(seed, draws made)]:
+    deterministic replay holds. *)
+
+type t = {
+  base : int;  (** first-attempt ceiling, cycles *)
+  cap : int;  (** ceiling the exponential curve saturates at, cycles *)
+  rng : Random.State.t;
+  mutable attempt : int;
+}
+
+let create ?(base = 1_000) ?(cap = 1_000_000) ~seed () =
+  if base < 1 then invalid_arg "Backoff.create: base must be >= 1";
+  if cap < base then invalid_arg "Backoff.create: cap must be >= base";
+  { base; cap; rng = Random.State.make [| seed; 0xb0ff |]; attempt = 0 }
+
+let attempt t = t.attempt
+
+let reset t = t.attempt <- 0
+
+(* The ceiling doubles per attempt until it saturates at [cap]; shifting
+   past 62 bits would wrap, so saturate the shift count first. *)
+let ceiling t =
+  let k = min t.attempt 40 in
+  min t.cap (t.base lsl k)
+
+let next t =
+  let hi = ceiling t in
+  t.attempt <- t.attempt + 1;
+  Random.State.int t.rng (max 1 hi)

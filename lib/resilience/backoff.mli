@@ -1,0 +1,20 @@
+(** Full-jitter exponential backoff, seeded per client: attempt [k]
+    draws uniformly from [0, min (cap, base * 2^k)) cycles, so retries
+    decorrelate instead of re-synchronizing into a storm.  Deterministic
+    given the seed and the sequence of draws. *)
+
+type t
+
+val create : ?base:int -> ?cap:int -> seed:int -> unit -> t
+(** [base] (default 1000) is the first attempt's delay ceiling in cycles,
+    [cap] (default 1_000_000) the saturation ceiling.  Raises
+    [Invalid_argument] if [base < 1] or [cap < base]. *)
+
+val next : t -> int
+(** Draw the next delay (cycles) and advance the attempt counter. *)
+
+val reset : t -> unit
+(** Back to attempt 0 (call after a success). *)
+
+val attempt : t -> int
+(** Attempts drawn since the last reset. *)

@@ -1,0 +1,139 @@
+(** Per-shard circuit breaker: the classic three-state machine, driven by
+    explicit timestamps (backend cycles) so it is deterministic on the
+    simulator and lock-free-ish on domains (single-writer per shard in
+    practice; racy updates only smear the failure window, never corrupt
+    the state machine).
+
+    - {e Closed}: requests flow; outcomes are counted in a rolling window.
+      When the window holds at least [min_requests] outcomes and the
+      failure ratio reaches [failure_pct]%, the breaker trips.
+    - {e Open}: requests are rejected without touching the shard.  After
+      [cooldown] cycles the next admission probe flips to half-open.
+    - {e Half-open}: up to [probes] requests are admitted.  A success
+      closes the breaker (window reset); a failure re-opens it and
+      restarts the cooldown.
+
+    [force_open] is the crashed-shard path: when the store reports a
+    shard permanently wedged (a corpse pins its reclamation and the
+    scheme cannot neutralize), the driver trips the breaker directly
+    instead of waiting for organic failures. *)
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  window : int;  (** rolling failure-ratio window, cycles *)
+  min_requests : int;  (** outcomes before the ratio is meaningful *)
+  failure_pct : int;  (** trip threshold, percent of window outcomes *)
+  cooldown : int;  (** open -> half-open delay, cycles *)
+  probes : int;  (** admissions allowed while half-open *)
+}
+
+let default_config =
+  {
+    window = 3_000_000;
+    min_requests = 20;
+    failure_pct = 50;
+    cooldown = 3_000_000;
+    probes = 3;
+  }
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable window_start : int;
+  mutable ok : int;
+  mutable fail : int;
+  mutable opened_at : int;
+  mutable probes_left : int;
+  mutable trips : int;  (** Closed/Half_open -> Open transitions *)
+  mutable rejected : int;  (** admissions refused *)
+}
+
+let create ?(config = default_config) () =
+  if config.min_requests < 1 then
+    invalid_arg "Breaker.create: min_requests must be >= 1";
+  if config.failure_pct < 1 || config.failure_pct > 100 then
+    invalid_arg "Breaker.create: failure_pct must be in [1, 100]";
+  if config.probes < 1 then invalid_arg "Breaker.create: probes must be >= 1";
+  {
+    config;
+    state = Closed;
+    window_start = 0;
+    ok = 0;
+    fail = 0;
+    opened_at = 0;
+    probes_left = 0;
+    trips = 0;
+    rejected = 0;
+  }
+
+let state t = t.state
+let trips t = t.trips
+let rejected t = t.rejected
+
+let trip t ~now =
+  t.state <- Open;
+  t.opened_at <- now;
+  t.trips <- t.trips + 1;
+  t.ok <- 0;
+  t.fail <- 0
+
+let force_open t ~now = if t.state <> Open then trip t ~now
+
+let roll_window t ~now =
+  if now - t.window_start >= t.config.window then begin
+    t.window_start <- now;
+    t.ok <- 0;
+    t.fail <- 0
+  end
+
+(* Admission: the only place Open flips to Half_open, so a rejected
+   stream of requests costs one timestamp comparison each. *)
+let admit t ~now =
+  match t.state with
+  | Closed -> true
+  | Half_open ->
+      if t.probes_left > 0 then begin
+        t.probes_left <- t.probes_left - 1;
+        true
+      end
+      else begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
+  | Open ->
+      if now - t.opened_at >= t.config.cooldown then begin
+        t.state <- Half_open;
+        t.probes_left <- t.config.probes - 1;
+        true
+      end
+      else begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
+
+let record t ~now ~ok =
+  match t.state with
+  | Open -> ()
+  | Half_open ->
+      if ok then begin
+        (* One healthy probe closes; the fresh window starts now. *)
+        t.state <- Closed;
+        t.window_start <- now;
+        t.ok <- 0;
+        t.fail <- 0
+      end
+      else trip t ~now
+  | Closed ->
+      roll_window t ~now;
+      if ok then t.ok <- t.ok + 1 else t.fail <- t.fail + 1;
+      let total = t.ok + t.fail in
+      if
+        total >= t.config.min_requests
+        && t.fail * 100 >= t.config.failure_pct * total
+      then trip t ~now

@@ -1,0 +1,37 @@
+(** Per-shard circuit breaker (closed / open / half-open), driven by
+    explicit cycle timestamps — deterministic on the simulator.  See the
+    implementation header for the state machine and the crashed-shard
+    [force_open] path. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type config = {
+  window : int;  (** rolling failure-ratio window, cycles *)
+  min_requests : int;  (** outcomes before the ratio is meaningful *)
+  failure_pct : int;  (** trip threshold, percent *)
+  cooldown : int;  (** open -> half-open delay, cycles *)
+  probes : int;  (** admissions allowed while half-open *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] on a nonsensical config. *)
+
+val admit : t -> now:int -> bool
+(** May this request proceed?  The open->half-open cooldown transition
+    happens here; a refusal is counted in {!rejected}. *)
+
+val record : t -> now:int -> ok:bool -> unit
+(** Report a completed (or failed) admitted request's outcome. *)
+
+val force_open : t -> now:int -> unit
+(** Trip immediately (crashed-shard detection); no-op when already open. *)
+
+val state : t -> state
+val trips : t -> int
+val rejected : t -> int

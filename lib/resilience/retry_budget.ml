@@ -1,0 +1,57 @@
+(** Per-client retry budgets: a token bucket that caps retry traffic at a
+    fixed percentage of request traffic.
+
+    Every first attempt deposits [ratio_pct]% of a token; every retry
+    spends a whole token.  When the service degrades hard, clients that
+    retry without a budget multiply the offered load exactly when the
+    server can least afford it (the classic retry-storm amplification);
+    with the budget, retry traffic is bounded by [ratio_pct]% of the
+    request rate plus the [burst] allowance, and the rest of the failures
+    surface to the caller instead of echoing around the system.
+
+    Integer milli-tokens throughout — no float drift, deterministic on
+    every backend. *)
+
+type t = {
+  ratio_pct : int;  (** retries allowed per 100 first attempts *)
+  cap_millis : int;  (** bucket ceiling ([burst] whole tokens) *)
+  mutable balance_millis : int;
+  mutable deposits : int;
+  mutable spent : int;
+  mutable denied : int;
+}
+
+let create ?(ratio_pct = 10) ?(burst = 3) () =
+  if ratio_pct < 0 || ratio_pct > 100 then
+    invalid_arg "Retry_budget.create: ratio_pct must be in [0, 100]";
+  if burst < 1 then invalid_arg "Retry_budget.create: burst must be >= 1";
+  let cap = burst * 1_000 in
+  {
+    ratio_pct;
+    cap_millis = cap;
+    (* Start full: a client's very first failure may retry. *)
+    balance_millis = cap;
+    deposits = 0;
+    spent = 0;
+    denied = 0;
+  }
+
+let deposit t =
+  t.deposits <- t.deposits + 1;
+  t.balance_millis <- min t.cap_millis (t.balance_millis + (t.ratio_pct * 10))
+
+let try_spend t =
+  if t.balance_millis >= 1_000 then begin
+    t.balance_millis <- t.balance_millis - 1_000;
+    t.spent <- t.spent + 1;
+    true
+  end
+  else begin
+    t.denied <- t.denied + 1;
+    false
+  end
+
+let balance t = t.balance_millis / 1_000
+let spent t = t.spent
+let denied t = t.denied
+let deposits t = t.deposits

@@ -1,0 +1,25 @@
+(** Per-client retry budgets: a token bucket capping retry traffic at
+    [ratio_pct]% of first-attempt traffic plus a [burst] allowance, so
+    failures surface instead of amplifying offered load (integer
+    milli-token arithmetic; deterministic). *)
+
+type t
+
+val create : ?ratio_pct:int -> ?burst:int -> unit -> t
+(** [ratio_pct] (default 10) retries allowed per 100 first attempts;
+    [burst] (default 3) whole tokens of headroom, which the bucket starts
+    holding.  Raises [Invalid_argument] out of range. *)
+
+val deposit : t -> unit
+(** Account one first attempt (earns [ratio_pct]% of a token). *)
+
+val try_spend : t -> bool
+(** Spend one token for a retry; [false] (and counted as denied) when the
+    budget is exhausted. *)
+
+val balance : t -> int
+(** Whole tokens currently available. *)
+
+val spent : t -> int
+val denied : t -> int
+val deposits : t -> int

@@ -1,0 +1,263 @@
+(** The composite overload-protection layer: deadlines, retry budgets,
+    circuit breakers and watermark shedding wired into one per-request
+    admission pipeline.
+
+    The service is deliberately ignorant of the KV store — each shard is
+    described by a {!hooks} record of thunks (limbo gauge, pool gauge,
+    wedged probe, emergency-reclaim escalator) supplied by the driver, so
+    the layer composes with any sharded backend and stays deterministic
+    on the simulator (all timing flows through [Runtime.Ctx.now]).
+
+    Per-request pipeline, in order:
+
+    + {e deadline at claim} — a request claimed after [due + deadline]
+      cycles is cancelled ([Timed_out]) without touching the shard; this
+      is what bounds queue drain after a burst.
+    + {e watermark} — the shard's limbo gauge feeds a dual-watermark
+      controller.  At {e Elevated} the service escalates (rate-limited
+      emergency reclamation); at {e Brownout} it also sheds
+      low-priority requests ([Shed]).
+    + {e wedged probe} — a shard whose reclamation is permanently pinned
+      by a corpse (and whose scheme cannot neutralize) trips the breaker
+      via [force_open]; the check runs per request so the breaker stays
+      open no matter how often cooldown expires ([Rejected]).
+    + {e breaker admission} — open/half-open shards reject ([Rejected]).
+    + {e serve with bounded retry} — retryable exceptions (the driver
+      supplies the predicate; allocation pressure in the KV store) are
+      retried under a per-client retry budget and full-jitter backoff,
+      but never past the deadline or [max_attempts].
+    + {e late completion} — a request finishing past its deadline counts
+      as [Timed_out] even though the work happened; SLO credit requires
+      finishing on time.
+
+    The breaker sees [ok] for on-time service and [fail] for failures
+    and late completions; shed/cancelled/rejected requests are not
+    recorded (they never reached the shard, so they carry no signal
+    about its health). *)
+
+type priority = High | Low
+
+type hooks = {
+  limbo : unit -> int;  (** shard limbo population (uninstrumented read) *)
+  pool : unit -> int;  (** shard pool population (uninstrumented read) *)
+  wedged : unit -> bool;  (** permanently pinned and not recoverable? *)
+  escalate : Runtime.Ctx.t -> int;  (** emergency reclaim; records freed *)
+}
+
+type config = {
+  deadline : int;  (** cycles after [due] before a request is cancelled *)
+  max_attempts : int;  (** total tries per request, first included *)
+  backoff_base : int;  (** cycles *)
+  backoff_cap : int;  (** cycles *)
+  retry_ratio_pct : int;
+  retry_burst : int;
+  breaker : Breaker.config;
+  elevated : int;  (** limbo watermark: escalate emergency reclaim *)
+  brownout : int;  (** limbo watermark: shed low-priority requests *)
+  escalate_every : int;  (** min cycles between escalations per shard *)
+}
+
+let default_config =
+  {
+    deadline = 300_000;
+    max_attempts = 4;
+    backoff_base = 1_000;
+    backoff_cap = 100_000;
+    retry_ratio_pct = 10;
+    retry_burst = 3;
+    breaker = Breaker.default_config;
+    elevated = 2_000;
+    brownout = 8_000;
+    escalate_every = 50_000;
+  }
+
+type shard_state = {
+  hooks : hooks;
+  breaker : Breaker.t;
+  watermark : Watermark.t;
+  mutable last_escalate : int;
+  mutable escalate_calls : int;
+  mutable escalate_freed : int;
+  mutable wedged_seen : bool;
+}
+
+type stats = {
+  mutable served : int;
+  mutable shed : int;
+  mutable rejected : int;
+  mutable cancelled : int;  (** timed out at claim, before touching a shard *)
+  mutable late : int;  (** served past deadline -> Timed_out *)
+  mutable failed : int;
+  mutable retries : int;
+}
+
+type t = {
+  config : config;
+  shards : shard_state array;
+  backoff : Backoff.t array;  (** per client pid *)
+  budget : Retry_budget.t array;  (** per client pid *)
+  stats : stats;
+}
+
+let create ?(config = default_config) ~pids ~seed hooks =
+  if config.max_attempts < 1 then
+    invalid_arg "Service.create: max_attempts must be >= 1";
+  {
+    config;
+    shards =
+      Array.map
+        (fun hooks ->
+          {
+            hooks;
+            breaker = Breaker.create ~config:config.breaker ();
+            watermark =
+              Watermark.create
+                (Watermark.config ~elevated:config.elevated
+                   ~brownout:config.brownout);
+            (* Not min_int: [now - last_escalate] must not overflow. *)
+            last_escalate = -config.escalate_every;
+            escalate_calls = 0;
+            escalate_freed = 0;
+            wedged_seen = false;
+          })
+        hooks;
+    backoff =
+      Array.init pids (fun pid ->
+          Backoff.create ~base:config.backoff_base ~cap:config.backoff_cap
+            ~seed:(seed + (pid * 7919))
+            ());
+    budget =
+      Array.init pids (fun _ ->
+          Retry_budget.create ~ratio_pct:config.retry_ratio_pct
+            ~burst:config.retry_burst ());
+    stats =
+      {
+        served = 0;
+        shed = 0;
+        rejected = 0;
+        cancelled = 0;
+        late = 0;
+        failed = 0;
+        retries = 0;
+      };
+  }
+
+let stats t = t.stats
+let breaker t k = t.shards.(k).breaker
+let watermark t k = t.shards.(k).watermark
+let escalations t k = t.shards.(k).escalate_calls
+let escalate_freed t k = t.shards.(k).escalate_freed
+let wedged_seen t k = t.shards.(k).wedged_seen
+
+let retries_denied t =
+  Array.fold_left (fun acc b -> acc + Retry_budget.denied b) 0 t.budget
+
+let trips t =
+  Array.fold_left (fun acc sh -> acc + Breaker.trips sh.breaker) 0 t.shards
+
+(* The mutable-counter reads are uninstrumented and single-writer per
+   field in the sim (one scheduler step at a time), so exposing them as
+   telemetry counters keeps schedules unperturbed. *)
+let register t recorder =
+  let s = t.stats in
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_served" (fun () ->
+      s.served);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_shed" (fun () ->
+      s.shed);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_rejected"
+    (fun () -> s.rejected);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_cancelled"
+    (fun () -> s.cancelled);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_late" (fun () ->
+      s.late);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_failed" (fun () ->
+      s.failed);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_retries"
+    (fun () -> s.retries);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_retries_denied"
+    (fun () -> retries_denied t);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_breaker_trips"
+    (fun () -> trips t);
+  Telemetry.Recorder.add_counter recorder ~name:"resilience_escalations"
+    (fun () ->
+      Array.fold_left (fun acc sh -> acc + sh.escalate_calls) 0 t.shards)
+
+let maybe_escalate t sh ctx ~now =
+  if now - sh.last_escalate >= t.config.escalate_every then begin
+    sh.last_escalate <- now;
+    sh.escalate_calls <- sh.escalate_calls + 1;
+    sh.escalate_freed <- sh.escalate_freed + sh.hooks.escalate ctx
+  end
+
+let call t ctx ~pid ~shard ~priority ~due ~retryable f :
+    Loadgen.outcome =
+  let cfg = t.config in
+  let sh = t.shards.(shard) in
+  let deadline_at = due + cfg.deadline in
+  let now = Runtime.Ctx.now ctx in
+  if now > deadline_at then begin
+    t.stats.cancelled <- t.stats.cancelled + 1;
+    Timed_out
+  end
+  else begin
+    let level = Watermark.observe sh.watermark (sh.hooks.limbo ()) in
+    (match level with
+    | Watermark.Normal -> ()
+    | Elevated | Brownout -> maybe_escalate t sh ctx ~now);
+    if level = Watermark.Brownout && priority = Low then begin
+      t.stats.shed <- t.stats.shed + 1;
+      Shed
+    end
+    else begin
+      let wedged = sh.hooks.wedged () in
+      if wedged then begin
+        sh.wedged_seen <- true;
+        Breaker.force_open sh.breaker ~now
+      end;
+      if wedged || not (Breaker.admit sh.breaker ~now) then begin
+        t.stats.rejected <- t.stats.rejected + 1;
+        Rejected
+      end
+      else begin
+        let bo = t.backoff.(pid) in
+        let budget = t.budget.(pid) in
+        Retry_budget.deposit budget;
+        Backoff.reset bo;
+        let rec attempt n =
+          match f () with
+          | () ->
+              let finish = Runtime.Ctx.now ctx in
+              if finish <= deadline_at then begin
+                t.stats.served <- t.stats.served + 1;
+                Breaker.record sh.breaker ~now:finish ~ok:true;
+                Loadgen.Served
+              end
+              else begin
+                t.stats.late <- t.stats.late + 1;
+                Breaker.record sh.breaker ~now:finish ~ok:false;
+                Timed_out
+              end
+          | exception e when retryable e ->
+              let now = Runtime.Ctx.now ctx in
+              let delay = Backoff.next bo in
+              if
+                n + 1 > cfg.max_attempts
+                || now + delay > deadline_at
+                || not (Retry_budget.try_spend budget)
+              then begin
+                t.stats.failed <- t.stats.failed + 1;
+                Breaker.record sh.breaker ~now ~ok:false;
+                Failed
+              end
+              else begin
+                t.stats.retries <- t.stats.retries + 1;
+                maybe_escalate t sh ctx ~now;
+                Runtime.Ctx.stall ctx delay;
+                Runtime.Ctx.work ctx 1;
+                attempt (n + 1)
+              end
+        in
+        attempt 1
+      end
+    end
+  end

@@ -1,0 +1,78 @@
+(** Composite overload-protection layer: per-request deadlines, retry
+    budgets with full-jitter backoff, per-shard circuit breakers with
+    crashed-shard detection, and limbo-watermark escalation/shedding.
+    Backend-polymorphic and deterministic on the simulator; the sharded
+    store is abstracted behind per-shard {!hooks}.  See the
+    implementation header for the exact per-request pipeline. *)
+
+type priority = High | Low
+(** [Low] (scans) is shed first in brownout; [High] (point ops) only
+    fails via deadline, breaker or exhausted retries. *)
+
+type hooks = {
+  limbo : unit -> int;  (** shard limbo population (uninstrumented read) *)
+  pool : unit -> int;  (** shard pool population (uninstrumented read) *)
+  wedged : unit -> bool;  (** permanently pinned and not recoverable? *)
+  escalate : Runtime.Ctx.t -> int;  (** emergency reclaim; returns freed *)
+}
+
+type config = {
+  deadline : int;  (** cycles after [due] before a request is cancelled *)
+  max_attempts : int;  (** total tries per request, first included *)
+  backoff_base : int;  (** cycles *)
+  backoff_cap : int;  (** cycles *)
+  retry_ratio_pct : int;
+  retry_burst : int;
+  breaker : Breaker.config;
+  elevated : int;  (** limbo watermark: escalate emergency reclaim *)
+  brownout : int;  (** limbo watermark: shed low-priority requests *)
+  escalate_every : int;  (** min cycles between escalations per shard *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable served : int;
+  mutable shed : int;
+  mutable rejected : int;
+  mutable cancelled : int;  (** timed out at claim, before touching a shard *)
+  mutable late : int;  (** finished past deadline -> [Timed_out] *)
+  mutable failed : int;
+  mutable retries : int;
+}
+
+type t
+
+val create : ?config:config -> pids:int -> seed:int -> hooks array -> t
+(** One {!hooks} record per shard; [pids] client processes each get an
+    independent deterministic backoff stream (derived from [seed]) and
+    retry budget. *)
+
+val call :
+  t ->
+  Runtime.Ctx.t ->
+  pid:int ->
+  shard:int ->
+  priority:priority ->
+  due:int ->
+  retryable:(exn -> bool) ->
+  (unit -> unit) ->
+  Loadgen.outcome
+(** Run one request through the admission pipeline.  [retryable]
+    classifies exceptions worth backing off and retrying (allocation
+    pressure); anything else propagates to the caller. *)
+
+val stats : t -> stats
+val breaker : t -> int -> Breaker.t
+val watermark : t -> int -> Watermark.t
+val escalations : t -> int -> int
+val escalate_freed : t -> int -> int
+val wedged_seen : t -> int -> bool
+val retries_denied : t -> int
+val trips : t -> int
+
+val register : t -> Telemetry.Recorder.t -> unit
+(** Expose the service's counters ([resilience_served], [_shed],
+    [_rejected], [_cancelled], [_late], [_failed], [_retries],
+    [_retries_denied], [_breaker_trips], [_escalations]) on a telemetry
+    recorder. *)

@@ -1,0 +1,77 @@
+(** Dual-watermark admission controller with hysteresis.
+
+    Tracks one scalar pressure gauge (per-shard limbo population in the
+    KV service) against two watermark pairs:
+
+    - crossing [elevated_hi] enters {e Elevated}: the service escalates —
+      it invokes the shard's emergency reclamation proactively, before
+      any allocation fails — and drops back to {e Normal} only below
+      [elevated_lo];
+    - crossing [brownout_hi] enters {e Brownout}: low-priority operations
+      (scans before gets/puts) are shed outright until the gauge falls
+      below [brownout_lo].
+
+    The lo/hi split is the hysteresis: without it a gauge hovering at one
+    threshold would flap the mode on every observation, shedding and
+    unshedding request-by-request. *)
+
+type level = Normal | Elevated | Brownout
+
+let level_name = function
+  | Normal -> "normal"
+  | Elevated -> "elevated"
+  | Brownout -> "brownout"
+
+type config = {
+  elevated_hi : int;
+  elevated_lo : int;
+  brownout_hi : int;
+  brownout_lo : int;
+}
+
+let config ~elevated ~brownout =
+  if elevated < 1 || brownout <= elevated then
+    invalid_arg "Watermark.config: want 1 <= elevated < brownout";
+  {
+    elevated_hi = elevated;
+    elevated_lo = (elevated * 3) / 4;
+    brownout_hi = brownout;
+    brownout_lo = (brownout * 3) / 4;
+  }
+
+type t = {
+  cfg : config;
+  mutable level : level;
+  mutable escalations : int;  (** Normal -> Elevated transitions *)
+  mutable brownouts : int;  (** Elevated -> Brownout transitions *)
+}
+
+let create cfg = { cfg = cfg; level = Normal; escalations = 0; brownouts = 0 }
+
+let level t = t.level
+let escalations t = t.escalations
+let brownouts t = t.brownouts
+
+let observe t v =
+  (* A gauge can jump several thresholds between observations (a retire
+     burst lands all at once), so entry is judged against the reading,
+     not one level per call: Normal goes straight to Brownout when the
+     reading warrants it. *)
+  (match t.level with
+  | Normal ->
+      if v >= t.cfg.elevated_hi then begin
+        t.level <- Elevated;
+        t.escalations <- t.escalations + 1;
+        if v >= t.cfg.brownout_hi then begin
+          t.level <- Brownout;
+          t.brownouts <- t.brownouts + 1
+        end
+      end
+  | Elevated ->
+      if v >= t.cfg.brownout_hi then begin
+        t.level <- Brownout;
+        t.brownouts <- t.brownouts + 1
+      end
+      else if v <= t.cfg.elevated_lo then t.level <- Normal
+  | Brownout -> if v <= t.cfg.brownout_lo then t.level <- Elevated);
+  t.level

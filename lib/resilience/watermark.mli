@@ -1,0 +1,30 @@
+(** Dual-watermark admission controller with hysteresis: a pressure
+    gauge crossing [elevated] triggers emergency-reclaim escalation,
+    crossing [brownout] sheds low-priority work; each mode exits at 3/4
+    of its entry threshold so the level cannot flap per observation. *)
+
+type level = Normal | Elevated | Brownout
+
+val level_name : level -> string
+
+type config = {
+  elevated_hi : int;
+  elevated_lo : int;
+  brownout_hi : int;
+  brownout_lo : int;
+}
+
+val config : elevated:int -> brownout:int -> config
+(** Entry thresholds; exits default to 3/4 of each.  Raises
+    [Invalid_argument] unless [1 <= elevated < brownout]. *)
+
+type t
+
+val create : config -> t
+
+val observe : t -> int -> level
+(** Feed one gauge reading; returns the (possibly changed) level. *)
+
+val level : t -> level
+val escalations : t -> int
+val brownouts : t -> int

@@ -27,6 +27,9 @@ type t = {
   mutable gauges : gauge list;  (* registration order *)
   mutable hists : (string * Histogram.t) list;  (* per op kind *)
   counts : counts;
+  mutable extra_counters : (string * (unit -> int)) list;
+      (* externally registered counter getters (reclamation pressure,
+         breaker trips, ...), read at render time; registration order *)
 }
 
 let create ?(sub_bits = 5) ?(sample_every = 50_000) ?trace ~cycles_per_ns
@@ -61,6 +64,7 @@ let create ?(sub_bits = 5) ?(sample_every = 50_000) ?trace ~cycles_per_ns
         sweeps = 0;
         records_swept = 0;
       };
+    extra_counters = [];
   }
 
 let sample_every t = t.sample_every
@@ -69,6 +73,8 @@ let trace t = t.trace
 
 let add_gauge t ~name read =
   t.gauges <- t.gauges @ [ { gname = name; read; samples = [] } ]
+
+let add_counter t ~name read = t.extra_counters <- t.extra_counters @ [ (name, read) ]
 
 let tick t now =
   List.iter (fun g -> g.samples <- (now, g.read ()) :: g.samples) t.gauges
@@ -205,6 +211,7 @@ let counters t =
     ("sweeps", c.sweeps);
     ("records_swept", c.records_swept);
   ]
+  @ List.map (fun (name, read) -> (name, read ())) t.extra_counters
 
 let hist_json h =
   Json.Obj

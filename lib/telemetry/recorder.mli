@@ -44,6 +44,12 @@ val add_gauge : t -> name:string -> (unit -> int array) -> unit
 (** Register a per-process gauge (a scalar gauge returns a 1-element
     array).  Sampled on every {!tick}. *)
 
+val add_counter : t -> name:string -> (unit -> int) -> unit
+(** Register an external monotone counter (reclamation pressure, breaker
+    trips, shed totals).  Not sampled: the getter is read when
+    {!counters} / {!metrics_json} render, and the value is appended after
+    the event-bus counters in registration order. *)
+
 val tick : t -> int -> unit
 (** Sample all gauges at virtual time [now] (cycles). *)
 
@@ -91,7 +97,8 @@ val series_total : t -> string -> (int * int) list
 
 val counters : t -> (string * int) list
 (** Event-bus counters, fixed order: allocs, frees, retires, pool_puts,
-    pool_takes, epoch_advances, signals_sent, sweeps, records_swept. *)
+    pool_takes, epoch_advances, signals_sent, sweeps, records_swept —
+    followed by any {!add_counter} registrations in registration order. *)
 
 val metrics_json : t -> Json.t
 (** Everything above as one JSON object:

@@ -55,10 +55,17 @@ let budget_of_spec spec =
 
 type breach = { percentile : string; observed_ns : int; budget_ns : int }
 
+(** A percentile whose rank falls beyond the served population when judging
+    against demand: an unserved request has no finite latency, so the
+    quantile is "infinite" and any budget on it is breached. *)
+let unserved_ns = max_int
+
 type verdict = {
   scope : string;  (** e.g. ["shard3"] or ["all"] *)
   kind : string;  (** operation kind, e.g. ["get"] *)
-  count : int;
+  count : int;  (** requests actually served (histogram population) *)
+  demand : int;  (** requests addressed to this scope ([= count] when every
+                     request was served; see {!judge_demand}) *)
   p50 : int;
   p99 : int;
   p999 : int;
@@ -66,11 +73,27 @@ type verdict = {
   pass : bool;  (** no percentile over budget (vacuously true when empty) *)
 }
 
-let judge budget ~scope ~kind h =
-  let q p = Histogram.quantile h p in
+(* Quantile over the demand population: the [demand - count] unserved
+   requests sort above every served latency (they never completed), so
+   rank q*demand lands either inside the histogram — at the rescaled
+   quantile — or in the unserved tail, where the latency is infinite.
+   This is the open-loop accounting fix: a scheme cannot improve its
+   percentiles by shedding or timing requests out. *)
+let demand_quantile h ~count ~demand q =
+  if count <= 0 then if demand > 0 then unserved_ns else 0
+  else if demand <= count then Histogram.quantile h q
+  else
+    let rank = q *. float_of_int demand in
+    if rank > float_of_int count then unserved_ns
+    else Histogram.quantile h (rank /. float_of_int count)
+
+let judge_demand budget ~scope ~kind ~demand h =
+  let count = Histogram.count h in
+  let demand = max demand count in
+  let q p = demand_quantile h ~count ~demand p in
   let p50 = q 0.50 and p99 = q 0.99 and p999 = q 0.999 in
   let check name observed = function
-    | Some cap when Histogram.count h > 0 && observed > cap ->
+    | Some cap when demand > 0 && observed > cap ->
         [ { percentile = name; observed_ns = observed; budget_ns = cap } ]
     | _ -> []
   in
@@ -79,16 +102,10 @@ let judge budget ~scope ~kind h =
     @ check "p99" p99 budget.p99_ns
     @ check "p999" p999 budget.p999_ns
   in
-  {
-    scope;
-    kind;
-    count = Histogram.count h;
-    p50;
-    p99;
-    p999;
-    breaches;
-    pass = breaches = [];
-  }
+  { scope; kind; count; demand; p50; p99; p999; breaches; pass = breaches = [] }
+
+let judge budget ~scope ~kind h =
+  judge_demand budget ~scope ~kind ~demand:(Histogram.count h) h
 
 let verdict_json v =
   Json.Obj
@@ -96,6 +113,7 @@ let verdict_json v =
       ("scope", Json.String v.scope);
       ("kind", Json.String v.kind);
       ("count", Json.Int v.count);
+      ("demand", Json.Int v.demand);
       ("p50_ns", Json.Int v.p50);
       ("p99_ns", Json.Int v.p99);
       ("p999_ns", Json.Int v.p999);

@@ -13,10 +13,17 @@ val budget_of_spec : string -> budget
 
 type breach = { percentile : string; observed_ns : int; budget_ns : int }
 
+val unserved_ns : int
+(** The "latency" of a percentile rank that falls in the unserved tail
+    when judging against demand ([max_int]): unserved requests never
+    completed, so any budget on that percentile is breached. *)
+
 type verdict = {
   scope : string;
   kind : string;
-  count : int;
+  count : int;  (** requests served (histogram population) *)
+  demand : int;  (** requests addressed to the scope; [> count] when some
+                     were shed, rejected or cancelled unserved *)
   p50 : int;
   p99 : int;
   p999 : int;
@@ -26,6 +33,14 @@ type verdict = {
 
 val judge : budget -> scope:string -> kind:string -> Histogram.t -> verdict
 (** Judge one histogram.  An empty histogram passes vacuously. *)
+
+val judge_demand :
+  budget -> scope:string -> kind:string -> demand:int -> Histogram.t -> verdict
+(** Judge against the full demand population: the [demand - count]
+    requests missing from the histogram (shed, breaker-rejected, cancelled
+    past deadline) sort as infinitely late, so a percentile whose rank
+    falls among them reads {!unserved_ns} and breaches any budget.  A
+    [demand] below the histogram count is clamped up to it. *)
 
 val verdict_json : verdict -> Json.t
 val all_pass : verdict list -> bool

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the E-kv campaign.
+
+Compares a freshly generated BENCH_KV.json against the checked-in
+baseline and fails (exit 1) when any matching (scheme, structure,
+backend) row regresses by more than the tolerance in either:
+
+  - throughput_mops (lower is worse), or
+  - any SLO verdict's p99_ns, matched by verdict kind (higher is worse).
+
+Both runs use the deterministic simulator, so in practice any drift is a
+code change, not noise; the 15% tolerance exists so deliberate
+trade-offs (e.g. heavier instrumentation) need only a baseline refresh
+(`dune exec bench/main.exe -- kv --json`, commit BENCH_KV.json) rather
+than a tuning dance.
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance-pct 15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def rows_by_key(doc):
+    out = {}
+    for row in doc["results"]:
+        key = (row["scheme"], row["structure"], row["backend"])
+        if key in out:
+            raise SystemExit(f"duplicate bench row for {key}")
+        out[key] = row
+    return out
+
+
+def p99s(row):
+    return {v["kind"]: v["p99_ns"] for v in row.get("verdicts", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance-pct", type=float, default=15.0)
+    args = ap.parse_args()
+
+    with open(args.baseline) as fh:
+        base = rows_by_key(json.load(fh))
+    with open(args.fresh) as fh:
+        fresh = rows_by_key(json.load(fh))
+
+    tol = args.tolerance_pct / 100.0
+    failures = []
+    compared = 0
+
+    for key, brow in sorted(base.items()):
+        frow = fresh.get(key)
+        if frow is None:
+            failures.append(f"{key}: row missing from fresh run")
+            continue
+        compared += 1
+        name = "/".join(key)
+
+        bt, ft = brow["throughput_mops"], frow["throughput_mops"]
+        if ft < bt * (1.0 - tol):
+            failures.append(
+                f"{name}: throughput {ft:.3f} Mops/s is "
+                f"{100.0 * (bt - ft) / bt:.1f}% below baseline {bt:.3f}"
+            )
+
+        bp, fp = p99s(brow), p99s(frow)
+        for kind, b99 in sorted(bp.items()):
+            f99 = fp.get(kind)
+            if f99 is None:
+                failures.append(f"{name}: verdict '{kind}' missing from fresh run")
+            elif f99 > b99 * (1.0 + tol):
+                failures.append(
+                    f"{name}: {kind} p99 {f99} ns is "
+                    f"{100.0 * (f99 - b99) / b99:.1f}% above baseline {b99} ns"
+                )
+
+    if compared == 0:
+        failures.append("no comparable rows between baseline and fresh run")
+
+    for f in failures:
+        print(f"FAIL {f}")
+    print(
+        f"bench gate: {compared} rows compared, {len(failures)} regressions "
+        f"(tolerance {args.tolerance_pct:.0f}%)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
