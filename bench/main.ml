@@ -12,6 +12,9 @@
     - micro    Bechamel microbenchmarks of the Record Manager primitives
     - e-stall  stalled-process campaign: limbo time series, DEBRA vs DEBRA+
     - e-chaos  fault-injection campaign: crashes, signal loss, bounded memory
+    - e-scale  context-count scaling campaign (64 -> 256 -> 1024): per-op
+               cost divergence HP vs DEBRA/DEBRA+, plus scheduler and
+               explorer throughput baselines (BENCH_SIM.json)
     - all      everything above
 
     [--full] uses the paper-scale key ranges and thread counts (slow); the
@@ -31,7 +34,8 @@
 let known =
   [
     "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "schemes"; "summary";
-    "ablate"; "micro"; "e-stall"; "e-chaos"; "kv"; "e-overload"; "all";
+    "ablate"; "micro"; "e-stall"; "e-chaos"; "kv"; "e-overload"; "e-scale";
+    "all";
   ]
 
 let run_one ~scale = function
@@ -48,6 +52,7 @@ let run_one ~scale = function
   | "e-chaos" -> E_chaos.run ~scale
   | "kv" -> Kv_bench.run ~scale
   | "e-overload" -> E_overload.run ~scale
+  | "e-scale" -> E_scale.run ~scale
   | name -> Printf.eprintf "unknown experiment %S\n" name
 
 (* With --json, each experiment's outcomes (accumulated by
@@ -56,9 +61,11 @@ let run_one_json ~scale name =
   Experiments.json_rows := [];
   run_one ~scale name;
   if !Experiments.json then begin
-    (* The kv campaign's baseline is checked in as BENCH_KV.json. *)
+    (* The kv campaign's baseline is checked in as BENCH_KV.json, the
+       e-scale campaign's as BENCH_SIM.json. *)
     let file =
-      Printf.sprintf "BENCH_%s.json" (if name = "kv" then "KV" else name)
+      Printf.sprintf "BENCH_%s.json"
+        (match name with "kv" -> "KV" | "e-scale" -> "SIM" | n -> n)
     in
     let doc =
       Telemetry.Json.Obj
@@ -76,8 +83,9 @@ let run_one_json ~scale name =
   end
 
 (* --explore: the scheme x structure exploration matrix (the same cells
-   as `dune build @lincheck-matrix`), scaled by --full. *)
-let run_explore ~budget ~full =
+   as `dune build @lincheck-matrix`), scaled by --full; --explore-domains
+   fans the replay jobs across worker domains with identical verdicts. *)
+let run_explore ~budget ~workers ~full =
   let max_runs = if full then 2_000 else 300 in
   let cfg =
     {
@@ -89,16 +97,18 @@ let run_explore ~budget ~full =
     }
   in
   Printf.printf
-    "systematic exploration matrix: %d procs x %d ops, preemption budget %d, <=%d schedules/cell\n%!"
+    "systematic exploration matrix: %d procs x %d ops, preemption budget %d, <=%d schedules/cell%s\n%!"
     cfg.Workload.Lin_harness.nprocs cfg.Workload.Lin_harness.ops_per_proc
-    budget max_runs;
+    budget max_runs
+    (if workers > 1 then Printf.sprintf ", %d domains" workers else "");
   let failures = ref 0 in
   List.iter
     (fun ds ->
       List.iter
         (fun scheme ->
           let v =
-            Workload.Lin_harness.explore ~budget ~max_runs ~ds ~scheme cfg
+            Workload.Lin_harness.explore ~budget ~max_runs ~workers ~ds
+              ~scheme cfg
           in
           (match v with
           | Lincheck.Explore.Fail _ -> incr failures
@@ -113,7 +123,7 @@ let run_explore ~budget ~full =
   end
 
 let main experiments backend full sanitize json trace metrics_out chaos_seed
-    explore check_lin history_out
+    explore explore_domains check_lin history_out
     (shards, structure, dist, arrival, rate, requests, nkeys, mix, slo, procs,
      explore_free, kv_schemes) (overload_requests, overload_schemes) =
   Kv_bench.shards := shards;
@@ -130,8 +140,9 @@ let main experiments backend full sanitize json trace metrics_out chaos_seed
   Kv_bench.scheme_filter := kv_schemes;
   E_overload.requests := overload_requests;
   E_overload.scheme_filter := overload_schemes;
+  E_scale.explore_domains := explore_domains;
   match explore with
-  | Some budget -> run_explore ~budget ~full
+  | Some budget -> run_explore ~budget ~workers:explore_domains ~full
   | None ->
   Experiments.backend := backend;
   Experiments.sanitize := sanitize;
@@ -175,6 +186,11 @@ let main experiments backend full sanitize json trace metrics_out chaos_seed
   if !E_overload.failures > 0 then begin
     Printf.eprintf "e-overload: %d cell(s) missed their expectation\n"
       !E_overload.failures;
+    exit 1
+  end;
+  if !E_scale.failures > 0 then begin
+    Printf.eprintf "e-scale: %d structure(s) missed their divergence check\n"
+      !E_scale.failures;
     exit 1
   end
 
@@ -251,6 +267,16 @@ let explore_arg =
   in
   Arg.(
     value & opt (some int) None & info [ "explore" ] ~docv:"BUDGET" ~doc)
+
+let explore_domains_arg =
+  let doc =
+    "Worker domains for schedule exploration ($(b,--explore) and the \
+     e-scale explore-throughput baseline).  Replay jobs fan out across \
+     $(docv) domains with run counts, branch points and verdicts identical \
+     to the serial explorer (1, the default)."
+  in
+  Arg.(
+    value & opt int 1 & info [ "explore-domains" ] ~docv:"N" ~doc)
 
 let check_lin_arg =
   let doc =
@@ -388,6 +414,7 @@ let cmd =
     Term.(
       const main $ experiments_arg $ backend_arg $ full_arg $ sanitize_arg
       $ json_arg $ trace_arg $ metrics_arg $ chaos_seed_arg $ explore_arg
-      $ check_lin_arg $ history_out_arg $ kv_args $ overload_args)
+      $ explore_domains_arg $ check_lin_arg $ history_out_arg $ kv_args
+      $ overload_args)
 
 let () = exit (Cmd.eval cmd)

@@ -48,6 +48,21 @@ let move_all_full_blocks t ~into =
   t.size <- t.size - moved;
   moved
 
+(* Every block leaves whole — the full tail blocks and then the partial
+   head; a fresh head from the pool keeps the bag usable.  [into] takes
+   ownership, so unlike [pop]-draining no record is ever copied. *)
+let drain_blocks t ~into =
+  let moved = move_all_full_blocks t ~into in
+  let head_n = t.head.Block.count in
+  if head_n = 0 then moved
+  else begin
+    let b = t.head in
+    t.head <- Block_pool.get t.pool;
+    into b;
+    t.size <- t.size - head_n;
+    moved + head_n
+  end
+
 (* O(1) per block: full non-head blocks are spliced whole (the invariant
    says everything after either head is full, so they may sit directly
    behind [into]'s head); only the single, possibly-partial source head

@@ -24,6 +24,14 @@ val add_block : t -> Block.t -> unit
     hands each to [into]; returns the number of records moved. *)
 val move_all_full_blocks : t -> into:(Block.t -> unit) -> int
 
+(** [drain_blocks t ~into] detaches every block — the full tail blocks and
+    then the single (possibly partial) head block — and hands each to
+    [into], which takes ownership; [t] ends empty with a fresh head block
+    from its pool, still usable.  O(1) per block plus at most one pool
+    fetch; returns the number of records moved.  Empty blocks are never
+    handed out. *)
+val drain_blocks : t -> into:(Block.t -> unit) -> int
+
 (** [transfer src ~into] moves every record of [src] into [into] and
     leaves [src] empty: full blocks are spliced in O(1) each, the single
     (possibly partial) source head block is drained element-wise.  The two

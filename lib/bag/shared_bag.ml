@@ -8,12 +8,20 @@ let rec push ctx t b =
   if not (Runtime.Svar.cas ctx t.head ~expect:old (Cons (b, old))) then
     push ctx t b
 
-let rec pop ctx t =
+(* Single attempt, no retry loop: a failed CAS means another process took
+   (or pushed) the head at this instant, and every caller has a fallback —
+   the pool falls through to the allocator.  Spin-retrying here turns the
+   head line into a global serialization point at high context counts:
+   each failed CAS is an invalidating write that forces every other
+   contender to re-read the line from memory, so with ~1000 allocating
+   processes one spilled block can absorb hundreds of coherence misses
+   before anyone wins (observed as a 317:1 CAS-failure ratio that
+   dominated whole-trial cost at 1024 contexts). *)
+let pop ctx t =
   match Runtime.Svar.get ctx t.head with
   | Nil -> None
   | Cons (b, rest) as old ->
-      if Runtime.Svar.cas ctx t.head ~expect:old rest then Some b
-      else pop ctx t
+      if Runtime.Svar.cas ctx t.head ~expect:old rest then Some b else None
 
 let size_in_blocks t =
   let rec go n acc = match n with Nil -> acc | Cons (_, r) -> go r (acc + 1) in

@@ -12,7 +12,10 @@ val create : unit -> t
 (** [push ctx t b] publishes full block [b] (takes ownership). *)
 val push : Runtime.Ctx.t -> t -> Block.t -> unit
 
-(** [pop ctx t] takes one full block, transferring ownership to the caller. *)
+(** [pop ctx t] takes one full block, transferring ownership to the caller.
+    Best-effort: returns [None] on an empty bag {e or} on a lost CAS race,
+    so a contended bag never becomes a spin point — callers fall back to
+    their allocator. *)
 val pop : Runtime.Ctx.t -> t -> Block.t option
 
 (** Uninstrumented size, for tests and reports (O(n)). *)

@@ -1,0 +1,98 @@
+(** Deterministic fan-out of a dynamically-growing job tree across domains.
+
+    The pool executes jobs on [domains] worker domains but *commits* their
+    results strictly in depth-first pre-order: the commit queue starts as
+    [roots], and when the node at its head has completed, [commit] is
+    called and the children it returns are spliced in directly behind the
+    parent.  Workers may finish jobs in any wall-clock order — a result
+    computed "too early" simply waits in the queue until everything before
+    it has committed — so every observable decision ([commit]'s view of
+    accumulated state, early termination, which node is "the first"
+    failure) is identical to a serial depth-first traversal, run after run,
+    regardless of domain count or host scheduling.
+
+    This is what {!Lincheck.Explore} fans its preemption-branch replay jobs
+    out with: each job is an independent deterministic replay, and the
+    commit order makes run counts, branch-point counts, truncation points
+    and failing-schedule choices bit-identical to the serial explorer.
+
+    [exec] runs on worker domains, concurrently: it must not share
+    unsynchronized mutable state across calls.  [commit] runs under the
+    pool lock, serially and in order: it may freely update accumulator
+    state captured in its closure; returning [None] stops the pool (pending
+    and in-flight work is discarded).  Worker exceptions from [exec] are
+    re-raised from [run] at the failed node's commit position. *)
+
+type ('j, 'r) node = {
+  job : 'j;
+  mutable state : [ `Pending | `Running | `Done of 'r | `Raised of exn ];
+}
+
+let run (type j r) ~domains ~(exec : j -> r)
+    ~(commit : j -> r -> j list option) ~(roots : j list) : unit =
+  if domains < 1 then invalid_arg "Pool.run: domains must be >= 1";
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let queue = ref (List.map (fun j -> { job = j; state = `Pending }) roots) in
+  let stopped = ref false in
+  let failure = ref None in
+  (* Commit every leading completed node; called with [m] held. *)
+  let rec drain () =
+    match !queue with
+    | { job; state = `Done r } :: rest -> (
+        match commit job r with
+        | Some children ->
+            queue :=
+              List.map (fun j -> { job = j; state = `Pending }) children
+              @ rest;
+            drain ()
+        | None ->
+            stopped := true;
+            queue := []
+        | exception e ->
+            if !failure = None then failure := Some e;
+            stopped := true;
+            queue := [])
+    | { state = `Raised e; _ } :: _ ->
+        if !failure = None then failure := Some e;
+        stopped := true;
+        queue := []
+    | _ -> ()
+  in
+  let rec take_pending = function
+    | [] -> None
+    | n :: rest -> (
+        match n.state with `Pending -> Some n | _ -> take_pending rest)
+  in
+  let worker () =
+    Mutex.lock m;
+    let rec loop () =
+      if !stopped || !queue = [] then Mutex.unlock m
+      else
+        match take_pending !queue with
+        | Some n ->
+            n.state <- `Running;
+            Mutex.unlock m;
+            let st =
+              match exec n.job with r -> `Done r | exception e -> `Raised e
+            in
+            Mutex.lock m;
+            n.state <- st;
+            drain ();
+            Condition.broadcast cv;
+            loop ()
+        | None ->
+            (* Results still in flight may commit into new children. *)
+            Condition.wait cv m;
+            loop ()
+    in
+    loop ()
+  in
+  Mutex.lock m;
+  drain ();
+  Mutex.unlock m;
+  if not !stopped then begin
+    let workers = List.init domains (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join workers
+  end;
+  match !failure with None -> () | Some e -> raise e

@@ -1,0 +1,22 @@
+(** Deterministic fan-out of a dynamically-growing job tree across domains.
+
+    Jobs execute concurrently on worker domains, but results {e commit}
+    strictly in depth-first pre-order: [commit job result] is called under
+    the pool lock, serially, with the children it returns spliced into the
+    commit queue directly behind their parent.  Every observable decision —
+    accumulated statistics, early termination, which node counts as the
+    first failure — is therefore identical to a serial depth-first
+    traversal, regardless of domain count or host scheduling.
+
+    [exec] must not share unsynchronized mutable state across concurrent
+    calls; [commit] may freely update closure state.  [commit] returning
+    [None] stops the pool: pending and in-flight work is discarded.  An
+    exception raised by [exec] is re-raised from [run] when the failed node
+    reaches its commit position. *)
+
+val run :
+  domains:int ->
+  exec:('job -> 'res) ->
+  commit:('job -> 'res -> 'job list option) ->
+  roots:'job list ->
+  unit

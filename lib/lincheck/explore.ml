@@ -137,102 +137,156 @@ let policy_of_schedule schedule : Sim.policy =
       note dr cands.(i).Sim.cand_core;
       i)
 
-let explore ?(budget = 2) ?(max_runs = 2000) ?(wide = false)
-    ?(log = fun (_ : string) -> ()) ~(run_one : Sim.policy -> 'a)
-    ~(check : 'a -> string option) () : 'a verdict =
+let count_preempts forced =
+  List.fold_left (fun acc f -> if f.f_preempt then acc + 1 else acc) 0 forced
+
+let schedule_of stack =
+  List.filter_map
+    (fun f -> if f.f_preempt then Some (f.f_step, f.f_choice) else None)
+    stack
+
+(* One completed replay job: the run's verdict, its full choice stack
+   (forced prefix plus fresh extension, shallowest first), and how many
+   fresh choice points offered at least one alternative. *)
+type 'a run_res = {
+  r_outcome : ('a, string * 'a option) result;
+  r_stack : frame list;
+  r_branches : int;
+}
+
+(* Execute one schedule: replay the [forced] choices (shallowest first),
+   then extend with default choices, recording alternatives at every fresh
+   choice point.  Pure per call — safe to run concurrently as long as
+   [run_one]/[check] build fresh program instances. *)
+let run_job ~budget ~wide ~(run_one : Sim.policy -> 'a)
+    ~(check : 'a -> string option) (forced : frame list) : 'a run_res =
+  let forced_arr = Array.of_list forced in
+  let nforced = Array.length forced_arr in
+  let preempts0 = count_preempts forced in
+  let branches = ref 0 in
+  let fresh = ref [] in
+  (* Sleep set at the deepest replayed node; choices before it already
+     folded their wakes into that node's [f_sleep] when it was created. *)
+  let live_sleep =
+    ref (if nforced = 0 then [] else forced_arr.(nforced - 1).f_sleep)
+  in
+  let d = ref 0 in
+  let dr = new_drule () in
+  let chooser ~step cands =
+    let di = !d in
+    incr d;
+    if di < nforced then begin
+      let f = forced_arr.(di) in
+      let i = index_of_core cands f.f_choice in
+      note dr f.f_choice;
+      if di = nforced - 1 then live_sleep := wake !live_sleep cands.(i);
+      i
+    end
+    else begin
+      let xi = default_index dr cands in
+      let x = cands.(xi) in
+      let alts =
+        if preempts0 >= budget then []
+        else
+          Array.to_list cands
+          |> List.filter (fun c ->
+                 c.Sim.cand_core <> x.Sim.cand_core
+                 && (wide
+                    (* a fiber that has not run yet has no recorded
+                       pending access (line -1): always branchable *)
+                    || c.Sim.cand_line < 0
+                    || c.Sim.cand_line = x.Sim.cand_line)
+                 && not
+                      (List.mem (c.Sim.cand_pid, c.Sim.cand_line)
+                         !live_sleep))
+      in
+      if alts <> [] then incr branches;
+      fresh :=
+        {
+          f_step = step;
+          f_choice = x.Sim.cand_core;
+          f_pid = x.Sim.cand_pid;
+          f_line = x.Sim.cand_line;
+          f_preempt = false;
+          f_alts = alts;
+          f_sleep = !live_sleep;
+        }
+        :: !fresh;
+      note dr x.Sim.cand_core;
+      live_sleep := wake !live_sleep x;
+      xi
+    end
+  in
+  let outcome =
+    match run_one (`Systematic chooser) with
+    | v -> ( match check v with None -> Ok v | Some r -> Error (r, Some v))
+    | exception e -> Error (Printexc.to_string e, None)
+  in
+  { r_outcome = outcome; r_stack = forced @ List.rev !fresh;
+    r_branches = !branches }
+
+(* Sibling jobs of a completed run, in exactly the order serial depth-first
+   backtracking would reach them: deepest fresh frame first, alternatives
+   in recorded order.  Each child replays the shallower prefix (its own
+   alternatives cleared — the parent expands all of them eagerly, so a
+   child re-expanding would duplicate subtrees) plus the branched frame,
+   whose sleep set accumulates the previously-explored siblings:
+   the j-th alternative sleeps the chosen branch and alternatives 1..j-1,
+   exactly as the serial explorer's backtrack/attempt pair builds it. *)
+let siblings (stack : frame list) : frame list list =
+  let rec per_frame rev_stack =
+    match rev_stack with
+    | [] -> []
+    | f :: shallower ->
+        let prefix = List.rev_map (fun g -> { g with f_alts = [] }) shallower in
+        let rec alts sleep = function
+          | [] -> []
+          | (a : Sim.candidate) :: more ->
+              let f' =
+                {
+                  f_step = f.f_step;
+                  f_choice = a.Sim.cand_core;
+                  f_pid = a.Sim.cand_pid;
+                  f_line = a.Sim.cand_line;
+                  f_preempt = true;
+                  f_alts = [];
+                  f_sleep = sleep;
+                }
+              in
+              (prefix @ [ f' ])
+              :: alts ((a.Sim.cand_pid, a.Sim.cand_line) :: sleep) more
+        in
+        alts ((f.f_pid, f.f_line) :: f.f_sleep) f.f_alts @ per_frame shallower
+  in
+  per_frame (List.rev stack)
+
+let truncation_msg runs =
+  Printf.sprintf
+    "exploration truncated at %d runs (unexplored branches remain; raise \
+     max_runs for full coverage)"
+    runs
+
+(* Serial depth-first exploration, the reference semantics. *)
+let explore_serial ~budget ~max_runs ~wide ~log ~run_one ~check : 'a verdict =
   let runs = ref 0 in
   let branch_points = ref 0 in
   let stats truncated =
     { runs = !runs; truncated; branch_points = !branch_points }
   in
-  let count_preempts forced =
-    List.fold_left (fun acc f -> if f.f_preempt then acc + 1 else acc) 0 forced
-  in
-  let schedule_of stack =
-    List.filter_map
-      (fun f -> if f.f_preempt then Some (f.f_step, f.f_choice) else None)
-      stack
-  in
-  (* [forced] is the DFS stack, shallowest first: replay its choices, then
-     extend with default choices, recording alternatives for backtracking. *)
   let rec attempt forced =
     if !runs >= max_runs then begin
-      log
-        (Printf.sprintf
-           "exploration truncated at %d runs (unexplored branches remain; \
-            raise max_runs for full coverage)"
-           !runs);
+      log (truncation_msg !runs);
       Pass (stats true)
     end
     else begin
       incr runs;
-      let forced_arr = Array.of_list forced in
-      let nforced = Array.length forced_arr in
-      let preempts0 = count_preempts forced in
-      let fresh = ref [] in
-      (* Sleep set at the deepest replayed node; choices before it already
-         folded their wakes into that node's [f_sleep] when it was created. *)
-      let live_sleep =
-        ref (if nforced = 0 then [] else forced_arr.(nforced - 1).f_sleep)
-      in
-      let d = ref 0 in
-      let dr = new_drule () in
-      let chooser ~step cands =
-        let di = !d in
-        incr d;
-        if di < nforced then begin
-          let f = forced_arr.(di) in
-          let i = index_of_core cands f.f_choice in
-          note dr f.f_choice;
-          if di = nforced - 1 then live_sleep := wake !live_sleep cands.(i);
-          i
-        end
-        else begin
-          let xi = default_index dr cands in
-          let x = cands.(xi) in
-          let alts =
-            if preempts0 >= budget then []
-            else
-              Array.to_list cands
-              |> List.filter (fun c ->
-                     c.Sim.cand_core <> x.Sim.cand_core
-                     && (wide
-                        (* a fiber that has not run yet has no recorded
-                           pending access (line -1): always branchable *)
-                        || c.Sim.cand_line < 0
-                        || c.Sim.cand_line = x.Sim.cand_line)
-                     && not
-                          (List.mem (c.Sim.cand_pid, c.Sim.cand_line)
-                             !live_sleep))
-          in
-          if alts <> [] then incr branch_points;
-          fresh :=
-            {
-              f_step = step;
-              f_choice = x.Sim.cand_core;
-              f_pid = x.Sim.cand_pid;
-              f_line = x.Sim.cand_line;
-              f_preempt = false;
-              f_alts = alts;
-              f_sleep = !live_sleep;
-            }
-            :: !fresh;
-          note dr x.Sim.cand_core;
-          live_sleep := wake !live_sleep x;
-          xi
-        end
-      in
-      let outcome =
-        match run_one (`Systematic chooser) with
-        | v -> ( match check v with None -> Ok v | Some r -> Error (r, Some v))
-        | exception e -> Error (Printexc.to_string e, None)
-      in
-      let stack = forced @ List.rev !fresh in
-      match outcome with
+      let r = run_job ~budget ~wide ~run_one ~check forced in
+      branch_points := !branch_points + r.r_branches;
+      match r.r_outcome with
       | Error (reason, witness) ->
-          Fail { stats = stats false; schedule = schedule_of stack; reason;
-                 witness }
-      | Ok _ -> backtrack (List.rev stack)
+          Fail { stats = stats false; schedule = schedule_of r.r_stack;
+                 reason; witness }
+      | Ok _ -> backtrack (List.rev r.r_stack)
     end
   (* Deepest-first: find the deepest choice point with an unexplored
      sibling, switch to it (a preemption), and put the branch just explored
@@ -258,3 +312,66 @@ let explore ?(budget = 2) ?(max_runs = 2000) ?(wide = false)
             attempt (List.rev (f' :: rest)))
   in
   attempt []
+
+(* Parallel exploration: each schedule is an independent deterministic
+   replay job fanned out across domains by {!Exec.Pool}, whose commit
+   discipline (depth-first pre-order, children spliced behind the parent)
+   makes the statistics, the truncation point and the choice of failing
+   schedule bit-identical to {!explore_serial} — including on truncated
+   searches, where only the first [max_runs] runs in serial order count.
+
+   The correctness argument for identical *coverage* is that the
+   exploration tree itself is schedule-order independent: a job is fully
+   determined by its forced prefix (choices plus sleep sets), every cache
+   line id is globally unique across runs (Runtime.Addr allocates from one
+   shared counter), so a child derived eagerly from a completed run is
+   exactly the job serial backtracking would eventually construct. *)
+let explore_parallel ~budget ~max_runs ~wide ~log ~domains ~run_one ~check :
+    'a verdict =
+  let runs = ref 0 in
+  let branch_points = ref 0 in
+  let verdict = ref None in
+  let commit _job r =
+    if !runs >= max_runs then begin
+      log (truncation_msg !runs);
+      verdict :=
+        Some
+          (Pass { runs = !runs; truncated = true;
+                  branch_points = !branch_points });
+      None
+    end
+    else begin
+      incr runs;
+      branch_points := !branch_points + r.r_branches;
+      match r.r_outcome with
+      | Error (reason, witness) ->
+          verdict :=
+            Some
+              (Fail
+                 {
+                   stats =
+                     { runs = !runs; truncated = false;
+                       branch_points = !branch_points };
+                   schedule = schedule_of r.r_stack;
+                   reason;
+                   witness;
+                 });
+          None
+      | Ok _ -> Some (siblings r.r_stack)
+    end
+  in
+  Exec.Pool.run ~domains
+    ~exec:(fun forced -> run_job ~budget ~wide ~run_one ~check forced)
+    ~commit ~roots:[ [] ];
+  match !verdict with
+  | Some v -> v
+  | None ->
+      Pass { runs = !runs; truncated = false; branch_points = !branch_points }
+
+let explore ?(budget = 2) ?(max_runs = 2000) ?(wide = false)
+    ?(log = fun (_ : string) -> ()) ?(domains = 1)
+    ~(run_one : Sim.policy -> 'a) ~(check : 'a -> string option) () :
+    'a verdict =
+  if domains <= 1 then explore_serial ~budget ~max_runs ~wide ~log ~run_one ~check
+  else
+    explore_parallel ~budget ~max_runs ~wide ~log ~domains ~run_one ~check

@@ -51,6 +51,20 @@ let oracle_t4_1 =
     quantum = 400_000;
   }
 
+(* Scaled-out T4 family for the E-scale campaign: every per-context cost
+   parameter is inherited from [oracle_t4_1] so runs at different scales
+   differ only in context count and socket topology — 64 contexts is
+   exactly the T4-1, larger members add whole sockets of 8. *)
+let scale ~contexts:n =
+  if n < 8 || n mod 8 <> 0 then
+    invalid_arg "Config.scale: contexts must be a positive multiple of 8";
+  {
+    oracle_t4_1 with
+    name = Printf.sprintf "scale-%d (%d sockets x 8, T4 cost model)" n (n / 8);
+    sockets = n / 8;
+    contexts_per_socket = 8;
+  }
+
 let tiny ?(contexts = 2) () =
   {
     name = Printf.sprintf "tiny-%d" contexts;

@@ -34,5 +34,12 @@ val intel_i7_4770 : t
     the paper discusses. *)
 val oracle_t4_1 : t
 
+(** Scaled-out member of the T4 family for the E-scale campaign: [n / 8]
+    sockets of 8 contexts with [oracle_t4_1]'s cost parameters, so sweeps
+    over 64 / 256 / 1024 contexts vary only scale, not the cost model.
+    Raises [Invalid_argument] unless [contexts] is a positive multiple
+    of 8. *)
+val scale : contexts:int -> t
+
 (** A small deterministic machine for unit tests. *)
 val tiny : ?contexts:int -> unit -> t

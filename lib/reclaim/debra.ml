@@ -90,29 +90,19 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
      its full blocks are safe to reuse, so they move to the pool in O(1) per
      block.  Up to B-1 leftover records stay in each partial head block and
      are reclaimed in a later rotation (paper §4, "Block bags").  With
-     [complete] (the emergency path) the partial head blocks are drained
-     record-by-record too: O(B) extra, paid only on allocation failure. *)
+     [complete] (the emergency path) the partial head block leaves whole
+     too: O(B) extra, paid only on allocation failure. *)
   let rotate_and_reclaim ?(complete = false) t ctx l =
     l.index <- (l.index + 1) mod 3;
     let released = ref 0 in
     Array.iter
       (fun triple ->
         let bag = triple.(l.index) in
+        let into b = P.release_block t.pool ctx b in
         released :=
           !released
-          + Bag.Blockbag.move_all_full_blocks bag ~into:(fun b ->
-                P.release_block t.pool ctx b);
-        if complete then begin
-          let rec drain () =
-            match Bag.Blockbag.pop bag with
-            | Some p ->
-                P.release t.pool ctx p;
-                incr released;
-                drain ()
-            | None -> ()
-          in
-          drain ()
-        end)
+          + (if complete then Bag.Blockbag.drain_blocks bag ~into
+             else Bag.Blockbag.move_all_full_blocks bag ~into))
       l.bags;
     if !released > 0 then
       Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);
@@ -192,9 +182,11 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
           (fun triple ->
             Array.iter
               (fun b ->
-                Scan_util.flush_bag ctx b
-                  ~keep:(fun _ -> false)
-                  ~release:(fun ctx p -> P.release t.pool ctx p))
+                ignore
+                  (Scan_util.flush_bag ctx b
+                     ~keep:(fun _ -> false)
+                     ~release:(fun ctx p -> P.release t.pool ctx p)
+                     ~release_block:(fun blk -> P.release_block t.pool ctx blk)))
               triple)
           l.bags)
       t.locals

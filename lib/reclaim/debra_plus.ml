@@ -174,11 +174,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
             + Scan_util.partition_and_release ctx bag ~protected:scanning
                 ~release_block:(fun b -> P.release_block t.pool ctx b);
           if complete then
-            Scan_util.flush_bag ctx bag
-              ~keep:(fun p -> Bag.Hash_set.mem scanning p)
-              ~release:(fun ctx p ->
-                incr released;
-                P.release t.pool ctx p))
+            released :=
+              !released
+              + Scan_util.flush_bag ctx bag
+                  ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+                  ~release:(fun ctx p -> P.release t.pool ctx p)
+                  ~release_block:(fun b -> P.release_block t.pool ctx b))
         l.bags;
       if !released > 0 then
         Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released)
@@ -308,9 +309,11 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
           (fun triple ->
             Array.iter
               (fun b ->
-                Scan_util.flush_bag ctx b
-                  ~keep:(fun p -> Bag.Hash_set.mem scanning p)
-                  ~release:(fun ctx p -> P.release t.pool ctx p))
+                ignore
+                  (Scan_util.flush_bag ctx b
+                     ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+                     ~release:(fun ctx p -> P.release t.pool ctx p)
+                     ~release_block:(fun blk -> P.release_block t.pool ctx blk)))
               triple)
           l.bags)
       t.locals

@@ -85,20 +85,14 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     in
     Array.length b.snapshot > 0 && go 0
 
+  (* Whole blocks only: the grace period covered the entire batch, so even
+     the partial head block leaves in bulk. *)
   let free_batch t ctx b =
     Array.iter
       (fun bag ->
         ignore
-          (Bag.Blockbag.move_all_full_blocks bag ~into:(fun blk ->
-               P.release_block t.pool ctx blk));
-        let rec drain () =
-          match Bag.Blockbag.pop bag with
-          | Some p ->
-              P.release t.pool ctx p;
-              drain ()
-          | None -> ()
-        in
-        drain ())
+          (Bag.Blockbag.drain_blocks bag ~into:(fun blk ->
+               P.release_block t.pool ctx blk)))
       b.bags
 
   (* Declaring a quiescent state is one shared counter increment; reclaim

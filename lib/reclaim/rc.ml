@@ -194,10 +194,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
           (fun aid bag ->
             if not (Bag.Blockbag.is_empty bag) then
               let c = counts_of t aid in
-              Scan_util.flush_bag ctx bag
-                ~keep:(fun p ->
-                  Runtime.Shared_array.peek c (Memory.Ptr.slot p) > 0)
-                ~release:(fun ctx p -> P.release t.pool ctx p))
+              ignore
+                (Scan_util.flush_bag ctx bag
+                   ~keep:(fun p ->
+                     Runtime.Shared_array.peek c (Memory.Ptr.slot p) > 0)
+                   ~release:(fun ctx p -> P.release t.pool ctx p)
+                   ~release_block:(fun b -> P.release_block t.pool ctx b)))
           l.bags)
       t.locals
 
@@ -212,12 +214,13 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       (fun aid bag ->
         if not (Bag.Blockbag.is_empty bag) then begin
           let c = counts_of t aid in
-          Scan_util.flush_bag ctx bag
-            ~keep:(fun p ->
-              Runtime.Shared_array.get ctx c (Memory.Ptr.slot p) > 0)
-            ~release:(fun ctx p ->
-              incr released;
-              P.release t.pool ctx p)
+          released :=
+            !released
+            + Scan_util.flush_bag ctx bag
+                ~keep:(fun p ->
+                  Runtime.Shared_array.get ctx c (Memory.Ptr.slot p) > 0)
+                ~release:(fun ctx p -> P.release t.pool ctx p)
+                ~release_block:(fun b -> P.release_block t.pool ctx b)
         end)
       l.bags;
     if !released > 0 then

@@ -19,21 +19,47 @@ let partition_and_release ctx bag ~protected ~release_block =
   done;
   Bag.Blockbag.move_full_blocks_after bag it2 ~into:release_block
 
-(* [flush_bag ctx bag ~keep ~release] pops every record out of [bag]; those
-   satisfying [keep] are re-added (still limbo), the rest go to [release].
-   The building block of each reclaimer's quiescent-shutdown [flush]: under
-   full quiescence [keep] never holds and the bag drains to empty. *)
-let flush_bag ctx bag ~keep ~release =
+(* [flush_bag ctx bag ~keep ~release ~release_block] empties [bag] of every
+   record not satisfying [keep] and returns how many it released.  Records
+   satisfying [keep] stay in the bag (still limbo).  The building block of
+   each reclaimer's quiescent-shutdown [flush] and allocation-failure
+   emergency path: under full quiescence [keep] never holds and the bag
+   drains to empty.
+
+   Same partition discipline as [partition_and_release]: kept records are
+   swapped to the front, every full block behind the partition point leaves
+   whole through [release_block] — O(1) per block — and only the bounded
+   remainder (the kept prefix plus at most one partial block) drains
+   record-by-record through [release].  [keep] may be consulted twice for
+   records in that remainder. *)
+let flush_bag ctx bag ~keep ~release ~release_block =
+  let it1 = Bag.Blockbag.cursor bag in
+  let it2 = Bag.Blockbag.cursor bag in
+  while not (Bag.Blockbag.at_end it1) do
+    if keep (Bag.Blockbag.get it1) then begin
+      Bag.Blockbag.swap it1 it2;
+      Bag.Blockbag.advance it2
+    end;
+    Bag.Blockbag.advance it1
+  done;
+  let released =
+    ref (Bag.Blockbag.move_full_blocks_after bag it2 ~into:release_block)
+  in
   let kept = ref [] in
   let rec drain () =
     match Bag.Blockbag.pop bag with
     | None -> ()
     | Some p ->
-        if keep p then kept := p :: !kept else release ctx p;
+        if keep p then kept := p :: !kept
+        else begin
+          incr released;
+          release ctx p
+        end;
         drain ()
   in
   drain ();
-  List.iter (Bag.Blockbag.add bag) !kept
+  List.iter (Bag.Blockbag.add bag) !kept;
+  !released
 
 (* [collect_announcements ctx ~into ~nprocs ~row ~count] hashes every
    announced pointer of every process: [count pid] bounds the live prefix of

@@ -215,9 +215,11 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
       (fun l ->
         Array.iter
           (fun b ->
-            Scan_util.flush_bag ctx b
-              ~keep:(fun p -> Bag.Hash_set.mem scanning p)
-              ~release:(fun ctx p -> P.release t.pool ctx p))
+            ignore
+              (Scan_util.flush_bag ctx b
+                 ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+                 ~release:(fun ctx p -> P.release t.pool ctx p)
+                 ~release_block:(fun blk -> P.release_block t.pool ctx blk)))
           l.bags)
       t.locals
 
@@ -237,11 +239,12 @@ module Make (P : Intf.POOL) : Intf.RECLAIMER with module Pool = P = struct
     let released = ref 0 in
     Array.iter
       (fun b ->
-        Scan_util.flush_bag ctx b
-          ~keep:(fun p -> Bag.Hash_set.mem scanning p)
-          ~release:(fun ctx p ->
-            incr released;
-            P.release t.pool ctx p))
+        released :=
+          !released
+          + Scan_util.flush_bag ctx b
+              ~keep:(fun p -> Bag.Hash_set.mem scanning p)
+              ~release:(fun ctx p -> P.release t.pool ctx p)
+              ~release_block:(fun blk -> P.release_block t.pool ctx blk))
       l.bags;
     if !released > 0 then
       Intf.Env.emit t.env ctx (Memory.Smr_event.Sweep !released);

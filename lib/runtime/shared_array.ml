@@ -1,10 +1,26 @@
 type t = { cells : int Atomic.t array; base_line : int; padded : bool }
 
+(* Real padding on the host heap, to match the simulated padding: an
+   [Atomic.t] is a one-field heap block, and the atomic primitives act on
+   field 0 regardless of the block's size, so allocating each cell as an
+   oversized block keeps neighbouring cells on distinct hardware cache
+   lines (the multicore-magic [copy_as_padded] idiom).  Under the domains
+   backend this removes the very false sharing the [padded] flag models;
+   under the simulator it is inert.  16 words = 128 bytes, one line pair
+   on common prefetching hardware. *)
+let pad_words = 16
+
+let atomic_padded v : int Atomic.t =
+  let b = Obj.new_block 0 pad_words in
+  Obj.set_field b 0 (Obj.repr (v : int));
+  (Obj.obj b : int Atomic.t)
+
 let create ?(padded = false) n =
   let base_line =
     if padded then Addr.reserve_lines n else Addr.reserve_words n
   in
-  { cells = Array.init n (fun _ -> Atomic.make 0); base_line; padded }
+  let cell _ = if padded then atomic_padded 0 else Atomic.make 0 in
+  { cells = Array.init n cell; base_line; padded }
 
 let length t = Array.length t.cells
 

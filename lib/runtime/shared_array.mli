@@ -4,7 +4,13 @@
     per line) unless [~padded:true] is given, in which case each element gets
     its own line.  This is how the library models the paper's layout
     concerns: DEBRA pads per-process announcements to avoid false sharing,
-    and the ablation benchmarks measure what happens without padding. *)
+    and the ablation benchmarks measure what happens without padding.
+
+    [~padded:true] also pads for real: each cell's [Atomic.t] is allocated
+    as an oversized heap block (atomic primitives act on field 0, so
+    behavior is unchanged), keeping per-process announcement and epoch
+    slots on distinct {e hardware} cache lines when trials run on the
+    domains backend. *)
 
 type t
 

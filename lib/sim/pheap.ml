@@ -1,0 +1,23 @@
+type t = E | N of int * int * t list
+
+let empty = E
+let is_empty = function E -> true | N _ -> false
+
+let merge a b =
+  match (a, b) with
+  | E, h | h, E -> h
+  | N (ka, va, ca), N (kb, vb, cb) ->
+      if ka < kb || (ka = kb && va <= vb) then N (ka, va, b :: ca)
+      else N (kb, vb, a :: cb)
+
+let insert k v h = merge (N (k, v, [])) h
+let find_min = function E -> None | N (k, v, _) -> Some (k, v)
+
+(* Two-pass pairing: left-to-right pairwise merge, then fold the pairs
+   right-to-left.  O(log n) amortized delete-min. *)
+let rec merge_pairs = function
+  | [] -> E
+  | [ h ] -> h
+  | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+let delete_min = function E -> E | N (_, _, children) -> merge_pairs children

@@ -1,0 +1,18 @@
+(** Pairing heap of (key, value) int pairs, ordered lexicographically —
+    smallest key first, smallest value among equal keys.  Immutable; O(1)
+    insert/merge/find-min, O(log n) amortized delete-min.
+
+    The scheduler uses two instances with lazy deletion (stale entries are
+    skipped at the top rather than removed in place): the minimum-time core
+    queue keyed (core clock, core index) — the lexicographic tie-break
+    reproduces the old linear scan's lowest-index-wins rule — and per-core
+    wake-up queues keyed (wake time, pid). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val insert : int -> int -> t -> t
+val merge : t -> t -> t
+val find_min : t -> (int * int) option
+val delete_min : t -> t

@@ -6,6 +6,7 @@ type result = {
   crashed : bool array;
   cache_stats : Machine.Cache.stats;
   context_switches : int;
+  steps : int;
 }
 
 (* Structured livelock diagnostic: enough per-process state to tell a wedge
@@ -77,6 +78,11 @@ type core = {
   runq : int Queue.t;
   mutable quantum_left : int;
   mutable switches : int;
+  mutable wakes : Pheap.t;
+      (* (wake_at, pid) of every Stall on this core, lazily deleted: an
+         entry is stale once the process stalled again (its wake_at moved),
+         finished, or died.  Gives the all-asleep clock jump its earliest
+         wake time in O(log queue) instead of a queue fold. *)
 }
 
 let handler : (unit, outcome) Effect.Deep.handler =
@@ -124,6 +130,7 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
           runq = Queue.create ();
           quantum_left = machine.Machine.Config.quantum;
           switches = 0;
+          wakes = Pheap.empty;
         })
   in
   let core_of pid = pid mod ncores in
@@ -131,6 +138,27 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
     Array.init n (fun pid -> { pid; st = Fresh bodies.(pid); wake_at = 0 })
   in
   Array.iter (fun p -> Queue.push p.pid cores.(core_of p.pid).runq) procs;
+  (* Indexed ready-set: a doubly-linked list (sentinel at index [ncores])
+     over the cores with a non-empty run queue, in ascending core order.
+     Processes are pinned to [pid mod ncores], so cores only ever *leave*
+     the set (when their last process finishes or crashes) — removal is
+     O(1) and the ascending/descending iteration orders reproduce the old
+     0..ncores-1 / ncores-1..0 scan orders exactly. *)
+  let rnext = Array.make (ncores + 1) ncores in
+  let rprev = Array.make (ncores + 1) ncores in
+  for c = ncores - 1 downto 0 do
+    if not (Queue.is_empty cores.(c).runq) then begin
+      let s = ncores in
+      rnext.(c) <- rnext.(s);
+      rprev.(c) <- s;
+      rprev.(rnext.(s)) <- c;
+      rnext.(s) <- c
+    end
+  done;
+  let ready_remove c =
+    rnext.(rprev.(c)) <- rnext.(c);
+    rprev.(rnext.(c)) <- rprev.(c)
+  in
   (* Install simulator hooks. *)
   let saved_hooks = Array.map (fun c -> c.Ctx.hook) group.Group.ctxs in
   let last_line = Array.make n (-1) in
@@ -208,41 +236,66 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
     | `Random_walk seed -> Some (Random.State.make [| seed; 0x51D |])
     | `Min_time | `Systematic _ -> None
   in
-  let pick_min_time () =
-    let best = ref (-1) in
-    for c = 0 to ncores - 1 do
-      if not (Queue.is_empty cores.(c).runq) then
-        if !best < 0 || cores.(c).time < cores.(!best).time then best := c
-    done;
-    !best
+  (* Minimum-time selection: a pairing heap keyed (core clock, core index)
+     with lazy deletion.  Entries go stale when a core's clock advances or
+     its queue empties; the skim discards them at the top.  The invariant —
+     every ready core has an entry carrying its current clock — is restored
+     after each step by the push in the main loop, and lexicographic order
+     reproduces the old linear scan's lowest-index-wins tie-break. *)
+  let use_heap = match policy with `Min_time -> true | _ -> false in
+  let coreheap = ref Pheap.empty in
+  if use_heap then begin
+    let c = ref rnext.(ncores) in
+    while !c <> ncores do
+      coreheap := Pheap.insert 0 !c !coreheap;
+      c := rnext.(!c)
+    done
+  end;
+  let rec pick_min_time () =
+    match Pheap.find_min !coreheap with
+    | None -> -1
+    | Some (t, c) ->
+        if Queue.is_empty cores.(c).runq || cores.(c).time <> t then begin
+          coreheap := Pheap.delete_min !coreheap;
+          pick_min_time ()
+        end
+        else c
   in
   let pick_core () =
     match policy with
     | `Min_time -> pick_min_time ()
     | `Random_walk _ ->
         let rng = Option.get walk_rng in
+        (* Ascending ready-set walk consing gives the descending candidate
+           list the old 0..ncores-1 loop built. *)
         let candidates = ref [] in
-        for c = 0 to ncores - 1 do
-          if not (Queue.is_empty cores.(c).runq) then candidates := c :: !candidates
+        let len = ref 0 in
+        let c = ref rnext.(ncores) in
+        while !c <> ncores do
+          candidates := !c :: !candidates;
+          incr len;
+          c := rnext.(!c)
         done;
         (match !candidates with
         | [] -> -1
-        | cs -> List.nth cs (Random.State.int rng (List.length cs)))
+        | cs -> List.nth cs (Random.State.int rng !len))
     | `Systematic choose ->
         (* The chooser sees every runnable context with its front process'
            pending access and picks one by index; choices are what an
            exploration driver records and replays.  Sleeping fronts are
            still offered — [prepare_front] below handles them exactly as
            under the other policies, and the chooser is simply consulted
-           again after any clock jump. *)
+           again after any clock jump.  The descending ready-set walk
+           conses the same ascending candidate array as the old
+           ncores-1..0 scan. *)
         let cands = ref [] in
-        for c = ncores - 1 downto 0 do
-          if not (Queue.is_empty cores.(c).runq) then begin
-            let pid = Queue.peek cores.(c).runq in
-            cands :=
-              { cand_core = c; cand_pid = pid; cand_line = last_line.(pid) }
-              :: !cands
-          end
+        let c = ref rprev.(ncores) in
+        while !c <> ncores do
+          let pid = Queue.peek cores.(!c).runq in
+          cands :=
+            { cand_core = !c; cand_pid = pid; cand_line = last_line.(pid) }
+            :: !cands;
+          c := rprev.(!c)
         done;
         let cands = Array.of_list !cands in
         if Array.length cands = 0 then -1
@@ -270,12 +323,28 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
         go (tried + 1)
       end
       else begin
-        (* All processes on this core are sleeping; jump to earliest wake. *)
-        let min_wake =
-          Queue.fold (fun acc pid -> min acc procs.(pid).wake_at) max_int
-            core.runq
+        (* All processes on this core are sleeping; jump to earliest wake,
+           read off the wake heap.  Every sleeper's current wake_at has an
+           entry (pushed when it stalled); entries whose process moved on,
+           finished or died are discarded at the top.  A valid entry at or
+           below the current clock cannot exist here: its process would be
+           runnable, contradicting the all-asleep branch. *)
+        let rec min_wake () =
+          match Pheap.find_min core.wakes with
+          | None ->
+              (* Defensive fallback; unreachable while the push-on-stall
+                 invariant holds. *)
+              Queue.fold (fun acc pid -> min acc procs.(pid).wake_at) max_int
+                core.runq
+          | Some (t, pid) -> (
+              let p = procs.(pid) in
+              match p.st with
+              | (Fresh _ | Ready _) when p.wake_at = t -> t
+              | _ ->
+                  core.wakes <- Pheap.delete_min core.wakes;
+                  min_wake ())
         in
-        core.time <- max core.time min_wake;
+        core.time <- max core.time (min_wake ());
         false
       end
     in
@@ -283,6 +352,7 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
   in
   let finish_front core p ~dead =
     ignore (Queue.pop core.runq);
+    if Queue.is_empty core.runq then ready_remove (core_of p.pid);
     p.st <- (if dead then Dead else Done);
     if dead then begin
       crashed.(p.pid) <- true;
@@ -326,6 +396,7 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
        if c < 0 then
          raise (diagnose "live processes but empty run queues (internal error)");
        let core = cores.(c) in
+       let t0 = core.time in
        (match tick_state with
        | Some (every, f, next) ->
            while !next <= core.time do
@@ -333,31 +404,37 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
              next := !next + every
            done
        | None -> ());
-       if prepare_front core then begin
-         let pid = Queue.peek core.runq in
-         let p = procs.(pid) in
-         let outcome =
-           match p.st with
-           | Fresh body -> match_with body () handler
-           | Ready k -> continue k ()
-           | Done | Dead -> raise (diagnose "scheduled a finished process")
-         in
-         match outcome with
-         | Yielded (cost, k) ->
-             p.st <- Ready k;
-             core.time <- core.time + cost;
-             core.quantum_left <- core.quantum_left - cost;
-             if core.quantum_left <= 0 then rotate core
-         | Stalled (cycles, k) ->
-             p.st <- Ready k;
-             p.wake_at <- core.time + cycles;
-             rotate core
-         | Finished -> finish_front core p ~dead:false
-         | Crash_exit -> finish_front core p ~dead:true
-         | Failed (e, bt) ->
-             finish_front core p ~dead:true;
-             failure := Some (e, bt)
-       end
+       (if prepare_front core then begin
+          let pid = Queue.peek core.runq in
+          let p = procs.(pid) in
+          let outcome =
+            match p.st with
+            | Fresh body -> match_with body () handler
+            | Ready k -> continue k ()
+            | Done | Dead -> raise (diagnose "scheduled a finished process")
+          in
+          match outcome with
+          | Yielded (cost, k) ->
+              p.st <- Ready k;
+              core.time <- core.time + cost;
+              core.quantum_left <- core.quantum_left - cost;
+              if core.quantum_left <= 0 then rotate core
+          | Stalled (cycles, k) ->
+              p.st <- Ready k;
+              p.wake_at <- core.time + cycles;
+              core.wakes <- Pheap.insert p.wake_at p.pid core.wakes;
+              rotate core
+          | Finished -> finish_front core p ~dead:false
+          | Crash_exit -> finish_front core p ~dead:true
+          | Failed (e, bt) ->
+              finish_front core p ~dead:true;
+              failure := Some (e, bt)
+        end);
+       (* Restore the heap invariant: the picked core ran (or its clock
+          jumped), so if its clock moved and it is still ready, give it a
+          fresh entry.  The superseded entry is discarded by a later skim. *)
+       if use_heap && core.time <> t0 && not (Queue.is_empty core.runq) then
+         coreheap := Pheap.insert core.time c !coreheap
      done
    with e ->
      restore_hooks ();
@@ -368,4 +445,5 @@ let run ?(machine = Machine.Config.intel_i7_4770) ?(max_steps = 2_000_000_000)
   | None -> ());
   let virtual_time = Array.fold_left (fun acc c -> max acc c.time) 0 cores in
   let context_switches = Array.fold_left (fun acc c -> acc + c.switches) 0 cores in
-  { virtual_time; crashed; cache_stats = Machine.Cache.stats cache; context_switches }
+  { virtual_time; crashed; cache_stats = Machine.Cache.stats cache;
+    context_switches; steps = !steps }

@@ -22,6 +22,7 @@ type result = {
   crashed : bool array;  (** per-pid: terminated via [Ctx.Crashed] *)
   cache_stats : Machine.Cache.stats;
   context_switches : int;
+  steps : int;  (** scheduler steps (instrumented accesses) executed *)
 }
 
 (** Livelock diagnostic, one entry per process: its scheduling state, the

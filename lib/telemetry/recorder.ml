@@ -21,9 +21,13 @@ type counts = {
 type t = {
   sub_bits : int;
   sample_every : int;
+  max_samples : int;
   cycles_per_ns : float;
   nprocs : int;
   trace : Trace.t option;
+  mutable ticks : int;  (* tick calls seen, kept or not *)
+  mutable stride : int;  (* keep every [stride]-th tick; doubles on overflow *)
+  mutable kept : int;  (* samples currently retained per (full) gauge *)
   mutable gauges : gauge list;  (* registration order *)
   mutable hists : (string * Histogram.t) list;  (* per op kind *)
   counts : counts;
@@ -32,12 +36,14 @@ type t = {
          breaker trips, ...), read at render time; registration order *)
 }
 
-let create ?(sub_bits = 5) ?(sample_every = 50_000) ?trace ~cycles_per_ns
-    ~nprocs () =
+let create ?(sub_bits = 5) ?(sample_every = 50_000) ?(max_samples = 512)
+    ?trace ~cycles_per_ns ~nprocs () =
   if cycles_per_ns <= 0.0 then
     invalid_arg "Recorder.create: cycles_per_ns must be positive";
   if sample_every <= 0 then
     invalid_arg "Recorder.create: sample_every must be positive";
+  if max_samples < 2 then
+    invalid_arg "Recorder.create: max_samples must be >= 2";
   (match trace with
   | None -> ()
   | Some tr ->
@@ -47,9 +53,13 @@ let create ?(sub_bits = 5) ?(sample_every = 50_000) ?trace ~cycles_per_ns
   {
     sub_bits;
     sample_every;
+    max_samples;
     cycles_per_ns;
     nprocs;
     trace;
+    ticks = 0;
+    stride = 1;
+    kept = 0;
     gauges = [];
     hists = [];
     counts =
@@ -76,8 +86,30 @@ let add_gauge t ~name read =
 
 let add_counter t ~name read = t.extra_counters <- t.extra_counters @ [ (name, read) ]
 
+(* Keep the samples at even positions counted from the oldest — they sit on
+   multiples of the doubled stride, so future kept ticks stay aligned. *)
+let thin samples =
+  let l = List.length samples in
+  List.filteri (fun i _ -> (l - 1 - i) mod 2 = 0) samples
+
+(* Decimating bounded sampler: a skipped tick costs one increment and one
+   compare — no gauge reads, no allocation — so the per-tick hook stays
+   scale-safe at thousands of contexts.  When [max_samples] samples have
+   accumulated, every gauge's series is thinned to every other sample and
+   the stride doubles, keeping memory bounded and coverage uniform over the
+   whole run regardless of its length. *)
 let tick t now =
-  List.iter (fun g -> g.samples <- (now, g.read ()) :: g.samples) t.gauges
+  let i = t.ticks in
+  t.ticks <- i + 1;
+  if i mod t.stride = 0 then begin
+    List.iter (fun g -> g.samples <- (now, g.read ()) :: g.samples) t.gauges;
+    t.kept <- t.kept + 1;
+    if t.kept >= t.max_samples then begin
+      List.iter (fun g -> g.samples <- thin g.samples) t.gauges;
+      t.kept <- (t.kept + 1) / 2;
+      t.stride <- t.stride * 2
+    end
+  end
 
 let ns_of t cycles = int_of_float (float_of_int cycles /. t.cycles_per_ns)
 

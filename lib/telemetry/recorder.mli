@@ -25,16 +25,22 @@ type t
 val create :
   ?sub_bits:int ->
   ?sample_every:int ->
+  ?max_samples:int ->
   ?trace:Trace.t ->
   cycles_per_ns:float ->
   nprocs:int ->
   unit ->
   t
 (** [sample_every] (default 50_000 cycles) is the gauge sampling period the
-    trial should pass to [Sim.run ~tick].  [trace], when given, receives op
-    spans and control-plane instants; process tracks are named at creation.
-    Raises [Invalid_argument] if [cycles_per_ns <= 0] or
-    [sample_every <= 0]. *)
+    trial should pass to [Sim.run ~tick].  [max_samples] (default 512)
+    bounds every gauge's retained series: once that many samples have
+    accumulated, the series is thinned to every other sample and the keep
+    stride doubles, so memory stays bounded and coverage stays uniform no
+    matter how long the run — the scale-safety property 1024-context trials
+    rely on.  [trace], when given, receives op spans and control-plane
+    instants; process tracks are named at creation.  Raises
+    [Invalid_argument] if [cycles_per_ns <= 0], [sample_every <= 0] or
+    [max_samples < 2]. *)
 
 val sample_every : t -> int
 val nprocs : t -> int
@@ -51,7 +57,10 @@ val add_counter : t -> name:string -> (unit -> int) -> unit
     the event-bus counters in registration order. *)
 
 val tick : t -> int -> unit
-(** Sample all gauges at virtual time [now] (cycles). *)
+(** Sample all gauges at virtual time [now] (cycles).  Only every
+    [stride]-th call is kept (the stride starts at 1 and doubles whenever
+    [max_samples] is reached); a skipped call costs one increment and one
+    compare — no gauge reads, no allocation. *)
 
 val sink : t -> Memory.Smr_event.sink
 (** The event-bus sink to attach with [Memory.Heap.add_sink]. *)

@@ -233,11 +233,11 @@ let run_once ~ds ~scheme cfg policy = (pack_of scheme).prun ~ds cfg policy
     checked against the structure's sequential spec, and any exception the
     run raises (an arena's use-after-free / double-free trap, a wedge)
     rejects the cell with the schedule that triggered it. *)
-let explore ?(budget = 2) ?(max_runs = 2000) ?(wide = false) ?log ~ds ~scheme
-    cfg =
+let explore ?(budget = 2) ?(max_runs = 2000) ?(wide = false) ?log
+    ?(workers = 1) ~ds ~scheme cfg =
   let p = pack_of scheme in
   let spec = spec_of_ds ds in
-  Lincheck.Explore.explore ~budget ~max_runs ~wide ?log
+  Lincheck.Explore.explore ~budget ~max_runs ~wide ?log ~domains:workers
     ~run_one:(fun policy -> p.prun ~ds cfg policy)
     ~check:(fun h ->
       match Lincheck.Checker.check spec h with

@@ -192,9 +192,11 @@ struct
       (fun l ->
         Array.iter
           (fun b ->
-            Scan_util.flush_bag ctx b
-              ~keep:(fun _ -> false)
-              ~release:(fun ctx p -> P.release t.pool ctx p))
+            ignore
+              (Scan_util.flush_bag ctx b
+                 ~keep:(fun _ -> false)
+                 ~release:(fun ctx p -> P.release t.pool ctx p)
+                 ~release_block:(fun blk -> P.release_block t.pool ctx blk)))
           l.bags)
       t.locals
 

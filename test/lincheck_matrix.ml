@@ -14,6 +14,9 @@ let budget = try int_of_string (Sys.getenv "LINCHECK_BUDGET") with Not_found -> 
 let max_runs =
   try int_of_string (Sys.getenv "LINCHECK_MAX_RUNS") with Not_found -> 300
 
+let workers =
+  try int_of_string (Sys.getenv "LINCHECK_DOMAINS") with Not_found -> 1
+
 let () =
   let cfg = { Lh.default_config with nprocs = 2; ops_per_proc = 3; key_range = 2; prefill = 1 } in
   let failures = ref 0 in
@@ -24,7 +27,7 @@ let () =
       List.iter
         (fun scheme ->
           incr cells;
-          let v = Lh.explore ~budget ~max_runs ~ds ~scheme cfg in
+          let v = Lh.explore ~budget ~max_runs ~workers ~ds ~scheme cfg in
           (match v with Explore.Fail _ -> incr failures | Explore.Pass _ -> ());
           Printf.printf "%-9s x %-11s %s\n%!" ds scheme (Lh.verdict_summary v))
         Lh.scheme_names)
@@ -32,4 +35,5 @@ let () =
   Printf.printf "\n%d cells, %d failures, budget=%d, max_runs=%d, %.1fs\n"
     !cells !failures budget max_runs
     (Unix.gettimeofday () -. t0);
+  if workers > 1 then Printf.printf "(explored on %d domains)\n" workers;
   exit (if !failures > 0 then 1 else 0)

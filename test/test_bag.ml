@@ -103,6 +103,72 @@ let test_cursor_partition () =
     [ 2; 4; 6; 8 ];
   Alcotest.(check int) "nothing lost" 40 (moved + List.length !remaining)
 
+let test_blockbag_drain_blocks () =
+  let bag = Bag.Blockbag.create (pool ()) in
+  for i = 1 to 30 do
+    Bag.Blockbag.add bag i
+  done;
+  (* capacity 8: 30 records = partial head (6) + 3 full blocks *)
+  let blocks = ref [] in
+  let moved = Bag.Blockbag.drain_blocks bag ~into:(fun b -> blocks := b :: !blocks) in
+  Alcotest.(check int) "records moved" 30 moved;
+  Alcotest.(check int) "blocks handed out" 4 (List.length !blocks);
+  Alcotest.(check bool) "bag empty" true (Bag.Blockbag.is_empty bag);
+  Alcotest.(check int) "size zero" 0 (Bag.Blockbag.size bag);
+  (* No empty block is ever handed out. *)
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "handed block non-empty" false
+        (Bag.Block.is_empty b))
+    !blocks
+
+(* The aliasing regression for the bulk retire paths: after [drain_blocks]
+   the handed-out blocks and the bag share no physical block, the multiset
+   of records is preserved exactly, and the bag remains usable — adds after
+   the drain must not resurface in blocks the callee now owns. *)
+let prop_blockbag_drain_no_aliasing =
+  QCheck.Test.make
+    ~name:"blockbag drain_blocks: exact multiset, no aliasing, bag reusable"
+    ~count:300
+    QCheck.(list small_nat)
+    (fun xs ->
+      let xs = List.map (fun x -> x + 1) xs in
+      let bag = Bag.Blockbag.create (pool ()) in
+      List.iter (Bag.Blockbag.add bag) xs;
+      let handed = ref [] in
+      let moved = Bag.Blockbag.drain_blocks bag ~into:(fun b -> handed := b :: !handed) in
+      let drained = ref [] in
+      List.iter
+        (fun b ->
+          for i = 0 to b.Bag.Block.count - 1 do
+            drained := b.Bag.Block.data.(i) :: !drained
+          done)
+        !handed;
+      moved = List.length xs
+      && Bag.Blockbag.is_empty bag
+      && List.sort compare xs = List.sort compare !drained
+      && List.for_all
+           (fun b -> not (List.memq b (Bag.Blockbag.blocks bag)))
+           !handed
+      && begin
+           (* refill past one block: new records must stay in the bag, not
+              leak into blocks the callee owns *)
+           for i = 1 to 12 do
+             Bag.Blockbag.add bag (1_000_000 + i)
+           done;
+           let refilled = ref [] in
+           Bag.Blockbag.iter bag (fun x -> refilled := x :: !refilled);
+           Bag.Blockbag.size bag = 12
+           && List.length !refilled = 12
+           && List.for_all (fun x -> x > 1_000_000) !refilled
+           && List.for_all
+                (fun b ->
+                  List.for_all
+                    (fun b' -> not (b == b'))
+                    (Bag.Blockbag.blocks bag))
+                !handed
+         end)
+
 let test_block_pool_recycles () =
   let p = pool () in
   let b1 = Bag.Block_pool.get p in
@@ -232,7 +298,9 @@ let () =
           Alcotest.test_case "splice block" `Quick
             test_blockbag_invariant_after_block_splice;
           Alcotest.test_case "cursor partition" `Quick test_cursor_partition;
+          Alcotest.test_case "drain blocks" `Quick test_blockbag_drain_blocks;
           QCheck_alcotest.to_alcotest prop_blockbag_multiset;
+          QCheck_alcotest.to_alcotest prop_blockbag_drain_no_aliasing;
           QCheck_alcotest.to_alcotest prop_blockbag_transfer;
         ] );
       ( "shared",

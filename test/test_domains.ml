@@ -163,6 +163,33 @@ let test_shared_bag_parallel () =
     ((n * per_proc) - total_popped)
     (Bag.Shared_bag.size_in_blocks bag)
 
+(* Real cache-line padding: [~padded:true] must allocate each cell as an
+   oversized heap block — so neighbouring announcement/epoch slots share no
+   hardware line when trials run on this backend — without changing atomic
+   behavior.  [Obj.reachable_words] counts headers, so n padded cells cost
+   at least n * (pad_words - 1) words more than n plain [Atomic.make]. *)
+let test_padding_is_real () =
+  let n = 64 in
+  let words a = Obj.reachable_words (Obj.repr a) in
+  let padded = Runtime.Shared_array.create ~padded:true n in
+  let unpadded = Runtime.Shared_array.create n in
+  Alcotest.(check bool) "padded cells are oversized blocks" true
+    (words padded - words unpadded >= n * 14);
+  let ctx = Runtime.Ctx.make ~pid:0 ~nprocs:1 ~seed:7 in
+  Runtime.Shared_array.set ctx padded 3 41;
+  Alcotest.(check int) "set/get" 41 (Runtime.Shared_array.get ctx padded 3);
+  Alcotest.(check int) "faa returns old" 41
+    (Runtime.Shared_array.faa ctx padded 3 1);
+  Alcotest.(check bool) "cas succeeds" true
+    (Runtime.Shared_array.cas ctx padded 3 ~expect:42 43);
+  Alcotest.(check bool) "cas fails on mismatch" false
+    (Runtime.Shared_array.cas ctx padded 3 ~expect:42 44);
+  Alcotest.(check int) "final value" 43 (Runtime.Shared_array.peek padded 3);
+  Alcotest.(check int) "neighbours untouched" 0
+    (Runtime.Shared_array.get ctx padded 2);
+  Alcotest.(check int) "neighbours untouched" 0
+    (Runtime.Shared_array.get ctx padded 4)
+
 let () =
   Alcotest.run "domains"
     [
@@ -192,5 +219,11 @@ let () =
         [
           par_case "parallel block transfer" `Quick
             test_shared_bag_parallel;
+        ] );
+      ( "padding",
+        [
+          (* no parallelism needed: checks the allocation shape itself *)
+          Alcotest.test_case "padded cells get real hardware lines" `Quick
+            test_padding_is_real;
         ] );
     ]

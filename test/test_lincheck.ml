@@ -284,6 +284,62 @@ let test_mutant_queue_rejected () =
         "schedule replays to the same violation" true
         (check_queue h <> None)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration: fanning replay jobs across worker domains must be
+   observationally identical to the serial explorer — same run count,
+   branch points, truncation flag, and on rejection the same failing
+   schedule (depth-first pre-order commits make the job order immaterial).
+   Covers all three verdict shapes: exhausted, truncated, and failing.
+   On a single-core host the parallel runs are slower than serial — the
+   speedup claim is CI's scale-smoke job's concern — so the cells here are
+   small; equivalence must hold anywhere. *)
+
+let stats_of = function
+  | Explore.Pass st -> st
+  | Explore.Fail { stats; _ } -> stats
+
+let check_equiv name serial par =
+  (match (serial, par) with
+  | Explore.Pass _, Explore.Pass _ | Explore.Fail _, Explore.Fail _ -> ()
+  | Explore.Pass _, Explore.Fail { reason; _ } ->
+      Alcotest.failf "%s: serial passed but parallel failed: %s" name reason
+  | Explore.Fail { reason; _ }, Explore.Pass _ ->
+      Alcotest.failf "%s: serial failed (%s) but parallel passed" name reason);
+  let s = stats_of serial and p = stats_of par in
+  Alcotest.(check int) (name ^ " runs") s.Explore.runs p.Explore.runs;
+  Alcotest.(check int)
+    (name ^ " branch points")
+    s.Explore.branch_points p.Explore.branch_points;
+  Alcotest.(check bool) (name ^ " truncated") s.Explore.truncated p.Explore.truncated;
+  match (serial, par) with
+  | Explore.Fail f1, Explore.Fail f2 ->
+      Alcotest.(check (list (pair int int)))
+        (name ^ " failing schedule")
+        f1.schedule f2.schedule;
+      Alcotest.(check string) (name ^ " reason") f1.reason f2.reason
+  | _ -> ()
+
+let test_parallel_explore_equivalent () =
+  let tiny = { smoke_cfg with ops_per_proc = 2 } in
+  List.iter
+    (fun (name, cfg, max_runs, ds, scheme) ->
+      let serial = Lh.explore ~budget:2 ~max_runs ~ds ~scheme cfg in
+      let par = Lh.explore ~budget:2 ~max_runs ~workers:2 ~ds ~scheme cfg in
+      check_equiv name serial par)
+    [
+      ("list/debra exhausted", tiny, 400, "list", "debra");
+      ("list/ebr truncated", smoke_cfg, 25, "list", "ebr");
+    ];
+  let serial =
+    Explore.explore ~budget:2 ~max_runs:500 ~run_one:run_mutant_queue
+      ~check:check_queue ()
+  in
+  let par =
+    Explore.explore ~budget:2 ~max_runs:500 ~domains:2
+      ~run_one:run_mutant_queue ~check:check_queue ()
+  in
+  check_equiv "mutant queue" serial par
+
 (* Broken EBR (no grace period): a reader suspended mid-traversal resumes
    into a record the deleter has already freed — the arena traps it on some
    explored schedule, and that schedule replays. *)
@@ -454,6 +510,8 @@ let () =
       ( "explore",
         [
           Alcotest.test_case "clean cells pass" `Quick test_explore_clean;
+          Alcotest.test_case "parallel explore equivalent" `Slow
+            test_parallel_explore_equivalent;
           Alcotest.test_case "replay deterministic" `Quick
             test_replay_deterministic;
         ] );

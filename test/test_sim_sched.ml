@@ -1,0 +1,231 @@
+(* Golden schedule-equivalence tests for the scheduler core (lib/sim).
+
+   The PR 9 refactor replaced the per-step linear scans with an indexed
+   ready-set and pairing-heap timer/min-time queues; these scenarios pin the
+   *pre-refactor* schedules bit-for-bit.  Each one stresses a code path the
+   refactor touched:
+
+   - rotation of multi-process cores and sleeper skipping (ready-set),
+   - the all-asleep clock jump (timer heap),
+   - minimum-time core selection with frequent ties (lexicographic heap
+     order must match the old lowest-index-wins linear scan),
+   - candidate enumeration order under [`Random_walk] and [`Systematic]
+     (the indexed ready-set must enumerate non-empty cores in exactly the
+     old loop order),
+   - run-queue removal on finish and crash,
+   - tick-hook firing times.
+
+   Outputs are schedule-sensitive on purpose: fetch-and-add return values
+   depend on the global interleaving, so any deviation in scheduling order
+   shows up as a different accumulator, not just a different clock.
+
+   Re-capture (only legitimate after an intentional schedule change):
+   SIM_SCHED_CAPTURE=1 dune exec test/test_sim_sched.exe *)
+
+let capture = Sys.getenv_opt "SIM_SCHED_CAPTURE" <> None
+
+type observed = {
+  o_vt : int;  (* final virtual time *)
+  o_switches : int;  (* context switches charged *)
+  o_acc : int;  (* interleaving-sensitive accumulator *)
+  o_ticks : int;  (* tick-hook firings (0 when no tick attached) *)
+  o_tick_hash : int;  (* hash of the tick timestamps *)
+}
+
+let pp_observed name o =
+  Printf.printf
+    "%s: { o_vt = %d; o_switches = %d; o_acc = %d; o_ticks = %d; o_tick_hash \
+     = %d }\n\
+     %!"
+    name o.o_vt o.o_switches o.o_acc o.o_ticks o.o_tick_hash
+
+let check_observed name expected actual =
+  if capture then pp_observed name actual
+  else begin
+    Alcotest.(check int) (name ^ " virtual_time") expected.o_vt actual.o_vt;
+    Alcotest.(check int)
+      (name ^ " context_switches")
+      expected.o_switches actual.o_switches;
+    Alcotest.(check int) (name ^ " accumulator") expected.o_acc actual.o_acc;
+    Alcotest.(check int) (name ^ " ticks") expected.o_ticks actual.o_ticks;
+    Alcotest.(check int) (name ^ " tick hash") expected.o_tick_hash
+      actual.o_tick_hash
+  end
+
+(* A small mixed workload: contended fetch-and-adds (their return values
+   record the interleaving), local work, and periodic stalls with
+   pid-dependent durations (sleeper rotation + clock jumps). *)
+let run_scenario ?tick_every ~policy ~contexts ~n ~iters ~crash_pid () =
+  let group = Runtime.Group.create ~seed:9 n in
+  let arr = Runtime.Shared_array.create 16 in
+  let machine = Machine.Config.tiny ~contexts () in
+  let acc = Array.make n 0 in
+  let ticks = ref 0 in
+  let tick_hash = ref 0 in
+  let tick =
+    Option.map
+      (fun every ->
+        ( every,
+          fun now ->
+            incr ticks;
+            tick_hash := (!tick_hash * 31) + now ))
+      tick_every
+  in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    for i = 1 to iters pid do
+      if crash_pid = pid && i = 5 then Runtime.Ctx.crash ctx;
+      let slot = ((pid * 3) + i) mod 16 in
+      acc.(pid) <- acc.(pid) + Runtime.Shared_array.faa ctx arr slot 1;
+      if i mod 5 = 0 then Runtime.Ctx.stall ctx (50 + (37 * pid));
+      Runtime.Ctx.work ctx 7
+    done
+  in
+  let r = Sim.run ~machine ~policy ?tick group (Array.init n body) in
+  {
+    o_vt = r.Sim.virtual_time;
+    o_switches = r.Sim.context_switches;
+    o_acc = Array.fold_left (fun h v -> (h * 131) + v) 0 acc;
+    o_ticks = !ticks;
+    o_tick_hash = !tick_hash land 0x3FFFFFFF;
+  }
+
+let no_crash = -1
+
+(* Seven processes on three contexts: multi-process run queues, rotation
+   past sleepers, quantum preemption, plus the tick hook. *)
+let scenario_rotation () =
+  run_scenario ~tick_every:1_000 ~policy:`Min_time ~contexts:3 ~n:7
+    ~iters:(fun pid -> 40 + (3 * pid))
+    ~crash_pid:no_crash ()
+
+(* One context, everyone stalls: the scheduler repeatedly finds the whole
+   run queue asleep and must jump the clock to the earliest wake time. *)
+let scenario_clock_jump () =
+  run_scenario ~policy:`Min_time ~contexts:1 ~n:3
+    ~iters:(fun _ -> 30)
+    ~crash_pid:no_crash ()
+
+(* One process per context running identical code: core clocks tie
+   constantly, so min-time selection exercises the lowest-index tie-break
+   every step. *)
+let scenario_ties () =
+  run_scenario ~tick_every:500 ~policy:`Min_time ~contexts:4 ~n:4
+    ~iters:(fun _ -> 50)
+    ~crash_pid:no_crash ()
+
+(* Uneven finish times and a crash: cores drop out of the ready set one by
+   one (including via the crash path). *)
+let scenario_finish_crash () =
+  run_scenario ~policy:`Min_time ~contexts:5 ~n:5
+    ~iters:(fun pid -> 10 + (7 * pid))
+    ~crash_pid:2 ()
+
+(* Seeded random walk over the non-empty cores: the candidate list the RNG
+   indexes into must enumerate cores in exactly the pre-refactor order. *)
+let scenario_random_walk () =
+  run_scenario
+    ~policy:(`Random_walk 42)
+    ~contexts:3 ~n:6
+    ~iters:(fun pid -> 35 + (2 * pid))
+    ~crash_pid:no_crash ()
+
+(* Systematic chooser: hashes every candidate array it is shown (length,
+   core, pid, pending line) before picking step mod length — pins both the
+   enumeration order and the last-line plumbing. *)
+let scenario_systematic () =
+  let group = Runtime.Group.create ~seed:9 5 in
+  let arr = Runtime.Shared_array.create 8 in
+  let machine = Machine.Config.tiny ~contexts:5 () in
+  let acc = Array.make 5 0 in
+  let chooser_hash = ref 0 in
+  let chooser_calls = ref 0 in
+  let choose ~step (cands : Sim.candidate array) =
+    incr chooser_calls;
+    let i = step mod Array.length cands in
+    let c = cands.(i) in
+    chooser_hash :=
+      (!chooser_hash * 131)
+      + (step land 0xFFFF)
+      + (7 * Array.length cands)
+      + (13 * c.Sim.cand_core)
+      + (17 * c.Sim.cand_pid)
+      + (19 * (c.Sim.cand_line land 0xFF));
+    i
+  in
+  let body pid () =
+    let ctx = Runtime.Group.ctx group pid in
+    for i = 1 to 25 do
+      let slot = ((pid * 5) + i) mod 8 in
+      acc.(pid) <- acc.(pid) + Runtime.Shared_array.faa ctx arr slot 1;
+      if i mod 6 = 0 then Runtime.Ctx.stall ctx (40 + (11 * pid))
+    done
+  in
+  let r = Sim.run ~machine ~policy:(`Systematic choose) group (Array.init 5 body) in
+  {
+    o_vt = r.Sim.virtual_time;
+    o_switches = r.Sim.context_switches;
+    o_acc =
+      Array.fold_left (fun h v -> (h * 131) + v) (!chooser_hash land 0x3FFFFFFF) acc;
+    o_ticks = !chooser_calls;
+    o_tick_hash = 0;
+  }
+
+(* Pre-refactor goldens, captured with SIM_SCHED_CAPTURE=1 on the linear-scan
+   scheduler this PR replaced. *)
+let goldens =
+  [
+    ( "rotation",
+      scenario_rotation,
+      {
+        o_vt = 16714;
+        o_switches = 60;
+        o_acc = 1857597858254579;
+        o_ticks = 16;
+        o_tick_hash = 801015616;
+      } );
+    ( "clock-jump",
+      scenario_clock_jump,
+      { o_vt = 10368; o_switches = 18; o_acc = 1244830; o_ticks = 0;
+        o_tick_hash = 0 } );
+    ( "ties",
+      scenario_ties,
+      {
+        o_vt = 3374;
+        o_switches = 0;
+        o_acc = 499579972;
+        o_ticks = 6;
+        o_tick_hash = 252399964;
+      } );
+    ( "finish-crash",
+      scenario_finish_crash,
+      { o_vt = 2431; o_switches = 0; o_acc = 3594727376; o_ticks = 0;
+        o_tick_hash = 0 } );
+    ( "random-walk",
+      scenario_random_walk,
+      { o_vt = 10024; o_switches = 42; o_acc = 7857836671223; o_ticks = 0;
+        o_tick_hash = 0 } );
+    ( "systematic",
+      scenario_systematic,
+      {
+        o_vt = 1211;
+        o_switches = 0;
+        o_acc = 1863914838932959648;
+        o_ticks = 170;
+        o_tick_hash = 0;
+      } );
+  ]
+
+let () =
+  if capture then
+    List.iter (fun (name, f, _) -> pp_observed name (f ())) goldens
+  else
+    Alcotest.run "sim-sched"
+      [
+        ( "golden-schedules",
+          List.map
+            (fun (name, f, expected) ->
+              Alcotest.test_case name `Quick (fun () ->
+                  check_observed name expected (f ())))
+            goldens );
+      ]

@@ -229,6 +229,60 @@ let test_metrics_json () =
   | _ -> Alcotest.fail "latency_ns missing"
 
 (* ------------------------------------------------------------------ *)
+(* Decimating bounded gauge sampler                                    *)
+
+let test_gauge_decimation () =
+  let max_samples = 16 in
+  let reads = ref 0 in
+  let rec_ =
+    Telemetry.Recorder.create ~sample_every:1 ~max_samples ~cycles_per_ns:1.0
+      ~nprocs:1 ()
+  in
+  Telemetry.Recorder.add_gauge rec_ ~name:"g" (fun () ->
+      incr reads;
+      [| !reads |]);
+  let nticks = 10_000 in
+  for i = 0 to nticks - 1 do
+    Telemetry.Recorder.tick rec_ i
+  done;
+  let samples = List.assoc "g" (Telemetry.Recorder.series rec_) in
+  (* Bounded: never more than max_samples rows retained. *)
+  Alcotest.(check bool) "series bounded"
+    true
+    (List.length samples <= max_samples);
+  Alcotest.(check bool) "series non-trivial" true (List.length samples >= 8);
+  (* Scale-safe: skipped ticks never call the gauge read function — total
+     reads are O(max_samples * log nticks), far below one per tick. *)
+  Alcotest.(check bool) "reads bounded" true (!reads <= 8 * max_samples);
+  (* Uniform coverage: retained ticks sit on one stride, starting at 0. *)
+  (match samples with
+  | (t0, _) :: (t1, _) :: _ ->
+      let stride = t1 - t0 in
+      Alcotest.(check int) "first tick kept" 0 t0;
+      Alcotest.(check bool) "stride is a power of two" true
+        (stride land (stride - 1) = 0);
+      ignore
+        (List.fold_left
+           (fun prev (t, _) ->
+             Alcotest.(check int) "evenly spaced" stride (t - prev);
+             t)
+           (t0 - stride) samples);
+      Alcotest.(check bool) "covers the whole run" true
+        (fst (List.nth samples (List.length samples - 1))
+        >= nticks - (2 * stride))
+  | _ -> Alcotest.fail "expected at least two samples");
+  (* A recorder that never overflows keeps every tick (legacy behavior). *)
+  let rec2 =
+    Telemetry.Recorder.create ~sample_every:1 ~cycles_per_ns:1.0 ~nprocs:1 ()
+  in
+  Telemetry.Recorder.add_gauge rec2 ~name:"g" (fun () -> [| 0 |]);
+  for i = 0 to 99 do
+    Telemetry.Recorder.tick rec2 i
+  done;
+  Alcotest.(check int) "under the bound every tick is kept" 100
+    (List.length (List.assoc "g" (Telemetry.Recorder.series rec2)))
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry and sanitizer share the bus                               *)
 
 let test_telemetry_with_sanitizer () =
@@ -329,6 +383,8 @@ let () =
           Alcotest.test_case "traced trial is well-formed catapult JSON"
             `Quick test_trace_well_formed;
           Alcotest.test_case "metrics document shape" `Quick test_metrics_json;
+          Alcotest.test_case "gauge sampler decimates, stays bounded" `Quick
+            test_gauge_decimation;
         ] );
       ( "integration",
         [

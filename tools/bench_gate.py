@@ -1,33 +1,58 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the E-kv campaign.
+"""Bench-regression gate for the checked-in benchmark baselines.
 
-Compares a freshly generated BENCH_KV.json against the checked-in
-baseline and fails (exit 1) when any matching (scheme, structure,
-backend) row regresses by more than the tolerance in either:
+Compares freshly generated BENCH_*.json files against their checked-in
+baselines and fails (exit 1) on any regression beyond tolerance.  One
+invocation gates any number of files:
 
-  - throughput_mops (lower is worse), or
-  - any SLO verdict's p99_ns, matched by verdict kind (higher is worse).
+  bench_gate.py BASELINE.json FRESH.json            # single pair
+  bench_gate.py --pair BENCH_KV.json fresh_kv.json \\
+                --pair BENCH_SIM.json fresh_sim.json
 
-Both runs use the deterministic simulator, so in practice any drift is a
-code change, not noise; the 15% tolerance exists so deliberate
-trade-offs (e.g. heavier instrumentation) need only a baseline refresh
-(`dune exec bench/main.exe -- kv --json`, commit BENCH_KV.json) rather
+Two row schemas are understood, detected per row:
+
+  - KV rows (the E-kv campaign): keyed (scheme, structure, backend);
+    gated on throughput_mops (lower is worse) and every SLO verdict's
+    p99_ns matched by kind (higher is worse).
+  - SIM rows (the E-scale campaign, and any row carrying a "kind"
+    field): keyed by kind plus whichever of structure / scheme /
+    contexts / cell / domains are present; gated by a per-metric
+    direction table (cycles_per_op and mops are deterministic virtual-
+    time metrics and use the normal tolerance; steps_per_sec and
+    runs_per_sec are wall-clock and use the far looser
+    --wall-tolerance-pct, since runner hardware varies).
+
+Deterministic metrics drift only when the code changes; the 15% default
+tolerance exists so deliberate trade-offs (e.g. heavier
+instrumentation) need only a baseline refresh (`dune exec
+bench/main.exe -- kv e-scale --json`, commit the BENCH_*.json) rather
 than a tuning dance.
-
-Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance-pct 15]
 """
 
 import argparse
 import json
 import sys
 
+# SIM-schema metric directions.  Anything not listed is informational.
+LOWER_IS_WORSE = {"mops", "steps_per_sec", "runs_per_sec"}
+HIGHER_IS_WORSE = {"cycles_per_op"}
+WALL_CLOCK = {"steps_per_sec", "runs_per_sec"}
 
-def rows_by_key(doc):
+KEY_FIELDS = ("kind", "structure", "scheme", "contexts", "cell", "domains")
+
+
+def row_key(row):
+    if "kind" in row:
+        return tuple((f, row[f]) for f in KEY_FIELDS if f in row)
+    return (row["scheme"], row["structure"], row["backend"])
+
+
+def rows_by_key(doc, path):
     out = {}
     for row in doc["results"]:
-        key = (row["scheme"], row["structure"], row["backend"])
+        key = row_key(row)
         if key in out:
-            raise SystemExit(f"duplicate bench row for {key}")
+            raise SystemExit(f"{path}: duplicate bench row for {key}")
         out[key] = row
     return out
 
@@ -36,56 +61,125 @@ def p99s(row):
     return {v["kind"]: v["p99_ns"] for v in row.get("verdicts", [])}
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
-    ap.add_argument("--tolerance-pct", type=float, default=15.0)
-    args = ap.parse_args()
+def key_name(key):
+    if key and isinstance(key[0], tuple):
+        return "/".join(str(v) for _, v in key)
+    return "/".join(str(v) for v in key)
 
-    with open(args.baseline) as fh:
-        base = rows_by_key(json.load(fh))
-    with open(args.fresh) as fh:
-        fresh = rows_by_key(json.load(fh))
 
-    tol = args.tolerance_pct / 100.0
-    failures = []
-    compared = 0
-
-    for key, brow in sorted(base.items()):
-        frow = fresh.get(key)
-        if frow is None:
-            failures.append(f"{key}: row missing from fresh run")
-            continue
-        compared += 1
-        name = "/".join(key)
-
-        bt, ft = brow["throughput_mops"], frow["throughput_mops"]
-        if ft < bt * (1.0 - tol):
+def check_kv_row(name, brow, frow, tol, failures):
+    bt, ft = brow["throughput_mops"], frow["throughput_mops"]
+    if ft < bt * (1.0 - tol):
+        failures.append(
+            f"{name}: throughput {ft:.3f} Mops/s is "
+            f"{100.0 * (bt - ft) / bt:.1f}% below baseline {bt:.3f}"
+        )
+    bp, fp = p99s(brow), p99s(frow)
+    for kind, b99 in sorted(bp.items()):
+        f99 = fp.get(kind)
+        if f99 is None:
+            failures.append(f"{name}: verdict '{kind}' missing from fresh run")
+        elif f99 > b99 * (1.0 + tol):
             failures.append(
-                f"{name}: throughput {ft:.3f} Mops/s is "
-                f"{100.0 * (bt - ft) / bt:.1f}% below baseline {bt:.3f}"
+                f"{name}: {kind} p99 {f99} ns is "
+                f"{100.0 * (f99 - b99) / b99:.1f}% above baseline {b99} ns"
             )
 
-        bp, fp = p99s(brow), p99s(frow)
-        for kind, b99 in sorted(bp.items()):
-            f99 = fp.get(kind)
-            if f99 is None:
-                failures.append(f"{name}: verdict '{kind}' missing from fresh run")
-            elif f99 > b99 * (1.0 + tol):
-                failures.append(
-                    f"{name}: {kind} p99 {f99} ns is "
-                    f"{100.0 * (f99 - b99) / b99:.1f}% above baseline {b99} ns"
-                )
+
+def check_sim_row(name, brow, frow, tol, wall_tol, failures):
+    for metric, bval in sorted(brow.items()):
+        if metric not in LOWER_IS_WORSE and metric not in HIGHER_IS_WORSE:
+            continue
+        fval = frow.get(metric)
+        if fval is None:
+            failures.append(f"{name}: metric '{metric}' missing from fresh run")
+            continue
+        if not bval:
+            continue
+        t = wall_tol if metric in WALL_CLOCK else tol
+        if metric in LOWER_IS_WORSE and fval < bval * (1.0 - t):
+            failures.append(
+                f"{name}: {metric} {fval:.3f} is "
+                f"{100.0 * (bval - fval) / bval:.1f}% below baseline {bval:.3f}"
+            )
+        elif metric in HIGHER_IS_WORSE and fval > bval * (1.0 + t):
+            failures.append(
+                f"{name}: {metric} {fval:.3f} is "
+                f"{100.0 * (fval - bval) / bval:.1f}% above baseline {bval:.3f}"
+            )
+
+
+def check_pair(baseline_path, fresh_path, tol, wall_tol, failures):
+    with open(baseline_path) as fh:
+        base = rows_by_key(json.load(fh), baseline_path)
+    with open(fresh_path) as fh:
+        fresh = rows_by_key(json.load(fh), fresh_path)
+
+    compared = 0
+    for key, brow in sorted(base.items(), key=lambda kv: repr(kv[0])):
+        frow = fresh.get(key)
+        name = f"{baseline_path}:{key_name(key)}"
+        if frow is None:
+            failures.append(f"{name}: row missing from fresh run")
+            continue
+        compared += 1
+        if "kind" in brow:
+            check_sim_row(name, brow, frow, tol, wall_tol, failures)
+        else:
+            check_kv_row(name, brow, frow, tol, failures)
 
     if compared == 0:
-        failures.append("no comparable rows between baseline and fresh run")
+        failures.append(
+            f"{baseline_path} vs {fresh_path}: no comparable rows"
+        )
+    return compared
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
+    ap.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("BASELINE", "FRESH"),
+        help="baseline/fresh file pair to gate; repeatable",
+    )
+    ap.add_argument("--tolerance-pct", type=float, default=15.0)
+    ap.add_argument(
+        "--wall-tolerance-pct",
+        type=float,
+        default=75.0,
+        help="tolerance for wall-clock metrics (steps/sec, runs/sec), which "
+        "vary with runner hardware",
+    )
+    args = ap.parse_args()
+
+    pairs = list(args.pair)
+    if args.baseline or args.fresh:
+        if not (args.baseline and args.fresh):
+            ap.error("positional usage needs both BASELINE and FRESH")
+        pairs.append([args.baseline, args.fresh])
+    if not pairs:
+        ap.error("nothing to gate: give BASELINE FRESH or --pair")
+
+    tol = args.tolerance_pct / 100.0
+    wall_tol = args.wall_tolerance_pct / 100.0
+    failures = []
+    compared = 0
+    for baseline_path, fresh_path in pairs:
+        compared += check_pair(baseline_path, fresh_path, tol, wall_tol, failures)
 
     for f in failures:
         print(f"FAIL {f}")
     print(
-        f"bench gate: {compared} rows compared, {len(failures)} regressions "
-        f"(tolerance {args.tolerance_pct:.0f}%)"
+        f"bench gate: {len(pairs)} file pair(s), {compared} rows compared, "
+        f"{len(failures)} regressions (tolerance {args.tolerance_pct:.0f}%, "
+        f"wall-clock {args.wall_tolerance_pct:.0f}%)"
     )
     return 1 if failures else 0
 
