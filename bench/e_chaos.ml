@@ -235,6 +235,12 @@ let run ~scale =
              stays bounded by their ordinary thresholds. *)
           (B2_hp.runner "hp", `Bounded);
           (B2_rc.runner "rc", `Bounded);
+          (* Next-generation reclaimers: VBR frees full blocks eagerly on
+             retire (a corpse pins nothing — versions, not grace periods,
+             protect readers), and Hyaline discounts crashed processes
+             when sealing batches, so both stay within the bound. *)
+          (B2_vbr.runner "vbr", `Bounded);
+          (B2_hyaline.runner "hyaline", `Bounded);
         ];
       (* Same story on the list structure, for the schemes where the
          contrast matters. *)
@@ -294,6 +300,11 @@ let run ~scale =
           (B2_debra.runner "debra", false);
           (B2_debra_plus.runner "debra+", false);
           (B2_hp.runner "hp", false);
+          (* VBR's retire frees blocks immediately and Hyaline's batches
+             drain at session boundaries: both keep inventory recyclable
+             and must complete within the same headroom. *)
+          (B2_vbr.runner "vbr", false);
+          (B2_hyaline.runner "hyaline", false);
         ])
     seeds;
   let verdicts = List.rev !verdicts in

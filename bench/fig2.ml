@@ -162,6 +162,32 @@ let schemes =
       retired_to_retired = true;
       implemented = true;
     };
+    (* Post-paper schemes implemented behind the same Record Manager
+       face, for contrast with the 2015 survey rows above. *)
+    {
+      id = "VBR";
+      per_record = true;
+      per_op = false;
+      per_retire = true;
+      other_mods = "version re-validation on every deref; type-stable arena";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "lock-free";
+      retired_to_retired = false;
+      implemented = true;
+    };
+    {
+      id = "Hyaline";
+      per_record = false;
+      per_op = true;
+      per_retire = true;
+      other_mods = "";
+      timing_assumptions = "";
+      fault_tolerant = true;
+      termination = "lock-free";
+      retired_to_retired = true;
+      implemented = true;
+    };
   ]
 
 let yn b = if b then "yes" else ""

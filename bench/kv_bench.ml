@@ -296,6 +296,8 @@ module Kv_ebr = Make_runner (RM2_ebr)
 module Kv_debra = Make_runner (RM2_debra)
 module Kv_debra_plus = Make_runner (RM2_debra_plus)
 module Kv_hp = Make_runner (RM2_hp)
+module Kv_vbr = Make_runner (RM2_vbr)
+module Kv_hyaline = Make_runner (RM2_hyaline)
 
 let schemes : (string * (sname:string -> cfg -> row)) list =
   [
@@ -304,6 +306,8 @@ let schemes : (string * (sname:string -> cfg -> row)) list =
     ("debra", Kv_debra.run);
     ("debra+", Kv_debra_plus.run);
     ("hp", Kv_hp.run);
+    ("vbr", Kv_vbr.run);
+    ("hyaline", Kv_hyaline.run);
   ]
 
 let cfg_of_flags ~scale =

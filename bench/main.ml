@@ -15,6 +15,8 @@
     - e-scale  context-count scaling campaign (64 -> 256 -> 1024): per-op
                cost divergence HP vs DEBRA/DEBRA+, plus scheduler and
                explorer throughput baselines (BENCH_SIM.json)
+    - sweep    VBR / Hyaline vs DEBRA+ on two structures and both
+               backends (BENCH_SWEEP.json; sim cells regression-gated)
     - all      everything above
 
     [--full] uses the paper-scale key ranges and thread counts (slow); the
@@ -35,7 +37,7 @@ let known =
   [
     "exp1"; "exp2"; "exp2-t4"; "exp3"; "memfig"; "schemes"; "summary";
     "ablate"; "micro"; "e-stall"; "e-chaos"; "kv"; "e-overload"; "e-scale";
-    "all";
+    "sweep"; "all";
   ]
 
 let run_one ~scale = function
@@ -53,6 +55,7 @@ let run_one ~scale = function
   | "kv" -> Kv_bench.run ~scale
   | "e-overload" -> E_overload.run ~scale
   | "e-scale" -> E_scale.run ~scale
+  | "sweep" -> Sweep.run ~scale
   | name -> Printf.eprintf "unknown experiment %S\n" name
 
 (* With --json, each experiment's outcomes (accumulated by
@@ -62,10 +65,15 @@ let run_one_json ~scale name =
   run_one ~scale name;
   if !Experiments.json then begin
     (* The kv campaign's baseline is checked in as BENCH_KV.json, the
-       e-scale campaign's as BENCH_SIM.json. *)
+       e-scale campaign's as BENCH_SIM.json, and the VBR/Hyaline sweep's
+       as BENCH_SWEEP.json. *)
     let file =
       Printf.sprintf "BENCH_%s.json"
-        (match name with "kv" -> "KV" | "e-scale" -> "SIM" | n -> n)
+        (match name with
+        | "kv" -> "KV"
+        | "e-scale" -> "SIM"
+        | "sweep" -> "SWEEP"
+        | n -> n)
     in
     let doc =
       Telemetry.Json.Obj
@@ -380,7 +388,7 @@ let kv_args =
       & info [ "kv-schemes" ] ~docv:"LIST"
           ~doc:
             "kv: comma-separated subset of schemes to run (default all: \
-             none,ebr,debra,debra+,hp).")
+             none,ebr,debra,debra+,hp,vbr,hyaline).")
   in
   Term.(
     const (fun a b c d e f g h i j k l -> (a, b, c, d, e, f, g, h, i, j, k, l))

@@ -262,12 +262,18 @@ let term =
     Arg.(
       value & opt string "debra"
       & info [ "scheme" ]
-          ~doc:"none | ebr | debra | debra+ | hp | stacktrack | threadscan")
+          ~doc:
+            "none | ebr | qsbr | debra | debra+ | hp | rc | stacktrack | \
+             threadscan | vbr | hyaline (availability depends on --ds and \
+             --variant; errors list the known combinations)")
   in
   let variant =
     Arg.(
       value & opt string "exp2"
-      & info [ "variant" ] ~doc:"exp1 (no reuse) | exp2 (pool) | exp3 (malloc)")
+      & info [ "variant" ]
+          ~doc:
+            "exp1 (no reuse) | exp2 (pool) | exp3 (malloc) | zoo (every \
+             implemented scheme, bst only)")
   in
   let backend =
     Arg.(

@@ -90,6 +90,15 @@ let config_of_flags ~scheme ~allows_retired_traversal ~sandboxed ~strict () =
           quiescence = Interval;
           strict = false;
         }
+    | "hyaline" ->
+        (* batch refcounts replay the retire-time session snapshot *)
+        {
+          scheme;
+          access = Epoch;
+          free = Grace_session;
+          quiescence = Interval;
+          strict = false;
+        }
     | _ ->
         if allows_retired_traversal then
           {

@@ -1,7 +1,8 @@
-(** The full protocheck matrix: 4 structures x 9 schemes, the same
+(** The full protocheck matrix: 4 structures x 11 schemes, the same
     allocator/pool pairings as the benchmark and sanitizer matrices (shared
     pool behind the epoch schemes, direct pool for the HP family, recycling
-    allocator for StackTrack). *)
+    allocator for StackTrack and VBR, whose version story lives in the
+    arena generation counters). *)
 
 open Reclaim
 
@@ -17,6 +18,9 @@ module RM_st =
   Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Stacktrack.Make)
 module RM_none =
   Record_manager.Make (Alloc.Bump) (Pool.Direct) (None_reclaimer.Make)
+module RM_vbr = Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Vbr.Make)
+module RM_hyaline =
+  Record_manager.Make (Alloc.Bump) (Pool.Shared) (Hyaline.Make)
 
 module C_ebr = Cell.Make (RM_ebr)
 module C_qsbr = Cell.Make (RM_qsbr)
@@ -27,6 +31,8 @@ module C_rc = Cell.Make (RM_rc)
 module C_ts = Cell.Make (RM_ts)
 module C_st = Cell.Make (RM_st)
 module C_none = Cell.Make (RM_none)
+module C_vbr = Cell.Make (RM_vbr)
+module C_hyaline = Cell.Make (RM_hyaline)
 
 let structures = [ Report.List; Report.Bst; Report.Queue; Report.Skiplist ]
 
@@ -41,6 +47,8 @@ let check_structure s =
     C_rc.check ~scheme:"rc" s;
     C_ts.check ~scheme:"threadscan" s;
     C_st.check ~scheme:"stacktrack" s;
+    C_vbr.check ~scheme:"vbr" s;
+    C_hyaline.check ~scheme:"hyaline" s;
   ]
 
 let all () = List.concat_map check_structure structures

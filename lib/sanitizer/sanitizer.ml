@@ -46,13 +46,21 @@ module Config = struct
       ~sandboxed () =
     if sandboxed then
       (* StackTrack: reading reclaimed memory is the abort mechanism, and a
-         scan cannot see other processes' unpublished register pointers. *)
+         scan cannot see other processes' unpublished register pointers.
+         VBR lands here too: it frees without any grace period and relies on
+         version re-validation, so a read of reclaimed memory is its
+         checkpoint rollback, not a violation. *)
       make ~scheme ~access:Lenient ~free:Skip ()
     else
       match scheme with
       | "none" -> make ~scheme ~access:Epoch ~free:Skip ~track_limbo:false ()
       | "qsbr" -> make ~scheme ~access:Epoch ~free:Grace_qpoint ()
       | "threadscan" -> make ~scheme ~access:Epoch ~free:Hazard_scan ()
+      | "hyaline" ->
+          (* batch reference counts: a batch is freed only after every
+             session charged at seal time has closed — exactly the
+             retire-time session snapshot [Grace_session] replays *)
+          make ~scheme ~access:Epoch ~free:Grace_session ()
       | _ ->
           if allows_retired_traversal then
             make ~scheme ~access:Epoch ~free:Grace_session ()

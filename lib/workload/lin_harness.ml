@@ -205,6 +205,8 @@ module P_hp = Mk (Schemes.RM2_hp)
 module P_rc = Mk (Schemes.RM2_rc)
 module P_ts = Mk (Schemes.RM2_ts)
 module P_st = Mk (Schemes.RM2_st)
+module P_vbr = Mk (Schemes.RM2_vbr)
+module P_hyaline = Mk (Schemes.RM2_hyaline)
 
 let packs =
   [
@@ -217,6 +219,8 @@ let packs =
     { pname = "rc"; prun = P_rc.run };
     { pname = "threadscan"; prun = P_ts.run };
     { pname = "stacktrack"; prun = P_st.run };
+    { pname = "vbr"; prun = P_vbr.run };
+    { pname = "hyaline"; prun = P_hyaline.run };
   ]
 
 let scheme_names = List.map (fun p -> p.pname) packs

@@ -75,6 +75,11 @@ module RM2_ts = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Threadscan.Make)
 module RM2_st = Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Stacktrack.Make)
 module RM2_qsbr = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Qsbr.Make)
 module RM2_rc = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Rc.Make)
+module RM2_hyaline = Record_manager.Make (Alloc.Bump) (Pool.Shared) (Hyaline.Make)
+
+(* VBR must recycle through the arena: every free bumps the slot generation,
+   which is the version a stale pointer fails to re-validate (vbr.ml). *)
+module RM2_vbr = Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Vbr.Make)
 
 (* Experiment 3: malloc-style allocator behind the same pool. *)
 module RM3_none =
@@ -159,6 +164,8 @@ module B2_ebr = Make_bst_runner (RM2_ebr)
 module B2_qsbr = Make_bst_runner (RM2_qsbr)
 module B2_rc = Make_bst_runner (RM2_rc)
 module B2_ts = Make_bst_runner (RM2_ts)
+module B2_vbr = Make_bst_runner (RM2_vbr)
+module B2_hyaline = Make_bst_runner (RM2_hyaline)
 module B3_none = Make_bst_runner (RM3_none)
 module B3_debra = Make_bst_runner (RM3_debra)
 module B3_debra_plus = Make_bst_runner (RM3_debra_plus)
@@ -292,6 +299,8 @@ let bst_runners_zoo =
     B2_debra_plus.runner "debra+";
     B2_hp.runner "hp";
     B2_rc.runner "rc";
+    B2_vbr.runner "vbr";
+    B2_hyaline.runner "hyaline";
   ]
 
 (* Name-indexed lookup for command-line drivers. *)
@@ -310,12 +319,16 @@ let by_name =
       let module L_debra = Make_list_runner (RM2_debra) in
       let module L_dplus = Make_list_runner (RM2_debra_plus) in
       let module L_hp = Make_list_runner (RM2_hp) in
+      let module L_vbr = Make_list_runner (RM2_vbr) in
+      let module L_hyaline = Make_list_runner (RM2_hyaline) in
       [
         L_none.runner "none";
         L_ebr.runner "ebr";
         L_debra.runner "debra";
         L_dplus.runner "debra+";
         L_hp.runner "hp";
+        L_vbr.runner "vbr";
+        L_hyaline.runner "hyaline";
       ] );
   ]
 

@@ -88,6 +88,63 @@ let crash_in_handler () =
     o.Workload.Trial.invariant_failure
 
 (* ------------------------------------------------------------------ *)
+(* The next-generation reclaimers under the same crash: VBR reclaims with
+   no grace period at all, so a corpse cannot pin its limbo; Hyaline only
+   keeps batches charged to sessions the corpse opened before dying (its
+   seal skips crashed processes), so limbo stays within the same bound. *)
+
+module BV = Workload.Schemes.B2_vbr
+module BH = Workload.Schemes.B2_hyaline
+
+let crash_mid_op_vbr ~policy ~seed () =
+  let n = 6 in
+  let plan =
+    Chaos.
+      { seed; faults = [ Crash { pid = 2; at = 3_000; kind = In_operation } ] }
+  in
+  let o =
+    or_wedged (fun () ->
+        BV.R.trial
+          (module BV.T)
+          ~params ~duration:400_000 ~sanitize:true ~chaos:plan
+          ~max_steps:20_000_000 ~policy ~n ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check int) "one process crashed" 1 o.Workload.Trial.crashed;
+  Alcotest.(check (option int)) "sanitizer silent" (Some 0)
+    o.Workload.Trial.violations;
+  Alcotest.(check (option string)) "invariants hold" None
+    o.Workload.Trial.invariant_failure;
+  let bound = 3 * n * n * params.Reclaim.Intf.Params.block_capacity in
+  if o.Workload.Trial.limbo > bound then
+    Alcotest.failf "limbo %d exceeds bound %d: VBR robustness failed"
+      o.Workload.Trial.limbo bound;
+  if o.Workload.Trial.ops = 0 then Alcotest.fail "survivors performed no ops"
+
+let crash_mid_op_hyaline ~policy ~seed () =
+  let n = 6 in
+  let plan =
+    Chaos.
+      { seed; faults = [ Crash { pid = 2; at = 3_000; kind = In_operation } ] }
+  in
+  let o =
+    or_wedged (fun () ->
+        BH.R.trial
+          (module BH.T)
+          ~params ~duration:400_000 ~sanitize:true ~chaos:plan
+          ~max_steps:20_000_000 ~policy ~n ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check int) "one process crashed" 1 o.Workload.Trial.crashed;
+  Alcotest.(check (option int)) "sanitizer silent" (Some 0)
+    o.Workload.Trial.violations;
+  Alcotest.(check (option string)) "invariants hold" None
+    o.Workload.Trial.invariant_failure;
+  let bound = 3 * n * n * params.Reclaim.Intf.Params.block_capacity in
+  if o.Workload.Trial.limbo > bound then
+    Alcotest.failf "limbo %d exceeds bound %d: crashed-pid discounting failed"
+      o.Workload.Trial.limbo bound;
+  if o.Workload.Trial.ops = 0 then Alcotest.fail "survivors performed no ops"
+
+(* ------------------------------------------------------------------ *)
 (* ThreadScan regression: a crashed process holding the collector role
    (the global scan lock) must not wedge the others — survivors steal
    the lock and treat the corpse's missing ack as vacuous. *)
@@ -209,6 +266,35 @@ let oom_emergency_drain () =
   in
   Alcotest.(check bool) "none reports exhaustion" true o_none.Workload.Trial.oom
 
+(* The same tight headroom for the new schemes: VBR frees blocks at retire
+   time and Hyaline frees batches at every operation boundary, so neither
+   needs the emergency path to stay inside the budget. *)
+let oom_vbr_hyaline () =
+  let seed = 31 in
+  let headroom = 6 * 6 * params.Reclaim.Intf.Params.block_capacity in
+  let o_vbr =
+    or_wedged (fun () ->
+        BV.R.trial
+          (module BV.T)
+          ~params ~duration:400_000 ~sanitize:true ~budget:headroom
+          ~max_steps:20_000_000 ~n:6 ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check bool) "vbr completes within the budget" false
+    o_vbr.Workload.Trial.oom;
+  Alcotest.(check (option int)) "vbr sanitizer silent" (Some 0)
+    o_vbr.Workload.Trial.violations;
+  let o_hyaline =
+    or_wedged (fun () ->
+        BH.R.trial
+          (module BH.T)
+          ~params ~duration:400_000 ~sanitize:true ~budget:headroom
+          ~max_steps:20_000_000 ~n:6 ~range:512 ~ins:50 ~del:50 ~seed ())
+  in
+  Alcotest.(check bool) "hyaline completes within the budget" false
+    o_hyaline.Workload.Trial.oom;
+  Alcotest.(check (option int)) "hyaline sanitizer silent" (Some 0)
+    o_hyaline.Workload.Trial.violations
+
 (* ------------------------------------------------------------------ *)
 (* Determinism: the same plan under the same schedule fires the same
    faults at the same points and yields an identical outcome. *)
@@ -241,6 +327,20 @@ let () =
   Alcotest.run "chaos"
     [
       ("crash mid-op (debra+)", crash_cases);
+      ( "crash mid-op (vbr)",
+        [
+          Alcotest.test_case "min-time schedule" `Quick
+            (crash_mid_op_vbr ~policy:`Min_time ~seed:11);
+          Alcotest.test_case "random-walk seed 3" `Quick
+            (crash_mid_op_vbr ~policy:(`Random_walk 3) ~seed:3);
+        ] );
+      ( "crash mid-op (hyaline)",
+        [
+          Alcotest.test_case "min-time schedule" `Quick
+            (crash_mid_op_hyaline ~policy:`Min_time ~seed:11);
+          Alcotest.test_case "random-walk seed 3" `Quick
+            (crash_mid_op_hyaline ~policy:(`Random_walk 3) ~seed:3);
+        ] );
       ( "crash in handler",
         [ Alcotest.test_case "group-wide nth handler" `Quick crash_in_handler ]
       );
@@ -257,7 +357,11 @@ let () =
             (queue_crash_fifo ~seed:13);
         ] );
       ( "bounded memory",
-        [ Alcotest.test_case "emergency drain" `Quick oom_emergency_drain ] );
+        [
+          Alcotest.test_case "emergency drain" `Quick oom_emergency_drain;
+          Alcotest.test_case "vbr and hyaline within budget" `Quick
+            oom_vbr_hyaline;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "min-time" `Quick (determinism ~policy:`Min_time);

@@ -93,6 +93,16 @@ module RM_hp =
   Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
     (Reclaim.Hp.Make)
 
+(* VBR recycles through the arena so every free bumps the slot's
+   generation (the version); Hyaline batches retires behind shared
+   per-batch reference counters. *)
+module RM_vbr =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Recycle) (Reclaim.Pool.Direct)
+    (Reclaim.Vbr.Make)
+module RM_hyaline =
+  Reclaim.Record_manager.Make (Reclaim.Alloc.Bump) (Reclaim.Pool.Shared)
+    (Reclaim.Hyaline.Make)
+
 (* Quiescent shutdown, then flush: every grace period expires, so the
    epoch-based schemes must drain limbo to exactly zero — any remainder is
    a leaked record.  HP frees whatever no hazard slot still covers. *)
@@ -188,6 +198,8 @@ end
 module D_debra = Domains_smoke (RM_debra)
 module D_dplus = Domains_smoke (RM_dplus)
 module D_hp = Domains_smoke (RM_hp)
+module D_vbr = Domains_smoke (RM_vbr)
+module D_hyaline = Domains_smoke (RM_hyaline)
 
 (* A domain that dies mid-run is marked crashed in the group while its
    survivors run to completion — the ESRCH wiring Domain_exec promotes
@@ -347,6 +359,16 @@ let () =
           par_case "hp list, 2 domains" `Quick
             (D_hp.test_list ~n:(clamp 2) ~ops:1500 ~range:64 ~seed:26
                ~strict:false);
+          par_case "vbr stack, 4 domains" `Quick
+            (D_vbr.test_stack ~n:(clamp 4) ~ops:2000 ~seed:27 ~strict:true);
+          par_case "vbr list, 3 domains" `Quick
+            (D_vbr.test_list ~n:(clamp 3) ~ops:1500 ~range:64 ~seed:28
+               ~strict:true);
+          par_case "hyaline stack, 3 domains" `Quick
+            (D_hyaline.test_stack ~n:(clamp 3) ~ops:2000 ~seed:29 ~strict:true);
+          par_case "hyaline list, 4 domains" `Quick
+            (D_hyaline.test_list ~n:(clamp 4) ~ops:1500 ~range:32 ~seed:30
+               ~strict:true);
         ] );
       ( "runner",
         [

@@ -488,6 +488,150 @@ let test_broken_hp_rejected () =
         "trapped as use-after-free" true
         (contains_sub ~sub:"Use_after_free" reason)
 
+(* Broken VBR (no version re-validation, no sandbox): retire reclaims full
+   blocks immediately — correct VBR behaviour — but a reader suspended
+   mid-traversal resumes into a reclaimed record without re-checking the
+   version, and the recycling arena's generation trap fires. *)
+module MBV = Lh.Mk (Broken_schemes.RM_broken_vbr)
+
+let run_broken_vbr policy =
+  let cfg = { smoke_cfg with nprocs = 2 } in
+  let group, rm = MBV.fresh cfg in
+  let (module S) = MBV.Face.hm_list in
+  let s = S.create rm ~capacity:cfg.capacity in
+  let rec_ = H.recorder ~nprocs:2 in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  for k = 1 to 8 do
+    MBV.record rec_ ctx0 (H.Add k)
+      (fun () -> S.insert s ctx0 ~key:k ~value:k)
+      (fun b -> H.RBool b)
+  done;
+  let bodies =
+    [|
+      (fun () ->
+        (* deleter: the 5th retire fills a block and frees it in place *)
+        let ctx = Runtime.Group.ctx group 0 in
+        for k = 1 to 8 do
+          MBV.record rec_ ctx (H.Remove k)
+            (fun () -> S.delete s ctx k)
+            (fun b -> H.RBool b)
+        done);
+      (fun () ->
+        (* reader: traverses across the blocks being reclaimed *)
+        let ctx = Runtime.Group.ctx group 1 in
+        for _ = 1 to 2 do
+          MBV.record rec_ ctx (H.Mem 8)
+            (fun () -> S.contains s ctx 8)
+            (fun b -> H.RBool b)
+        done);
+    |]
+  in
+  ignore
+    (Sim.run ~machine:(MBV.machine_for cfg) ~max_steps:400_000 ~policy group
+       bodies);
+  H.snapshot rec_
+
+let test_broken_vbr_rejected () =
+  match
+    Explore.explore ~budget:2 ~max_runs:1500 ~run_one:run_broken_vbr
+      ~check:(fun h ->
+        match Checker.check Spec.set h with
+        | Checker.Linearizable -> None
+        | v -> Some (Checker.verdict_to_string v))
+      ()
+  with
+  | Explore.Pass _ -> Alcotest.fail "broken VBR slipped past exploration"
+  | Explore.Fail { schedule; reason; stats; _ } ->
+      Printf.printf
+        "broken VBR rejected after %d schedules\n  schedule: %s\n  reason: %s\n"
+        stats.Explore.runs
+        (Explore.schedule_to_string schedule)
+        reason;
+      Alcotest.(check bool)
+        "trapped as use-after-free" true
+        (contains_sub ~sub:"Use_after_free" reason);
+      let replay_trapped =
+        match run_broken_vbr (Explore.policy_of_schedule schedule) with
+        | (_ : H.t) -> false
+        | exception Memory.Arena.Use_after_free _ -> true
+      in
+      Alcotest.(check bool) "schedule replays to the same trap" true
+        replay_trapped
+
+(* Broken Hyaline (lost batch reference): the seal initializes the batch
+   refcount one short, so the batch frees while the last charged session —
+   a reader suspended mid-traversal — is still open; the reader resumes
+   into a freed record. *)
+module MBY = Lh.Mk (Broken_schemes.RM_broken_hyaline)
+
+let run_broken_hyaline policy =
+  let cfg = { smoke_cfg with nprocs = 2 } in
+  let group, rm = MBY.fresh cfg in
+  let (module S) = MBY.Face.hm_list in
+  let s = S.create rm ~capacity:cfg.capacity in
+  let rec_ = H.recorder ~nprocs:2 in
+  let ctx0 = Runtime.Group.ctx group 0 in
+  for k = 1 to 8 do
+    MBY.record rec_ ctx0 (H.Add k)
+      (fun () -> S.insert s ctx0 ~key:k ~value:k)
+      (fun b -> H.RBool b)
+  done;
+  let bodies =
+    [|
+      (fun () ->
+        (* deleter: the 4th retire seals the batch with the short count;
+           its next operation boundary drops the last counted reference *)
+        let ctx = Runtime.Group.ctx group 0 in
+        for k = 1 to 8 do
+          MBY.record rec_ ctx (H.Remove k)
+            (fun () -> S.delete s ctx k)
+            (fun b -> H.RBool b)
+        done);
+      (fun () ->
+        (* reader: charged at seal, but the lost reference means the batch
+           frees before this session closes *)
+        let ctx = Runtime.Group.ctx group 1 in
+        for _ = 1 to 2 do
+          MBY.record rec_ ctx (H.Mem 8)
+            (fun () -> S.contains s ctx 8)
+            (fun b -> H.RBool b)
+        done);
+    |]
+  in
+  ignore
+    (Sim.run ~machine:(MBY.machine_for cfg) ~max_steps:400_000 ~policy group
+       bodies);
+  H.snapshot rec_
+
+let test_broken_hyaline_rejected () =
+  match
+    Explore.explore ~budget:2 ~max_runs:1500 ~run_one:run_broken_hyaline
+      ~check:(fun h ->
+        match Checker.check Spec.set h with
+        | Checker.Linearizable -> None
+        | v -> Some (Checker.verdict_to_string v))
+      ()
+  with
+  | Explore.Pass _ -> Alcotest.fail "broken Hyaline slipped past exploration"
+  | Explore.Fail { schedule; reason; stats; _ } ->
+      Printf.printf
+        "broken Hyaline rejected after %d schedules\n\
+        \  schedule: %s\n\
+        \  reason: %s\n"
+        stats.Explore.runs
+        (Explore.schedule_to_string schedule)
+        reason;
+      Alcotest.(check bool)
+        "trapped as use-after-free" true
+        (contains_sub ~sub:"Use_after_free" reason);
+      let replay_trapped =
+        match run_broken_hyaline (Explore.policy_of_schedule schedule) with
+        | (_ : H.t) -> false
+        | exception Memory.Arena.Use_after_free _ -> true
+      in
+      Alcotest.(check bool) "schedule replays to the same trap" true
+        replay_trapped
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -523,5 +667,9 @@ let () =
             test_broken_ebr_rejected;
           Alcotest.test_case "broken hp rejected" `Quick
             test_broken_hp_rejected;
+          Alcotest.test_case "broken vbr rejected" `Quick
+            test_broken_vbr_rejected;
+          Alcotest.test_case "broken hyaline rejected" `Quick
+            test_broken_hyaline_rejected;
         ] );
     ]

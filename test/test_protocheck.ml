@@ -1,7 +1,7 @@
 (* The symbolic SMR protocol analyzer (lib/protocheck), both directions:
 
-   - completeness: the full 4-structure x 9-scheme matrix is clean on every
-     explored path (the typed structures obey protect-before-deref,
+   - completeness: the full 4-structure x 11-scheme matrix is clean on
+     every explored path (the typed structures obey protect-before-deref,
      no-access-after-retire, retire-only-after-unlink under every scheme);
    - sharpness: the seeded mutants are rejected with concrete
      counterexample paths — the grace-skipping EBR (premature-free on the
@@ -30,7 +30,7 @@ let find_kind k (ce : Report.counterexample) =
    a progress property, not a safety violation. *)
 let test_clean_matrix () =
   let cells = Matrix.all () in
-  Alcotest.(check int) "matrix size" 36 (List.length cells);
+  Alcotest.(check int) "matrix size" 44 (List.length cells);
   List.iter
     (fun c ->
       if not (Report.clean c) then
@@ -137,7 +137,7 @@ let () =
   Alcotest.run "protocheck"
     [
       ( "matrix",
-        [ Alcotest.test_case "all 36 cells clean" `Slow test_clean_matrix ] );
+        [ Alcotest.test_case "all 44 cells clean" `Slow test_clean_matrix ] );
       ( "mutants",
         [
           Alcotest.test_case "broken ebr: premature free" `Quick

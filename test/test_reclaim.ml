@@ -399,6 +399,114 @@ module RM_st =
 module RM_none =
   Record_manager.Make (Alloc.Bump) (Pool.Direct) (None_reclaimer.Make)
 
+(* VBR rides the recycling allocator: frees route through the arena and
+   bump the slot generation, which IS the version [protect] re-checks. *)
+module RM_vbr = Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Vbr.Make)
+module RM_hyaline =
+  Record_manager.Make (Alloc.Bump) (Pool.Shared) (Hyaline.Make)
+(* Direct pool for the gating test: frees bump the generation, so
+   [Arena.is_valid] is a faithful freed-oracle (same trick as RM_debra_plus
+   above). *)
+module RM_hyaline_direct =
+  Record_manager.Make (Alloc.Bump) (Pool.Direct) (Hyaline.Make)
+
+module S_vbr = Setup (RM_vbr)
+module S_hyaline_direct = Setup (RM_hyaline_direct)
+
+(* VBR is robust: it reclaims full blocks at retire time with no grace
+   period, regardless of what any other process is doing — here process 1
+   parks NON-quiescent forever, which wedges DEBRA
+   (test_debra_nonquiescent_blocks) but cannot hold VBR's limbo above one
+   partial block per arena. *)
+let test_vbr_reclaims_despite_stalled_reader () =
+  let group, _heap, _env, rm, arena = S_vbr.make ~n:2 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  RM_vbr.leave_qstate rm ctx1;
+  (* ctx1 now stays non-quiescent forever. *)
+  RM_vbr.leave_qstate rm ctx;
+  let first = ref Memory.Ptr.null in
+  for i = 1 to 9 do
+    let p = RM_vbr.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    if i = 1 then first := p;
+    RM_vbr.retire rm ctx p
+  done;
+  RM_vbr.enter_qstate rm ctx;
+  (* Two full blocks (capacity 4) were reclaimed in place; only the partial
+     head block is left in limbo. *)
+  Alcotest.(check int) "limbo bounded by one partial block" 1
+    (RM_vbr.limbo_size rm);
+  Alcotest.(check bool)
+    "first retired record really freed (version bumped)" false
+    (Memory.Arena.is_valid arena !first)
+
+(* VBR's protect is version re-validation: it succeeds on a live record and
+   fails — instead of protecting — once the record's slot generation moved
+   past the version the pointer carries. *)
+let test_vbr_protect_revalidates_version () =
+  let group, _heap, _env, rm, arena = S_vbr.make ~n:1 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  RM_vbr.leave_qstate rm ctx;
+  let victim = RM_vbr.alloc rm ctx arena in
+  Memory.Arena.set_const ctx arena victim 0 1;
+  Alcotest.(check bool) "live record validates" true
+    (RM_vbr.protect rm ctx victim ~verify:(fun () -> true));
+  (* The caller-side verify is part of the validation chain. *)
+  Alcotest.(check bool) "verify failure rejects" false
+    (RM_vbr.protect rm ctx victim ~verify:(fun () -> false));
+  RM_vbr.retire rm ctx victim;
+  (* Fill the block so the retire-side reclaim frees the victim. *)
+  for i = 2 to 9 do
+    let p = RM_vbr.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    RM_vbr.retire rm ctx p
+  done;
+  Alcotest.(check bool) "victim reclaimed" false
+    (Memory.Arena.is_valid arena victim);
+  Alcotest.(check bool) "stale version rejected" false
+    (RM_vbr.protect rm ctx victim ~verify:(fun () -> true));
+  RM_vbr.enter_qstate rm ctx
+
+(* Hyaline frees a sealed batch exactly when its last charged session
+   closes: the retiring process dropping its own reference is not enough
+   while a slower reader is still inside the session the seal charged. *)
+let test_hyaline_batch_refcount_gates () =
+  let group, _heap, _env, rm, arena = S_hyaline_direct.make ~n:2 () in
+  let ctx = Runtime.Group.ctx group 0 in
+  let ctx1 = Runtime.Group.ctx group 1 in
+  (* Reader opens a session and parks there. *)
+  RM_hyaline_direct.leave_qstate rm ctx1;
+  RM_hyaline_direct.leave_qstate rm ctx;
+  let first = ref Memory.Ptr.null in
+  (* block_capacity retires fill and seal the batch; the seal charges both
+     open sessions. *)
+  for i = 1 to 4 do
+    let p = RM_hyaline_direct.alloc rm ctx arena in
+    Memory.Arena.set_const ctx arena p 0 i;
+    if i = 1 then first := p;
+    RM_hyaline_direct.retire rm ctx p
+  done;
+  Alcotest.(check int) "batch sealed, nothing freed" 4
+    (RM_hyaline_direct.limbo_size rm);
+  (* The retirer's own boundary drops one reference — the reader's charge
+     still pins the batch, across any number of retirer boundaries. *)
+  for _ = 1 to 5 do
+    RM_hyaline_direct.enter_qstate rm ctx;
+    RM_hyaline_direct.leave_qstate rm ctx
+  done;
+  RM_hyaline_direct.enter_qstate rm ctx;
+  Alcotest.(check int) "reader's charge pins the batch" 4
+    (RM_hyaline_direct.limbo_size rm);
+  Memory.Arena.validate arena !first;
+  (* The reader closes the charged session: its boundary drops the last
+     reference and frees the whole batch. *)
+  RM_hyaline_direct.enter_qstate rm ctx1;
+  Alcotest.(check int) "batch freed at last reference" 0
+    (RM_hyaline_direct.limbo_size rm);
+  Alcotest.(check bool) "records really freed" false
+    (Memory.Arena.is_valid arena !first)
+
 (* Limbo must drain to exactly zero after a quiescent shutdown ([flush]),
    for every scheme — cross-checked against the sanitizer's shadow ledger,
    which counts every Retire and Free on the event bus independently of the
@@ -466,6 +574,8 @@ module D_rc = Drain (RM_rc)
 module D_ts = Drain (RM_ts)
 module D_st = Drain (RM_st)
 module D_none = Drain (RM_none)
+module D_vbr = Drain (RM_vbr)
+module D_hyaline = Drain (RM_hyaline)
 
 let () =
   Alcotest.run "reclaim"
@@ -482,6 +592,20 @@ let () =
           Alcotest.test_case "threadscan" `Quick (D_ts.run ~scheme:"threadscan");
           Alcotest.test_case "stacktrack" `Quick (D_st.run ~scheme:"stacktrack");
           Alcotest.test_case "none" `Quick (D_none.run ~scheme:"none");
+          Alcotest.test_case "vbr" `Quick (D_vbr.run ~scheme:"vbr");
+          Alcotest.test_case "hyaline" `Quick (D_hyaline.run ~scheme:"hyaline");
+        ] );
+      ( "vbr",
+        [
+          Alcotest.test_case "reclaims despite stalled reader" `Quick
+            test_vbr_reclaims_despite_stalled_reader;
+          Alcotest.test_case "protect re-validates version" `Quick
+            test_vbr_protect_revalidates_version;
+        ] );
+      ( "hyaline",
+        [
+          Alcotest.test_case "batch refcount gates frees" `Quick
+            test_hyaline_batch_refcount_gates;
         ] );
       ( "debra",
         [

@@ -56,6 +56,13 @@ module RM_st =
 module RM_none =
   Record_manager.Make (Alloc.Bump) (Pool.Direct) (None_reclaimer.Make)
 
+(* VBR must ride the recycling allocator: its versions ARE the arena
+   generation counters, so every free has to route through the arena and
+   bump the slot generation.  Hyaline pairs like the other epoch schemes. *)
+module RM_vbr = Record_manager.Make (Alloc.Recycle) (Pool.Direct) (Vbr.Make)
+module RM_hyaline =
+  Record_manager.Make (Alloc.Bump) (Pool.Shared) (Hyaline.Make)
+
 module Fuzz (RM : Intf.RECORD_MANAGER) = struct
   module L = Ds.Hm_list.Make (RM)
   module B = Ds.Efrb_bst.Make (RM)
@@ -191,6 +198,8 @@ module F_rc = Fuzz (RM_rc)
 module F_ts = Fuzz (RM_ts)
 module F_st = Fuzz (RM_st)
 module F_none = Fuzz (RM_none)
+module F_vbr = Fuzz (RM_vbr)
+module F_hyaline = Fuzz (RM_hyaline)
 
 (* ------------------------------------------------------------------ *)
 (* Deliberately broken schemes: the sanitizer must catch and classify. *)
@@ -199,6 +208,8 @@ module F_none = Fuzz (RM_none)
    the linearizability/exploration suite (test_lincheck.ml). *)
 module F_broken_ebr = Fuzz (Broken_schemes.RM_broken_ebr)
 module F_broken_hp = Fuzz (Broken_schemes.RM_broken_hp)
+module F_broken_vbr = Fuzz (Broken_schemes.RM_broken_vbr)
+module F_broken_hyaline = Fuzz (Broken_schemes.RM_broken_hyaline)
 
 (* The broken runs are expected to crash the arena sooner or later; the
    shadow ledger is meaningless for them.  What matters is the
@@ -263,6 +274,90 @@ let test_broken_hp () =
   in
   Alcotest.(check bool) "unprotected-access caught" true caught
 
+(* Broken VBR frees eagerly (as real VBR does) but dereferences without
+   re-validating the version, and without the sandbox that turns a stale
+   access into a rollback.  Real VBR earns the lenient/skip discipline
+   precisely because of that validation; a VBR that stops validating is
+   just an epoch scheme with no grace period, so it is held to the
+   epoch/grace-session discipline — under which its in-session block
+   frees are premature (the retirer itself is still inside the session
+   open at the triggering retire), and any traversal that does cross a
+   reclaimed record is a use-after-free or an arena generation trap.
+
+   The workload churns per-pid disjoint keys so every delete succeeds:
+   broken VBR only frees once a whole block of retires accumulates at one
+   process, so the random mixed workload (where a process may win only a
+   handful of deletes) can legitimately end the run with every bag still
+   below a full block. *)
+let build_list_churn group rm =
+  let t = F_broken_vbr.L.create rm ~capacity in
+  Array.init nprocs (fun pid () ->
+      let ctx = Runtime.Group.ctx group pid in
+      for i = 1 to 100 do
+        let key = (pid * 64) + (i mod 48) in
+        ignore (F_broken_vbr.L.insert t ctx ~key ~value:1);
+        ignore (F_broken_vbr.L.delete t ctx key)
+      done)
+
+let test_broken_vbr () =
+  let caught =
+    List.exists
+      (fun seed ->
+        let san, _rm, crashed =
+          F_broken_vbr.exercise
+            ~config:
+              (broken_config ~scheme:"broken-vbr" ~access:Sanitizer.Epoch
+                 ~free:Sanitizer.Grace_session)
+            ~scheme:"broken-vbr" ~seed build_list_churn
+        in
+        Sanitizer.has san Sanitizer.Premature_free
+        || Sanitizer.has san Sanitizer.Use_after_free
+        || crashed)
+      seeds
+  in
+  Alcotest.(check bool) "missing validation caught" true caught
+
+(* Broken Hyaline loses one batch reference at seal time, so the batch is
+   freed while the last charged session is still open: under the
+   grace-session free discipline that is a premature free, classified
+   exactly like the broken EBR's missing grace period. *)
+let test_broken_hyaline () =
+  let caught =
+    List.exists
+      (fun seed ->
+        let san, _rm, _crashed =
+          F_broken_hyaline.exercise
+            ~config:
+              (broken_config ~scheme:"broken-hyaline" ~access:Sanitizer.Epoch
+                 ~free:Sanitizer.Grace_session)
+            ~scheme:"broken-hyaline" ~seed F_broken_hyaline.build_list
+        in
+        Sanitizer.has san Sanitizer.Premature_free)
+      seeds
+  in
+  Alcotest.(check bool) "premature-free caught" true caught
+
+let test_broken_hyaline_classification () =
+  let san, _rm, _crashed =
+    F_broken_hyaline.exercise
+      ~config:
+        (broken_config ~scheme:"broken-hyaline" ~access:Sanitizer.Epoch
+           ~free:Sanitizer.Grace_session)
+      ~scheme:"broken-hyaline" ~seed:11 F_broken_hyaline.build_list
+  in
+  Alcotest.(check bool)
+    "at least one violation" true
+    (Sanitizer.violation_count san > 0);
+  List.iter
+    (fun v ->
+      match v.Sanitizer.kind with
+      | Sanitizer.Premature_free | Sanitizer.Use_after_free
+      | Sanitizer.Double_free ->
+          ()
+      | k ->
+          Alcotest.failf "unexpected violation kind %s" (Sanitizer.kind_name k))
+    (Sanitizer.violations san)
+
 (* The sanitizer's own state machine, exercised directly (no simulator):
    premature free and access-after-free on a half-instrumented toy.  A
    second Retire of the same incarnation is deliberately emitted and must
@@ -317,11 +412,17 @@ let () =
       ("threadscan", F_ts.tests ~scheme:"threadscan");
       ("stacktrack", F_st.tests ~scheme:"stacktrack");
       ("none", F_none.tests ~scheme:"none");
+      ("vbr", F_vbr.tests ~scheme:"vbr");
+      ("hyaline", F_hyaline.tests ~scheme:"hyaline");
       ( "broken",
         [
           Alcotest.test_case "broken ebr caught" `Quick test_broken_ebr;
           Alcotest.test_case "broken ebr classified" `Quick
             test_broken_ebr_classification;
           Alcotest.test_case "broken hp caught" `Quick test_broken_hp;
+          Alcotest.test_case "broken vbr caught" `Quick test_broken_vbr;
+          Alcotest.test_case "broken hyaline caught" `Quick test_broken_hyaline;
+          Alcotest.test_case "broken hyaline classified" `Quick
+            test_broken_hyaline_classification;
         ] );
     ]
